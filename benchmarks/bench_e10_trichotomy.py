@@ -1,0 +1,83 @@
+"""E10 -- Corollary 8: the Delta+ trichotomy for ditree CQs.
+
+Paper claim: with the disjointness rule, every ditree d-sirup is either
+FO-rewritable (it has FT-twins), or L-hard (quasi-symmetric, twin-free)
+or NL-hard (otherwise).  We classify a stream of generated ditree CQs
+and check the verdict distribution is exactly this trichotomy.
+"""
+
+from repro import zoo
+from repro.ditree import DitreeCQ
+from repro.ditree.classify import Complexity, classify_disjoint
+from repro.ditree.structure import is_minimal
+from repro.workloads.generators import random_ditree_cq
+
+
+def generated_queries(count=40):
+    queries = []
+    seed = 0
+    while len(queries) < count and seed < count * 30:
+        q = random_ditree_cq(n=6, seed=seed)
+        seed += 1
+        if q is None:
+            continue
+        try:
+            cq = DitreeCQ.from_structure(q)
+        except ValueError:
+            continue
+        queries.append(cq)
+    return queries
+
+
+def test_disjoint_trichotomy_distribution(benchmark, record_rows):
+    queries = generated_queries()
+
+    def run():
+        tally = {}
+        for cq in queries:
+            verdict = classify_disjoint(cq)
+            key = verdict.complexity.value
+            tally[key] = tally.get(key, 0) + 1
+        return tally
+
+    tally = benchmark(run)
+    record_rows(benchmark, sorted(tally.items()), total=len(queries))
+    allowed = {
+        Complexity.AC0.value,
+        Complexity.L.value,
+        Complexity.L_HARD.value,
+        Complexity.NL.value,
+        Complexity.NL_HARD.value,
+        Complexity.UNKNOWN.value,
+    }
+    assert set(tally) <= allowed
+    # The trichotomy covers every query: nothing lands in UNKNOWN.
+    assert Complexity.UNKNOWN.value not in tally
+
+
+def test_twins_imply_fo_under_disjointness(benchmark, record_rows):
+    twinned = [
+        DitreeCQ.from_structure(q)
+        for q in (zoo.q5(), zoo.q7(), zoo.q8())
+    ]
+
+    def run():
+        return [classify_disjoint(cq).complexity for cq in twinned]
+
+    verdicts = benchmark(run)
+    record_rows(
+        benchmark,
+        [(f"query {i}", v.value) for i, v in enumerate(verdicts)],
+    )
+    assert all(v is Complexity.AC0 for v in verdicts)
+
+
+def test_quasi_symmetric_is_l_hard(benchmark, record_rows):
+    cq = DitreeCQ.from_structure(zoo.q4())
+
+    def run():
+        return classify_disjoint(cq)
+
+    verdict = benchmark(run)
+    record_rows(benchmark, [("q4", verdict.complexity.value)])
+    assert verdict.complexity in (Complexity.L, Complexity.L_HARD)

@@ -1,0 +1,84 @@
+"""E11 -- Theorem 9 / Corollary 10: the Lambda-CQ FO/L dichotomy decider.
+
+Paper claims: every d-sirup with a Lambda-CQ is FO-rewritable or
+L-hard; the dichotomy is decidable in time p(|q|) * 2^{p'(k)} for span
+k (fixed-parameter tractable).  We run the exact decider over random
+Lambda-CQs, cross-validate against the Proposition 2 probe, and sweep
+|q| for fixed span to expose the FPT shape.
+"""
+
+from repro.core import OneCQ, Verdict, probe_boundedness
+from repro.ditree.lambda_cq import analyse, decide_lambda
+from repro.workloads.generators import iter_lambda_cqs
+
+
+def test_dichotomy_and_cross_validation(benchmark, record_rows):
+    queries = [
+        OneCQ.from_structure(q)
+        for q in iter_lambda_cqs(count=25, size=6, seed=11)
+    ]
+
+    def run():
+        fo = hard = consistent = 0
+        for one_cq in queries:
+            decision = decide_lambda(one_cq)
+            probe = probe_boundedness(one_cq, probe_depth=3)
+            if decision.fo_rewritable:
+                fo += 1
+                consistent += probe.verdict is not Verdict.UNBOUNDED_EVIDENCE
+            else:
+                hard += 1
+                consistent += probe.verdict is not Verdict.BOUNDED
+        return fo, hard, consistent
+
+    fo, hard, consistent = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(
+        benchmark,
+        [("FO-rewritable", fo), ("L-hard", hard),
+         ("probe-consistent", consistent)],
+    )
+    assert fo + hard == len(queries)
+    assert consistent == len(queries)
+    assert fo > 0 and hard > 0  # both sides of the dichotomy occur
+
+
+def test_fpt_scaling_in_query_size(benchmark, record_rows):
+    """For fixed span, decision time grows mildly with |q|."""
+    sizes = (4, 6, 8, 10)
+    pools = {
+        size: [
+            OneCQ.from_structure(q)
+            for q in iter_lambda_cqs(count=6, size=size, seed=size)
+        ]
+        for size in sizes
+    }
+
+    def run():
+        rows = []
+        for size in sizes:
+            decided = sum(
+                1 for one_cq in pools[size] if decide_lambda(one_cq) is not None
+            )
+            rows.append((size, decided))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows)
+    assert all(decided == len(pools[size]) for size, decided in rows)
+
+
+def test_type_digraph_analysis(benchmark, record_rows):
+    queries = [
+        OneCQ.from_structure(q)
+        for q in iter_lambda_cqs(count=8, size=6, seed=3)
+    ]
+
+    def run():
+        return [analyse(one_cq) for one_cq in queries]
+
+    analyses = benchmark(run)
+    record_rows(
+        benchmark,
+        [("queries", len(analyses))],
+    )
+    assert len(analyses) == len(queries)

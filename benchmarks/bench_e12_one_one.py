@@ -1,0 +1,75 @@
+"""E12 -- Theorem 11: FO/L/NL trichotomy for one-F-one-T ditree CQs.
+
+Paper claim: with one solitary F and one solitary T, (Delta_q, G) is
+FO-rewritable, L-complete or NL-complete, decidable in polynomial
+time.  We regenerate the trichotomy over the relevant zoo queries and
+generated CQs.
+"""
+
+from repro import zoo
+from repro.core.cq import solitary_f_nodes, solitary_t_nodes
+from repro.ditree import DitreeCQ
+from repro.ditree.classify import Complexity, theorem11_trichotomy
+from repro.workloads.generators import random_ditree_cq
+
+
+def one_one_queries(count=25):
+    queries = []
+    seed = 0
+    while len(queries) < count and seed < count * 60:
+        q = random_ditree_cq(n=6, seed=seed)
+        seed += 1
+        if q is None:
+            continue
+        if len(solitary_f_nodes(q)) != 1 or len(solitary_t_nodes(q)) != 1:
+            continue
+        try:
+            queries.append(DitreeCQ.from_structure(q))
+        except ValueError:
+            continue
+    return queries
+
+
+def test_zoo_trichotomy(benchmark, record_rows):
+    expectations = [
+        ("q4", Complexity.L),
+        ("q5", Complexity.AC0),
+        ("q7", Complexity.AC0),
+    ]
+
+    def run():
+        return [
+            (name, theorem11_trichotomy(
+                DitreeCQ.from_structure(getattr(zoo, name)())
+            ))
+            for name, _ in expectations
+        ]
+
+    verdicts = benchmark(run)
+    record_rows(
+        benchmark,
+        [(name, v.complexity.value) for name, v in verdicts],
+    )
+    for (name, expected), (_, verdict) in zip(expectations, verdicts):
+        assert verdict.complexity is expected, name
+
+
+def test_generated_trichotomy_total(benchmark, record_rows):
+    queries = one_one_queries()
+
+    def run():
+        tally = {}
+        for cq in queries:
+            verdict = theorem11_trichotomy(cq)
+            key = verdict.complexity.value
+            tally[key] = tally.get(key, 0) + 1
+        return tally
+
+    tally = benchmark(run)
+    record_rows(benchmark, sorted(tally.items()), total=len(queries))
+    allowed = {
+        Complexity.AC0.value,
+        Complexity.L.value,
+        Complexity.NL.value,
+    }
+    assert set(tally) <= allowed

@@ -1,0 +1,63 @@
+"""E14 -- Ablation: d-sirup evaluation strategies.
+
+Design choice (DESIGN.md): (Delta_q, G) can be answered by exhaustive
+enumeration of covering labelings, by branch-and-prune search, or --
+for 1-CQs -- through the compiled datalog program Pi_q.  Expected
+shape: datalog << branch-and-prune << exhaustive as the number of
+A-nodes grows (exhaustive is 2^#A).
+"""
+
+import pytest
+
+from repro import zoo
+from repro.core import (
+    evaluate_branching,
+    evaluate_exhaustive,
+    evaluate_via_pi,
+)
+from repro.workloads.generators import random_instance
+
+STRATEGIES = {
+    "exhaustive": evaluate_exhaustive,
+    "branching": evaluate_branching,
+    "datalog": evaluate_via_pi,
+}
+
+
+def instances(n, count=6):
+    return [
+        random_instance(n=n, edge_count=2 * n, seed=seed, preds=("R", "S"))
+        for seed in range(count)
+    ]
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_strategies_small(benchmark, record_rows, strategy):
+    data = instances(n=8)
+    q = zoo.q2()
+    evaluate = STRATEGIES[strategy]
+
+    def run():
+        return [evaluate(q, d).certain for d in data]
+
+    answers = benchmark(run)
+    record_rows(benchmark, [("answers", sum(answers))], n=8)
+    # All strategies agree with the reference (branch-and-prune).
+    reference = [evaluate_branching(q, d).certain for d in data]
+    assert answers == reference
+
+
+@pytest.mark.parametrize("strategy", ["branching", "datalog"])
+def test_strategies_larger(benchmark, record_rows, strategy):
+    """Exhaustive is excluded here: 2^#A labelings are already hopeless."""
+    data = instances(n=14, count=4)
+    q = zoo.q2()
+    evaluate = STRATEGIES[strategy]
+
+    def run():
+        return [evaluate(q, d).certain for d in data]
+
+    answers = benchmark(run)
+    record_rows(benchmark, [("answers", sum(answers))], n=14)
+    reference = [evaluate_via_pi(q, d).certain for d in data]
+    assert answers == reference

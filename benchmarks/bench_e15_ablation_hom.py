@@ -1,0 +1,115 @@
+"""E15 -- Ablation: the homomorphism engine on cactus targets.
+
+Design choice (DESIGN.md): one backtracking engine with label-based
+domain pruning serves CQ evaluation, cactus covering and the Lambda
+decider.  We measure it on the workloads that dominate the probes:
+the covering homomorphisms ``C1 -> C_k`` that witness q5's boundedness
+(Example 4), with and without a seeded root focus.
+
+Note that the *unbudded* cactus ``C0 = q5`` does not map into deeper
+cactuses -- only budded ones do; that asymmetry is the entire subject
+of the paper, and the engine must get it right.
+"""
+
+from repro import zoo
+from repro.core import (
+    OneCQ,
+    find_homomorphism,
+    full_cactus,
+    initial_cactus,
+    iter_cactuses,
+    iter_homomorphisms,
+)
+
+
+def depth_one_cactus(one_cq):
+    return next(
+        c for c in iter_cactuses(one_cq, max_depth=1) if c.depth == 1
+    )
+
+
+def test_covering_hom_into_deep_cactus(benchmark, record_rows):
+    """The Example 4 witness: C1 -> C4 exists for q5."""
+    one_cq = OneCQ.from_structure(zoo.q5())
+    source = depth_one_cactus(one_cq)
+    target = full_cactus(one_cq, depth=4)
+
+    def run():
+        return find_homomorphism(source.structure, target.structure)
+
+    hom = benchmark(run)
+    record_rows(
+        benchmark,
+        [("target nodes", len(target.structure)), ("found", hom is not None)],
+    )
+    assert hom is not None
+
+
+def test_unbudded_cactus_does_not_cover(benchmark, record_rows):
+    """C0 = q5 has a solitary T that deep cactuses replace by A."""
+    one_cq = OneCQ.from_structure(zoo.q5())
+    source = initial_cactus(one_cq)
+    target = full_cactus(one_cq, depth=3)
+
+    def run():
+        return find_homomorphism(source.structure, target.structure)
+
+    hom = benchmark(run)
+    record_rows(benchmark, [("found", hom is not None)])
+    assert hom is None
+
+
+def test_cactus_covering_search(benchmark, record_rows):
+    """The inner loop of the Proposition 2 probe for q5."""
+    one_cq = OneCQ.from_structure(zoo.q5())
+    shallow = list(iter_cactuses(one_cq, max_depth=1))
+    deep = full_cactus(one_cq, depth=4)
+
+    def run():
+        return [
+            find_homomorphism(c.structure, deep.structure) is not None
+            for c in shallow
+        ]
+
+    covered = benchmark(run)
+    record_rows(benchmark, [("shallow cactuses", len(shallow)),
+                            ("covering", sum(covered))])
+    assert any(covered)  # q5 is bounded: some shallow cactus covers
+
+
+def test_seeded_vs_unseeded(benchmark, record_rows):
+    """Seeding the root focus (the Sigma variant) prunes the search."""
+    one_cq = OneCQ.from_structure(zoo.q5())
+    source = depth_one_cactus(one_cq)
+    target = full_cactus(one_cq, depth=3)
+
+    def run():
+        seeded = find_homomorphism(
+            source.structure,
+            target.structure,
+            seed={source.root_focus: target.root_focus},
+        )
+        unseeded = find_homomorphism(source.structure, target.structure)
+        return seeded, unseeded
+
+    seeded, unseeded = benchmark(run)
+    record_rows(benchmark, [("seeded", seeded is not None),
+                            ("unseeded", unseeded is not None)])
+    # q5 is focused: the seeded and unseeded searches agree.
+    assert seeded is not None and unseeded is not None
+
+
+def test_enumeration_count(benchmark, record_rows):
+    one_cq = OneCQ.from_structure(zoo.q5())
+    source = depth_one_cactus(one_cq)
+    target = full_cactus(one_cq, depth=3)
+
+    def run():
+        return sum(
+            1
+            for _ in iter_homomorphisms(source.structure, target.structure)
+        )
+
+    count = benchmark(run)
+    record_rows(benchmark, [("homomorphisms", count)])
+    assert count >= 1

@@ -1,0 +1,67 @@
+"""E16 -- Ablation: masked vs. brute-force input gathering.
+
+Design choice (DESIGN.md / circuits.gather): gathering prunes downpaths
+by the structural bits the formula conjoins anyway.  Expected shape:
+identical firing verdicts, with masked gathering visiting exponentially
+fewer candidates as the path length grows.
+"""
+
+import pytest
+
+from repro.atm.encoding import gamma_tree
+from repro.atm.machine import initial_configuration, toy_reject_machine
+from repro.atm.params import EncodingParams, encode_configuration
+from repro.circuits.formula import conj, lit
+from repro.circuits.gather import (
+    CheckFormula,
+    InputGroup,
+    InputSpec,
+    fires_at,
+    gather_inputs,
+)
+
+
+def setup(length):
+    machine = toy_reject_machine()
+    params = EncodingParams.from_machine(machine, 2)
+    config = initial_configuration(machine, "1", params.cells)
+    tree = gamma_tree(params, encode_configuration(params, config, 0))
+    # A structural prefix check: the first `length` bits follow the
+    # 111* block pattern with zero address bits.
+    mask = tuple(1 if i % 4 != 3 else 0 for i in range(length))
+    formula = conj([lit(i, positive=bool(b)) for i, b in enumerate(mask)])
+    masked = CheckFormula(
+        "masked", formula, InputSpec((InputGroup("down", length, mask),))
+    )
+    unmasked = CheckFormula(
+        "unmasked", formula, InputSpec((InputGroup("down", length),))
+    )
+    return tree, masked, unmasked
+
+
+@pytest.mark.parametrize("length", [8, 12, 16])
+def test_masked_gathering(benchmark, record_rows, length):
+    tree, masked, _ = setup(length)
+
+    def run():
+        return fires_at(masked, tree, ())
+
+    fired = benchmark(run)
+    candidates = len(list(gather_inputs(tree, (), masked.spec)))
+    record_rows(benchmark, [("fired", fired), ("candidates", candidates)])
+    assert candidates <= 2
+
+
+@pytest.mark.parametrize("length", [8, 12, 16])
+def test_unmasked_gathering(benchmark, record_rows, length):
+    tree, masked, unmasked = setup(length)
+
+    def run():
+        return fires_at(unmasked, tree, ())
+
+    fired = benchmark(run)
+    candidates = len(list(gather_inputs(tree, (), unmasked.spec)))
+    record_rows(benchmark, [("fired", fired), ("candidates", candidates)])
+    # Same verdict, exponentially more candidates examined.
+    assert fired == fires_at(masked, tree, ())
+    assert candidates > 2 ** (length // 4 - 1)

@@ -1,0 +1,56 @@
+"""E17 -- Scaling figure: skeleton 01-trees grow exponentially in depth.
+
+The binary budding of cactuses -- and equally the binary branching of
+the computation-encoding trees -- is the source of the 2ExpTime lower
+bound.  This experiment regenerates the scaling curve: node counts of
+``beta^+`` cuts as the cut depth grows, and the matching growth of the
+cactus census for a span-2 query.
+"""
+
+import math
+
+from repro import zoo
+from repro.atm.encoding import beta_plus_cut, gamma_depth
+from repro.atm.machine import iter_computation_trees, toy_reject_machine
+from repro.atm.params import EncodingParams
+from repro.core import OneCQ, iter_cactuses
+
+
+def test_beta_plus_growth(benchmark, record_rows):
+    machine = toy_reject_machine()
+    params = EncodingParams.from_machine(machine, 2)
+    comp = next(iter_computation_trees(machine, "1", 2, 16))
+    depths = [gamma_depth(params) + 4 * k for k in (0, 2, 4, 6)]
+
+    def run():
+        return [
+            (depth, len(beta_plus_cut(params, machine, comp, depth)))
+            for depth in depths
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows)
+    sizes = [count for _, count in rows]
+    assert sizes == sorted(sizes)
+    # Exponential shape: each 8 extra levels multiplies the main-node
+    # census by 4, so the per-step growth ratio stays bounded away from 1.
+    ratios = [b / a for a, b in zip(sizes, sizes[1:])]
+    assert all(r > 1.15 for r in ratios)
+
+
+def test_cactus_census_growth(benchmark, record_rows):
+    one_cq = OneCQ.from_structure(zoo.q2())
+
+    def run():
+        counts = {}
+        for cactus in iter_cactuses(one_cq, max_depth=3):
+            counts[cactus.depth] = counts.get(cactus.depth, 0) + 1
+        return sorted(counts.items())
+
+    rows = benchmark(run)
+    record_rows(benchmark, rows)
+    counts = dict(rows)
+    # Doubly exponential flavour: the census explodes with depth.
+    assert counts[3] > 20 * counts[2] > 20 * counts[1]
+    log_growth = math.log(counts[3] / counts[0])
+    benchmark.extra_info["log_growth_depth3"] = round(log_growth, 2)

@@ -1,0 +1,55 @@
+"""E3 -- Example 3: D2 is a cactus for q2; skeletons and segments.
+
+Paper claim: the instance D2 arises from q2 by budding twice, with a
+three-segment skeleton.  We regenerate cactus enumeration and check D2
+is homomorphically equivalent to an enumerated two-bud cactus.
+"""
+
+from repro import zoo
+from repro.core import (
+    OneCQ,
+    find_homomorphism,
+    has_homomorphism,
+    iter_cactuses,
+)
+
+
+def test_d2_is_a_two_bud_cactus(benchmark, record_rows):
+    one_cq = OneCQ.from_structure(zoo.q2())
+    d2 = zoo.d2()
+
+    def run():
+        for cactus in iter_cactuses(one_cq, max_depth=2):
+            if len(cactus.segments) != 3:
+                continue
+            forward = find_homomorphism(cactus.structure, d2)
+            backward = find_homomorphism(d2, cactus.structure)
+            if forward and backward:
+                return cactus
+        return None
+
+    witness = benchmark(run)
+    assert witness is not None
+    record_rows(
+        benchmark,
+        [("witness skeleton", witness.shape.describe()),
+         ("segments", len(witness.segments))],
+    )
+
+
+def test_cactus_enumeration_depth3(benchmark, record_rows):
+    one_cq = OneCQ.from_structure(zoo.q2())
+
+    def run():
+        return list(iter_cactuses(one_cq, max_depth=3))
+
+    cactuses = benchmark(run)
+    by_depth = {}
+    for cactus in cactuses:
+        by_depth[cactus.depth] = by_depth.get(cactus.depth, 0) + 1
+    record_rows(benchmark, sorted(by_depth.items()))
+    # Two solitary T nodes: binary budding, so the counts explode with
+    # depth (this is exactly why boundedness is hard to decide).
+    assert by_depth[0] == 1
+    assert by_depth[1] == 3  # bud t0, bud t1, or both
+    assert by_depth[2] > by_depth[1]

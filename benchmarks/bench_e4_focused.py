@@ -1,0 +1,58 @@
+"""E4 -- Example 4: focusedness separates Pi- from Sigma-boundedness.
+
+Paper claims: q5 is focused and (Sigma_q5, P) is bounded with rewriting
+C0 | C1; q6 is NOT focused, (Pi_q6, G) is FO-rewritable but
+(Sigma_q6, P) is unbounded.  We regenerate all four verdicts.
+"""
+
+from repro import zoo
+from repro.core import (
+    OneCQ,
+    Verdict,
+    find_unfocused_witness,
+    is_focused_up_to,
+    probe_boundedness,
+)
+
+
+def test_q5_focused_and_sigma_bounded(benchmark, record_rows):
+    one_cq = OneCQ.from_structure(zoo.q5())
+
+    def run():
+        focused = is_focused_up_to(one_cq, max_depth=2)
+        pi = probe_boundedness(one_cq, probe_depth=3)
+        sigma = probe_boundedness(one_cq, probe_depth=3, require_focus=True)
+        return focused, pi, sigma
+
+    focused, pi, sigma = benchmark(run)
+    record_rows(
+        benchmark,
+        [("q5 focused", focused),
+         ("Pi_q5", pi.verdict.value),
+         ("Sigma_q5", sigma.verdict.value)],
+    )
+    assert focused
+    assert pi.verdict is Verdict.BOUNDED
+    assert sigma.verdict is Verdict.BOUNDED
+    assert sigma.depth <= 1  # the paper's C0 | C1 rewriting
+
+
+def test_q6_unfocused_and_sigma_unbounded(benchmark, record_rows):
+    one_cq = OneCQ.from_structure(zoo.q6())
+
+    def run():
+        witness = find_unfocused_witness(one_cq, max_depth=2)
+        pi = probe_boundedness(one_cq, probe_depth=2)
+        sigma = probe_boundedness(one_cq, probe_depth=2, require_focus=True)
+        return witness, pi, sigma
+
+    witness, pi, sigma = benchmark(run)
+    record_rows(
+        benchmark,
+        [("q6 unfocused witness", witness is not None),
+         ("Pi_q6", pi.verdict.value),
+         ("Sigma_q6", sigma.verdict.value)],
+    )
+    assert witness is not None  # q6 is not focused
+    assert pi.verdict is Verdict.BOUNDED  # Pi_q6 is FO-rewritable
+    assert sigma.verdict is not Verdict.BOUNDED  # Sigma_q6 is not

@@ -1,0 +1,83 @@
+"""E5 -- Sec. 3.3 encodings and Claim 4.1.
+
+Paper claim: computation trees embed into 01-trees whose local
+correctness (goodness, proper branching/initialisation/computation)
+characterises desired trees; mutations are always detected.  We build
+real encodings for a toy ATM and measure construction plus checking.
+"""
+
+from repro.atm.encoding import (
+    desired_tree_cut,
+    gamma_depth,
+    incorrect_nodes,
+    reject_main_nodes,
+)
+from repro.atm.machine import (
+    iter_computation_trees,
+    toy_accept_machine,
+    toy_reject_machine,
+)
+from repro.atm.params import EncodingParams
+
+FRONTIER = 9
+
+
+def build(machine, word="1"):
+    params = EncodingParams.from_machine(machine, 2)
+    comp = next(iter_computation_trees(machine, word, 2, 16))
+    depth = FRONTIER + gamma_depth(params) + 8
+    return params, desired_tree_cut(params, machine, word, comp, depth)
+
+
+def test_desired_tree_construction(benchmark, record_rows):
+    machine = toy_reject_machine()
+
+    def run():
+        return build(machine)
+
+    params, tree = benchmark(run)
+    record_rows(
+        benchmark,
+        [("nodes", len(tree)), ("depth", tree.depth()),
+         ("seq_len", params.seq_len)],
+    )
+    assert tree.depth() == FRONTIER + gamma_depth(params) + 8
+
+
+def test_claim41_correctness_scan(benchmark, record_rows):
+    machine = toy_reject_machine()
+    params, tree = build(machine)
+
+    def run():
+        bad = incorrect_nodes(params, machine, "1", tree, FRONTIER)
+        rejecting = reject_main_nodes(params, machine, "1", tree, FRONTIER)
+        return bad, rejecting
+
+    bad, rejecting = benchmark(run)
+    record_rows(
+        benchmark,
+        [("incorrect nodes", len(bad)), ("reject mains", len(rejecting))],
+    )
+    assert bad == []  # desired trees are everywhere correct
+    assert rejecting  # and the rejecting machine shows its reject leaf
+
+
+def test_claim41_mutation_detection(benchmark, record_rows):
+    machine = toy_accept_machine()
+    params, tree = build(machine)
+    candidates = [n for n in sorted(tree.nodes()) if 0 < len(n) <= 5]
+
+    def run():
+        detected = 0
+        for node in candidates:
+            mutated = tree.remove_subtree(node)
+            if incorrect_nodes(params, machine, "1", mutated, FRONTIER):
+                detected += 1
+        return detected
+
+    detected = benchmark(run)
+    record_rows(
+        benchmark,
+        [("mutations", len(candidates)), ("detected", detected)],
+    )
+    assert detected == len(candidates)  # Claim 4.1: all detected

@@ -1,0 +1,64 @@
+"""E6 -- Theorem 3's query is polynomial in the machine and input.
+
+Paper claim: the 1-CQ q built from (M, w) has polynomial size, with
+polynomially many gadgets implementing polynomial-size formulas.  We
+sweep the input length and tape size and fit the growth.
+"""
+
+import math
+
+from repro.atm.machine import toy_alternation_machine, toy_reject_machine
+from repro.atm.params import EncodingParams
+from repro.atm.reduction import build_query
+from repro.circuits.library import build_library
+
+
+def test_query_growth_with_input(benchmark, record_rows):
+    machine = toy_reject_machine()
+    words = ["1", "10", "101", "1010"]
+
+    def run():
+        rows = []
+        for word in words:
+            result = build_query(machine, word)
+            stats = result.size_stats()
+            rows.append(
+                (len(word), result.params.seq_len, stats["nodes"],
+                 stats["gadgets"])
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows)
+    # Polynomial shape: log-log slope of nodes vs encoding length stays
+    # below a small constant (the paper's construction is polynomial).
+    (w0, s0, n0, _), (w1, s1, n1, _) = rows[0], rows[-1]
+    slope = math.log(n1 / n0) / math.log(s1 / s0)
+    benchmark.extra_info["loglog_slope"] = round(slope, 2)
+    assert slope < 4.0, f"super-polynomial-looking growth: slope {slope:.2f}"
+    # Sizes are monotone in the input length.
+    sizes = [row[2] for row in rows]
+    assert sizes == sorted(sizes)
+
+
+def test_formula_library_growth(benchmark, record_rows):
+    machine = toy_alternation_machine()
+
+    def run():
+        rows = []
+        for cells in (2, 4, 8):
+            params = EncodingParams.from_machine(machine, cells)
+            library = build_library(params, machine, ["1"])
+            rows.append(
+                (cells, params.d, len(library.all_checks()),
+                 library.total_size())
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(benchmark, rows)
+    # Check counts grow linearly with d (the MustBranch/NoBranch k-range)
+    # and total gate counts stay polynomial in the encoding size.
+    for (c0, d0, k0, g0), (c1, d1, k1, g1) in zip(rows, rows[1:]):
+        assert d1 >= d0 and k1 >= k0
+        assert g1 <= g0 * (2 ** (d1 - d0)) * 8

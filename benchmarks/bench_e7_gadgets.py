@@ -1,0 +1,95 @@
+"""E7 -- Claim 4.2: gadget triggering equals gatherable-input firing.
+
+Paper claim: a gadget g is triggered at a segment s iff some input
+gathered around s per the input types of phi_g satisfies phi_g.  Our
+trigger layer implements exactly the right-hand side; this experiment
+measures it against the reference correctness predicates -- the two
+must flag the same segments, on clean trees and under mutation.
+"""
+
+from repro.atm.encoding import (
+    desired_tree_cut,
+    gamma_depth,
+    incorrect_nodes,
+)
+from repro.atm.machine import iter_computation_trees, toy_reject_machine
+from repro.atm.params import EncodingParams
+from repro.atm.reduction import formula_incorrectness, segment_verdict
+from repro.circuits.library import build_library
+
+FRONTIER = 9
+
+
+def setup():
+    machine = toy_reject_machine()
+    params = EncodingParams.from_machine(machine, 2)
+    library = build_library(params, machine, ["1"])
+    comp = next(iter_computation_trees(machine, "1", 2, 16))
+    depth = FRONTIER + gamma_depth(params) + 8
+    tree = desired_tree_cut(params, machine, "1", comp, depth)
+    return machine, params, library, tree
+
+
+def test_formula_vs_reference_clean(benchmark, record_rows):
+    machine, params, library, tree = setup()
+
+    def run():
+        formula_flagged = formula_incorrectness(
+            library, machine, ["1"], tree, FRONTIER
+        )
+        reference_flagged = incorrect_nodes(
+            params, machine, "1", tree, FRONTIER
+        )
+        return formula_flagged, reference_flagged
+
+    formula_flagged, reference_flagged = benchmark(run)
+    record_rows(
+        benchmark,
+        [("formula flags", len(formula_flagged)),
+         ("reference flags", len(reference_flagged))],
+    )
+    assert formula_flagged == reference_flagged == []
+
+
+def test_formula_vs_reference_mutations(benchmark, record_rows):
+    machine, params, library, tree = setup()
+    mutations = [n for n in sorted(tree.nodes()) if 1 < len(n) <= 5]
+
+    def run():
+        agree = 0
+        for node in mutations:
+            mutated = tree.remove_subtree(node)
+            formula_flagged = formula_incorrectness(
+                library, machine, ["1"], mutated, FRONTIER
+            )
+            reference_flagged = incorrect_nodes(
+                params, machine, "1", mutated, FRONTIER
+            )
+            agree += formula_flagged == reference_flagged
+        return agree
+
+    agree = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(
+        benchmark, [("mutations", len(mutations)), ("agreements", agree)]
+    )
+    assert agree == len(mutations)
+
+
+def test_segment_verdicts(benchmark, record_rows):
+    machine, params, library, tree = setup()
+    nodes = [n for n in sorted(tree.nodes()) if len(n) < FRONTIER]
+
+    def run():
+        return [
+            segment_verdict(library, machine, ["1"], tree, node)
+            for node in nodes
+        ]
+
+    verdicts = benchmark(run)
+    cuttable = [v for v in verdicts if v.cuttable]
+    record_rows(
+        benchmark,
+        [("segments", len(verdicts)), ("cuttable", len(cuttable))],
+    )
+    # On a clean rejecting tree, only reject segments are cuttable.
+    assert cuttable and all(v.reject and not v.incorrect for v in cuttable)

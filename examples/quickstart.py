@@ -1,0 +1,75 @@
+"""Quickstart: d-sirups, cactuses and boundedness in five minutes.
+
+Run with ``python examples/quickstart.py`` after ``pip install -e .``.
+
+This walks through the paper's opening example: the covering axiom
+``T(x) | F(x) <- A(x)`` turns a plain conjunctive query into a recursive
+one, and the central question is whether that recursion can be unfolded
+to bounded depth (FO-rewritability).
+"""
+
+from repro import zoo
+from repro.core import (
+    OneCQ,
+    certain_answer,
+    compile_programs,
+    evaluate,
+    initial_cactus,
+    iter_cactuses,
+    probe_boundedness,
+    ucq_rewriting,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A d-sirup is a Boolean CQ q evaluated under the covering axiom.
+    #    q2 from Example 1:  T -S-> T -R-> F  (P-complete evaluation).
+    # ------------------------------------------------------------------
+    q2 = zoo.q2()
+    d2 = zoo.d2()
+    print("q2 atoms:")
+    print(q2.describe())
+    print()
+    answer = certain_answer(q2, d2)
+    print(f"certain answer of (Delta_q2, G) over D2: {answer}")
+
+    # ------------------------------------------------------------------
+    # 2. For 1-CQs the d-sirup is equivalent to the datalog program Pi_q
+    #    with recursive sirup Sigma_q (rules (5)-(7) of the paper).
+    # ------------------------------------------------------------------
+    programs = compile_programs(q2)
+    print()
+    print("compiled datalog program Pi_q2:")
+    print(programs.pi.describe())
+    result = evaluate(programs.pi, d2)
+    print(f"datalog engine agrees: {result.holds(programs.goal)}")
+
+    # ------------------------------------------------------------------
+    # 3. Recursion unfolds into cactuses (the Q-expansions of Sec. 2).
+    # ------------------------------------------------------------------
+    one_cq = OneCQ.from_structure(q2)
+    print()
+    print("first cactuses for q2:")
+    for cactus in list(iter_cactuses(one_cq, max_depth=2))[:4]:
+        print(f"  {cactus.describe()}")
+
+    # ------------------------------------------------------------------
+    # 4. Boundedness: q5 is bounded (FO-rewritable), q2 is not.
+    # ------------------------------------------------------------------
+    print()
+    for name, q in [("q2", zoo.q2()), ("q5", zoo.q5())]:
+        verdict = probe_boundedness(OneCQ.from_structure(q), probe_depth=3)
+        print(f"boundedness probe for {name}: {verdict.describe()}")
+
+    # ------------------------------------------------------------------
+    # 5. A bounded query has a UCQ rewriting usable on any RDBMS.
+    # ------------------------------------------------------------------
+    rewriting = ucq_rewriting(OneCQ.from_structure(zoo.q5()), depth=1)
+    print()
+    print(f"UCQ rewriting of (Pi_q5, G): {len(rewriting)} disjuncts, "
+          f"sizes {[r.size() for r in rewriting]}")
+
+
+if __name__ == "__main__":
+    main()

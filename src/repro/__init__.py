@@ -1,0 +1,78 @@
+"""repro: a reproduction of "Deciding Boundedness of Monadic Sirups"
+(Kikot, Kurucz, Podolskii, Zakharyaschev; PODS 2021).
+
+The package implements, from scratch:
+
+* the paper's query classes (CQs with F/T labels, 1-CQs, d-sirups),
+* a monadic datalog engine and the programs ``Pi_q`` / ``Sigma_q``,
+* cactus expansions and the boundedness criterion of Proposition 2,
+* the ditree classification of Section 4 (Theorems 7, 9, 11) with the
+  exact Lambda-CQ FO/L decider of Appendix F,
+* the Theorem 3 2ExpTime-hardness construction (ATMs, 01-tree encodings,
+  Boolean-circuit gadget queries),
+* the Schema.org / DL-Lite_bool bridge of Proposition 5.
+
+Quick start::
+
+    from repro import zoo, certain_answer
+    print(certain_answer(zoo.q2(), zoo.d2()))   # True (Example 2)
+
+Subpackages (imported on demand): :mod:`repro.core` (structures,
+datalog, cactuses, boundedness), :mod:`repro.ditree` (Section 4
+classifiers and the Lambda-CQ decider), :mod:`repro.circuits` and
+:mod:`repro.atm` (the Theorem 3 construction), :mod:`repro.obda`
+(Proposition 5), :mod:`repro.workloads` (generators).
+"""
+
+from .core import (
+    A,
+    F,
+    OneCQ,
+    Program,
+    R,
+    Rule,
+    S,
+    Structure,
+    StructureBuilder,
+    T,
+    Verdict,
+    certain_answer,
+    compile_programs,
+    find_homomorphism,
+    full_cactus,
+    has_homomorphism,
+    initial_cactus,
+    is_one_cq,
+    iter_cactuses,
+    path_structure,
+    probe_boundedness,
+    ucq_rewriting,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A",
+    "F",
+    "OneCQ",
+    "Program",
+    "R",
+    "Rule",
+    "S",
+    "Structure",
+    "StructureBuilder",
+    "T",
+    "Verdict",
+    "certain_answer",
+    "compile_programs",
+    "find_homomorphism",
+    "full_cactus",
+    "has_homomorphism",
+    "initial_cactus",
+    "is_one_cq",
+    "iter_cactuses",
+    "path_structure",
+    "probe_boundedness",
+    "ucq_rewriting",
+    "__version__",
+]

@@ -1,0 +1,112 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``zoo``
+    Print the Example 1 query zoo with classifier verdicts.
+``decide <query>``
+    Decide boundedness of a zoo query (``q2`` .. ``q8``) or of a CQ
+    read from a file of ``label(node)`` / ``pred(src, dst)`` lines.
+``demo``
+    Run the Theorem 3 pipeline on the toy alternating Turing machines.
+
+The CLI is a thin veneer over the public API; anything serious should
+import :mod:`repro` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import zoo
+from .core.structure import Structure, StructureBuilder
+from .decide import decide_boundedness
+
+
+def _parse_cq_file(path: str) -> Structure:
+    """Read a CQ from ``label(node)`` / ``pred(a, b)`` lines.
+
+    Lines starting with ``#`` and blank lines are skipped.
+    """
+    builder = StructureBuilder()
+    with open(path) as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            name, _, rest = line.partition("(")
+            args = [a.strip() for a in rest.rstrip(")").split(",")]
+            if len(args) == 1:
+                builder.add_node(args[0], name.strip())
+            elif len(args) == 2:
+                builder.add_edge(args[0], args[1], name.strip())
+            else:
+                raise ValueError(f"cannot parse atom: {line!r}")
+    return builder.build()
+
+
+def _cmd_zoo(_args: argparse.Namespace) -> int:
+    from .core.cq import solitary_f_nodes, solitary_t_nodes, twin_nodes
+
+    for entry in zoo.zoo_table():
+        q = entry.query
+        census = (
+            f"F={len(solitary_f_nodes(q))} T={len(solitary_t_nodes(q))} "
+            f"FT={len(twin_nodes(q))}"
+        )
+        print(f"{entry.name:4} {census:16} paper: {entry.expected}")
+    return 0
+
+
+def _cmd_decide(args: argparse.Namespace) -> int:
+    if hasattr(zoo, args.query):
+        q = getattr(zoo, args.query)()
+    else:
+        q = _parse_cq_file(args.query)
+    decision = decide_boundedness(q, probe_depth=args.probe_depth)
+    print(decision.describe())
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from .atm.machine import toy_alternation_machine
+    from .atm.reduction import build_query, skeleton_boundedness_semantics
+
+    machine = toy_alternation_machine()
+    for word in ("1", "0"):
+        result = build_query(machine, word)
+        print(result.describe())
+        report = skeleton_boundedness_semantics(machine, word)
+        print(report.describe())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Deciding Boundedness of Monadic Sirups (PODS 2021)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("zoo", help="print the Example 1 query zoo")
+
+    decide = commands.add_parser(
+        "decide", help="decide boundedness of a zoo query or CQ file"
+    )
+    decide.add_argument("query", help="zoo name (q2..q8) or path to a CQ file")
+    decide.add_argument(
+        "--probe-depth", type=int, default=3,
+        help="probe depth for non-Lambda queries (default 3)",
+    )
+
+    commands.add_parser("demo", help="run the Theorem 3 toy pipeline")
+
+    args = parser.parse_args(argv)
+    handlers = {"zoo": _cmd_zoo, "decide": _cmd_decide, "demo": _cmd_demo}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Alternating Turing machines and the Theorem 3 construction.
+
+This subpackage implements the machinery of Section 3 of the paper:
+
+* :mod:`repro.atm.machine` -- alternating Turing machines, configurations,
+  the full computation space ``T_{M,w}`` and computation trees;
+* :mod:`repro.atm.params` -- the bit-level encoding parameters (``d``,
+  ``p``, ``n_Q``, ``n_Gamma``) and configuration (de)serialisation;
+* :mod:`repro.atm.encoding` -- 01-trees, configuration trees ``gamma_c``,
+  the trees ``beta_T`` / ``beta^+_T``, ideal and desired trees, ``M``-cuts
+  and the node-correctness predicates of Claim 4.1;
+* :mod:`repro.atm.reduction` -- the polynomial-size 1-CQ ``q`` built from
+  an ATM and an input word (base block, gadget frames, gate gadgets,
+  input and gathering blocks).
+"""
+
+from .machine import (
+    ATM,
+    Action,
+    ComputationTree,
+    Configuration,
+    accepts,
+    computation_space,
+    find_accepting_tree,
+    initial_configuration,
+    iter_computation_trees,
+    successors,
+    toy_accept_machine,
+    toy_alternation_machine,
+    toy_reject_machine,
+)
+from .params import (
+    EncodingParams,
+    decode_configuration,
+    encode_configuration,
+)
+from .encoding import (
+    ZeroOneTree,
+    beta_tree,
+    beta_plus_cut,
+    desired_tree_cut,
+    gamma_tree,
+    incorrect_nodes,
+    is_correct,
+    node_correctness_report,
+    suffix_decomposition,
+)
+from .reduction import (
+    GadgetSpec,
+    ReductionResult,
+    build_query,
+    gadget_inventory,
+    segment_verdict,
+    skeleton_boundedness_semantics,
+)
+
+__all__ = [
+    "ATM",
+    "Action",
+    "ComputationTree",
+    "Configuration",
+    "EncodingParams",
+    "GadgetSpec",
+    "ReductionResult",
+    "ZeroOneTree",
+    "accepts",
+    "beta_plus_cut",
+    "beta_tree",
+    "build_query",
+    "computation_space",
+    "decode_configuration",
+    "desired_tree_cut",
+    "encode_configuration",
+    "find_accepting_tree",
+    "gadget_inventory",
+    "gamma_tree",
+    "incorrect_nodes",
+    "initial_configuration",
+    "is_correct",
+    "iter_computation_trees",
+    "node_correctness_report",
+    "segment_verdict",
+    "skeleton_boundedness_semantics",
+    "successors",
+    "suffix_decomposition",
+    "toy_accept_machine",
+    "toy_alternation_machine",
+    "toy_reject_machine",
+]

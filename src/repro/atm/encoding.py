@@ -1,0 +1,796 @@
+"""01-trees encoding ATM computations (Sec. 3.3 of the paper).
+
+A *01-tree* is a binary ditree whose edges are labelled 0 or 1 with
+siblings labelled differently; we represent a node by the tuple of edge
+labels on the path from the root, so the tree itself is a prefix-closed
+set of bit tuples.
+
+The encoding pipeline follows the paper:
+
+* a configuration ``c`` becomes a ``2^d``-bit sequence
+  (:mod:`repro.atm.params`) and then a *configuration tree* ``gamma_c``
+  of depth ``4(d+1)``: a full binary address tree whose every original
+  edge ``b`` is replaced by the edge pattern ``1,1,1,b``;
+* a computation tree ``T`` becomes ``beta_T``: below the *main node* of
+  every OR-configuration hang its ``gamma`` tree (first edge 1) and an
+  outgoing chain ``0,0,1`` branching to the main nodes of the two
+  successor OR-configurations;
+* ``beta^+_T`` repeats halting configurations forever, and *ideal trees*
+  restart fresh computation trees below every bit-leaf of a
+  configuration tree;
+* a *desired tree* is a subtree of an ideal tree rooted at a main node.
+
+Self-consistent conventions (the paper leaves the block indexing of
+(pb1)--(pb4) implicit; ours is spelled out here and cross-validated by
+the tests): anchored at the most recent ``0,0,1,*`` pattern, a path
+decomposes as ``001* (111*)^l w``; blocks ``l = 1..d`` carry address
+bits, block ``d+1`` carries the content bit, ``w`` is a proper prefix of
+``111`` (inside gamma) or of ``001`` (on a downward chain).  Halting
+main nodes repeat their configuration with the parent bit reset to the
+branch index, and new computation trees attach below *both* children of
+the post-``001`` node under a bit-leaf, with the new root's parent bit
+equal to its incoming branch bit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from .machine import ATM, ComputationTree, Configuration, initial_configuration, successors
+from .params import Bits, EncodingParams, encode_configuration
+
+Path = tuple[int, ...]
+
+#: Edge patterns of the construction.
+GAMMA_PREFIX = (1, 1, 1)
+CHAIN_PREFIX = (0, 0, 1)
+
+
+class ZeroOneTree:
+    """An immutable 01-tree: a prefix-closed set of 0/1 paths.
+
+    The empty tuple is the root.  ``context`` is a virtual edge-label
+    prefix *above* the root, used when the tree is a subtree of a larger
+    one (e.g. a desired tree whose root's incoming pattern is ``001*``);
+    the correctness predicates read suffixes through it.
+    """
+
+    __slots__ = ("_paths", "_context")
+
+    def __init__(
+        self,
+        paths: Iterable[Path],
+        context: Path = (),
+        assume_closed: bool = False,
+    ) -> None:
+        if assume_closed:
+            closed = set(paths)
+            closed.add(())
+        else:
+            closed = set()
+            for path in paths:
+                path = tuple(path)
+                while path not in closed:
+                    closed.add(path)
+                    path = path[:-1]
+            closed.add(())
+        self._paths = frozenset(closed)
+        self._context = tuple(context)
+
+    @property
+    def paths(self) -> frozenset[Path]:
+        return self._paths
+
+    @property
+    def context(self) -> Path:
+        return self._context
+
+    def __contains__(self, path: Path) -> bool:
+        return tuple(path) in self._paths
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ZeroOneTree):
+            return NotImplemented
+        return self._paths == other._paths and self._context == other._context
+
+    def __hash__(self) -> int:
+        return hash((self._paths, self._context))
+
+    def __repr__(self) -> str:
+        return f"ZeroOneTree(|nodes|={len(self._paths)}, depth={self.depth()})"
+
+    def children(self, node: Path) -> tuple[int, ...]:
+        """The child edge labels present below ``node`` (subset of (0, 1))."""
+        return tuple(b for b in (0, 1) if node + (b,) in self._paths)
+
+    def is_leaf(self, node: Path) -> bool:
+        return not self.children(node)
+
+    def depth(self) -> int:
+        return max((len(p) for p in self._paths), default=0)
+
+    def nodes(self) -> Iterator[Path]:
+        return iter(self._paths)
+
+    def nodes_at_depth(self, depth: int) -> list[Path]:
+        return [p for p in self._paths if len(p) == depth]
+
+    def full_label_path(self, node: Path) -> Path:
+        """Edge labels from the (virtual) top of the context to ``node``."""
+        return self._context + node
+
+    def cut(self, max_depth: int) -> "ZeroOneTree":
+        """The ``M``-cut: drop everything strictly below ``max_depth``."""
+        return ZeroOneTree(
+            (p for p in self._paths if len(p) <= max_depth),
+            self._context,
+            assume_closed=True,
+        )
+
+    def subtree(self, node: Path) -> "ZeroOneTree":
+        """Re-root at ``node``; the context absorbs the path above."""
+        offset = len(node)
+        paths = (
+            p[offset:] for p in self._paths if p[:offset] == tuple(node)
+        )
+        return ZeroOneTree(
+            paths, self._context + tuple(node), assume_closed=True
+        )
+
+    def with_context(self, context: Path) -> "ZeroOneTree":
+        return ZeroOneTree(self._paths, context, assume_closed=True)
+
+    def add_paths(self, extra: Iterable[Path]) -> "ZeroOneTree":
+        return ZeroOneTree(itertools.chain(self._paths, extra), self._context)
+
+    def remove_subtree(self, node: Path) -> "ZeroOneTree":
+        """Drop ``node`` and everything below it (for mutation tests)."""
+        node = tuple(node)
+        return ZeroOneTree(
+            (p for p in self._paths if p[: len(node)] != node),
+            self._context,
+            assume_closed=True,
+        )
+
+
+class TreeBuilder:
+    """Mutable accumulator of paths for building a :class:`ZeroOneTree`.
+
+    All operations keep the path set prefix-closed, so building the
+    final tree is a plain copy.
+    """
+
+    def __init__(self) -> None:
+        self._paths: set[Path] = {()}
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def add_chain(self, base: Path, labels: Sequence[int]) -> Path:
+        node = tuple(base)
+        for bit in labels:
+            node = node + (bit,)
+            self._paths.add(node)
+        return node
+
+    def add_path(self, path: Path) -> None:
+        path = tuple(path)
+        while path not in self._paths:
+            self._paths.add(path)
+            path = path[:-1]
+
+    def graft(self, base: Path, relative_paths: Iterable[Path]) -> None:
+        base = tuple(base)
+        for path in relative_paths:
+            self.add_path(base + tuple(path))
+
+    def build(self, context: Path = ()) -> ZeroOneTree:
+        return ZeroOneTree(self._paths, context, assume_closed=True)
+
+
+# ---------------------------------------------------------------------------
+# Configuration trees and computation trees as 01-trees
+# ---------------------------------------------------------------------------
+
+
+def gamma_paths(params: EncodingParams, bits: Bits) -> list[Path]:
+    """The maximal paths of ``gamma_c`` for the bit sequence of ``c``.
+
+    One path per address: ``(111 a_1) .. (111 a_d) (111 v)`` where
+    ``a_1 .. a_d`` is the address in binary (MSB first) and ``v`` the bit
+    stored there.
+    """
+    if len(bits) != params.seq_len:
+        raise ValueError(f"need {params.seq_len} bits, got {len(bits)}")
+    paths = []
+    for address, value in enumerate(bits):
+        path: list[int] = []
+        for i in range(params.d):
+            path.extend(GAMMA_PREFIX)
+            path.append((address >> (params.d - 1 - i)) & 1)
+        path.extend(GAMMA_PREFIX)
+        path.append(value)
+        paths.append(tuple(path))
+    return paths
+
+
+def gamma_tree(params: EncodingParams, bits: Bits) -> ZeroOneTree:
+    """``gamma_c`` as a standalone 01-tree rooted at the main node."""
+    return ZeroOneTree(gamma_paths(params, bits))
+
+
+def gamma_depth(params: EncodingParams) -> int:
+    """Depth ``4(d+1)`` of every configuration tree."""
+    return 4 * (params.d + 1)
+
+
+def main_node_gap() -> int:
+    """Edges between a main node and its children main nodes (``001*``)."""
+    return 4
+
+
+@dataclass(frozen=True)
+class MainNode:
+    """Bookkeeping for one main node materialised in a 01-tree."""
+
+    path: Path
+    config: Configuration
+    parent_bit: int
+    halting: bool
+
+
+def _halting_repetition_children(
+    config: Configuration,
+) -> tuple[tuple[Configuration, int], tuple[Configuration, int]]:
+    """Children of a halting main: same configuration, parent bit = branch."""
+    return ((config, 0), (config, 1))
+
+
+def _computation_children(
+    machine: ATM, tree: ComputationTree
+) -> list[tuple[int, ComputationTree, int]]:
+    """(branch bit, OR-grandchild subtree, recorded parent bit) triples.
+
+    The OR node keeps one AND child (the choice ``z``); the AND node
+    keeps both OR grandchildren.  Each grandchild records ``z`` as its
+    parent bit, and its branch bit in ``beta_T`` is its index below the
+    AND node.
+    """
+    if not tree.children:
+        return []
+    ((choice, and_node),) = tree.children
+    result = []
+    for branch, or_node in and_node.children:
+        result.append((branch, or_node, choice))
+    return result
+
+
+def beta_tree(
+    params: EncodingParams,
+    machine: ATM,
+    tree: ComputationTree,
+    root_parent_bit: int = 0,
+) -> ZeroOneTree:
+    """``beta_T`` rooted at the main node of the root configuration.
+
+    The incoming ``0010`` pattern above the root is *not* materialised;
+    use ``with_context((0, 0, 1, 0))`` when an ambient context is needed.
+    """
+    builder = TreeBuilder()
+
+    def attach(base: Path, node: ComputationTree, parent_bit: int) -> None:
+        bits = encode_configuration(params, node.config, parent_bit)
+        builder.graft(base, gamma_paths(params, bits))
+        kids = _computation_children(machine, node)
+        if not kids:
+            return
+        chain_end = builder.add_chain(base, CHAIN_PREFIX)
+        for branch, sub, recorded in kids:
+            child_main = builder.add_chain(chain_end, (branch,))
+            attach(child_main, sub, recorded)
+
+    attach((), tree, root_parent_bit)
+    return builder.build()
+
+
+def beta_plus_cut(
+    params: EncodingParams,
+    machine: ATM,
+    tree: ComputationTree,
+    max_depth: int,
+    root_parent_bit: int = 0,
+) -> ZeroOneTree:
+    """The ``max_depth``-cut of ``beta^+_T`` (halting configs repeated)."""
+    builder = TreeBuilder()
+
+    def attach(base: Path, node: ComputationTree, parent_bit: int) -> None:
+        if len(base) > max_depth:
+            return
+        bits = encode_configuration(params, node.config, parent_bit)
+        builder.graft(
+            base,
+            (p for p in gamma_paths(params, bits) if len(base) + len(p) <= max_depth),
+        )
+        if len(base) + len(CHAIN_PREFIX) + 1 > max_depth:
+            return
+        chain_end = builder.add_chain(base, CHAIN_PREFIX)
+        kids = _computation_children(machine, node)
+        if kids:
+            for branch, sub, recorded in kids:
+                attach(chain_end + (branch,), sub, recorded)
+        else:
+            for config, bit in _halting_repetition_children(node.config):
+                attach(chain_end + (bit,), ComputationTree(config, ()), bit)
+
+    attach((), tree, root_parent_bit)
+    return builder.build(context=(0, 0, 1, 0)).cut(max_depth)
+
+
+def ideal_tree_cut(
+    params: EncodingParams,
+    machine: ATM,
+    word: Sequence[str],
+    tree_chooser: Callable[[int], ComputationTree],
+    max_depth: int,
+    root_parent_bit: int = 0,
+) -> ZeroOneTree:
+    """The ``max_depth``-cut of an ideal tree.
+
+    ``tree_chooser(i)`` supplies the ``i``-th computation tree used (the
+    root uses index 0; restarts below bit-leaves use increasing indices,
+    so a constant function realises the single-tree ideal trees used in
+    the Lemma 4 argument).
+    """
+    builder = TreeBuilder()
+    counter = itertools.count(1)
+
+    def attach_config_tree(
+        base: Path, node: ComputationTree, parent_bit: int
+    ) -> None:
+        if len(base) > max_depth:
+            return
+        bits = encode_configuration(params, node.config, parent_bit)
+        for gpath in gamma_paths(params, bits):
+            if len(base) + len(gpath) > max_depth:
+                builder.add_path(base + gpath[: max_depth - len(base)])
+                continue
+            leaf = base + gpath
+            builder.add_path(leaf)
+            restart(leaf)
+        if len(base) + len(CHAIN_PREFIX) + 1 > max_depth:
+            if len(base) < max_depth:
+                builder.add_chain(base, CHAIN_PREFIX[: max_depth - len(base)])
+            return
+        chain_end = builder.add_chain(base, CHAIN_PREFIX)
+        kids = _computation_children(machine, node)
+        if kids:
+            for branch, sub, recorded in kids:
+                attach_config_tree(chain_end + (branch,), sub, recorded)
+        else:
+            for config, bit in _halting_repetition_children(node.config):
+                attach_config_tree(
+                    chain_end + (bit,), ComputationTree(config, ()), bit
+                )
+
+    def restart(bit_leaf: Path) -> None:
+        """Attach fresh computation trees below a configuration bit-leaf."""
+        if len(bit_leaf) + len(CHAIN_PREFIX) + 1 > max_depth:
+            if len(bit_leaf) < max_depth:
+                builder.add_chain(
+                    bit_leaf, CHAIN_PREFIX[: max_depth - len(bit_leaf)]
+                )
+            return
+        chain_end = builder.add_chain(bit_leaf, CHAIN_PREFIX)
+        for bit in (0, 1):
+            attach_config_tree(
+                chain_end + (bit,), tree_chooser(next(counter)), bit
+            )
+
+    attach_config_tree((), tree_chooser(0), root_parent_bit)
+    return builder.build(context=(0, 0, 1, 0)).cut(max_depth)
+
+
+def desired_tree_cut(
+    params: EncodingParams,
+    machine: ATM,
+    word: Sequence[str],
+    tree: ComputationTree,
+    max_depth: int,
+) -> ZeroOneTree:
+    """An ``max_depth``-cut of the desired tree repeating ``tree``."""
+    return ideal_tree_cut(
+        params, machine, word, lambda _i: tree, max_depth
+    )
+
+
+# ---------------------------------------------------------------------------
+# Suffix decomposition and node-correctness predicates (Sec. 3.3.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SuffixShape:
+    """The unique ``001* (111*)^l w`` decomposition of a path suffix.
+
+    ``blocks`` is the paper's ``l`` (complete ``111*`` blocks after the
+    anchor) and ``tail`` is ``w``.  ``valid`` is False when the remainder
+    does not parse, which in a desired tree never happens.
+    """
+
+    blocks: int
+    tail: Path
+    anchor: int
+    valid: bool
+
+    def k(self) -> int:
+        """The suffix length ``k = 4 + 4l + |w|``."""
+        return 4 + 4 * self.blocks + len(self.tail)
+
+
+def suffix_decomposition(labels: Sequence[int]) -> SuffixShape | None:
+    """Decompose ``labels`` (a full root-to-node edge path) at the last
+    ``0,0,1,*`` anchor.  Returns None when no anchor exists."""
+    labels = tuple(labels)
+    anchor = -1
+    for j in range(len(labels) - 4, -1, -1):
+        if labels[j : j + 3] == CHAIN_PREFIX:
+            anchor = j
+            break
+    if anchor < 0:
+        return None
+    rest = labels[anchor + 4 :]
+    blocks = 0
+    while len(rest) >= 4 and rest[:3] == GAMMA_PREFIX:
+        blocks += 1
+        rest = rest[4:]
+    is_prefix = rest == GAMMA_PREFIX[: len(rest)] or rest == CHAIN_PREFIX[: len(rest)]
+    return SuffixShape(blocks, rest, anchor, len(rest) <= 3 and is_prefix)
+
+
+def is_main_path(labels: Sequence[int]) -> bool:
+    """True iff the path ends with a ``0,0,1,*`` pattern (a main node)."""
+    labels = tuple(labels)
+    return len(labels) >= 4 and labels[-4:-1] == CHAIN_PREFIX
+
+
+def is_good(params: EncodingParams, tree: ZeroOneTree, node: Path) -> bool:
+    """Goodness: shallow, or a ``001*`` pattern within the last 4d+11 edges."""
+    window_len = 4 * params.d + 11
+    labels = tree.full_label_path(node)
+    if len(labels) < window_len:
+        return True
+    window = labels[-window_len:]
+    return any(
+        window[j : j + 3] == CHAIN_PREFIX for j in range(len(window) - 3)
+    )
+
+
+def _branching_requirement(
+    params: EncodingParams, shape: SuffixShape
+) -> str:
+    """What children a node with this suffix shape must have.
+
+    One of ``"both"``, ``"only0"``, ``"only1"``, ``"one"`` (exactly one
+    child of either label) or ``"invalid"``.
+    """
+    d = params.d
+    l, w = shape.blocks, shape.tail
+    if not shape.valid:
+        return "invalid"
+    if w == ():
+        if l == 0:
+            return "both"          # a main node branches into gamma and chain
+        if l <= d:
+            return "only1"         # between address blocks: continue 111
+        if l == d + 1:
+            return "only0"         # a bit-leaf: continue into the 001 chain
+        return "invalid"
+    if w in ((1,), (1, 1)):
+        return "only1"
+    if w == (1, 1, 1):
+        if l < d:
+            return "both"          # address bit: both children
+        if l == d:
+            return "one"           # content bit: exactly one child
+        return "invalid"
+    if w == (0,):
+        return "only0"
+    if w == (0, 0):
+        return "only1"
+    if w == (0, 0, 1):
+        return "both"              # chain end branches to two main nodes
+    return "invalid"
+
+
+def is_properly_branching(
+    params: EncodingParams, tree: ZeroOneTree, node: Path
+) -> bool:
+    """Conditions (pb1)--(pb4) in our block-indexing convention.
+
+    Leaves are never properly branching (the caller exempts nodes at the
+    cut frontier).
+    """
+    children = tree.children(node)
+    if not children:
+        return False
+    shape = suffix_decomposition(tree.full_label_path(node))
+    if shape is None:
+        # No anchor above: only the virtual top of a desired tree; treat
+        # as unconstrained except for being a non-leaf.
+        return True
+    requirement = _branching_requirement(params, shape)
+    if requirement == "both":
+        return children == (0, 1)
+    if requirement == "only0":
+        return children == (0,)
+    if requirement == "only1":
+        return children == (1,)
+    if requirement == "one":
+        return len(children) == 1
+    return False
+
+
+def read_config_bits(
+    params: EncodingParams, tree: ZeroOneTree, main: Path
+) -> dict[int, int]:
+    """The readable bits of the configuration represented at ``main``.
+
+    Follows every complete ``(111 a)^d 111 v`` path below ``main``;
+    addresses whose value edge is cut off are absent from the result.
+    """
+    found: dict[int, int] = {}
+    # Walk the gamma portion: nodes reached by alternating 111 / bit.
+    def walk(node: Path, address_bits: list[int], level: int) -> None:
+        if level == params.d + 1:
+            address = 0
+            for bit in address_bits[:-1]:
+                address = (address << 1) | bit
+            found[address] = address_bits[-1]
+            return
+        probe = node
+        for bit in GAMMA_PREFIX:
+            probe = probe + (bit,)
+            if probe not in tree:
+                return
+        for value in tree.children(probe):
+            walk(probe + (value,), address_bits + [value], level + 1)
+
+    walk(main, [], 0)
+    return found
+
+
+def read_full_configuration(
+    params: EncodingParams, tree: ZeroOneTree, main: Path
+) -> tuple[Configuration, int] | None:
+    """Decode the configuration at ``main`` if its content is readable.
+
+    All *meaningful* addresses (state, head, cells, parent bit) must have
+    their value edge present; padding addresses are ignored, matching the
+    convention that desired trees leave them unconstrained.
+    """
+    bits = read_config_bits(params, tree, main)
+    meaningful = params.meaningful_addresses()
+    if not meaningful <= bits.keys():
+        return None
+    sequence = tuple(
+        bits.get(i, 0) if i in meaningful else 0 for i in range(params.seq_len)
+    )
+    from .params import decode_configuration
+
+    try:
+        return decode_configuration(params, sequence)
+    except ValueError:
+        return None
+
+
+def read_configuration_status(
+    params: EncodingParams, tree: ZeroOneTree, main: Path
+) -> tuple[str, tuple[Configuration, int] | None]:
+    """Like :func:`read_full_configuration` but distinguishing failures.
+
+    Returns ``("ok", (config, parent_bit))``, ``("cut", None)`` when some
+    meaningful bit is missing from the (possibly cut) tree, or
+    ``("invalid", None)`` when all bits are present but do not decode
+    (an out-of-range state or symbol code).
+    """
+    bits = read_config_bits(params, tree, main)
+    meaningful = params.meaningful_addresses()
+    if not meaningful <= bits.keys():
+        return "cut", None
+    sequence = tuple(
+        bits.get(i, 0) if i in meaningful else 0 for i in range(params.seq_len)
+    )
+    from .params import decode_configuration
+
+    try:
+        decoded = decode_configuration(params, sequence)
+    except ValueError:
+        return "invalid", None
+    # Decoding ignores in-block padding; re-encode to catch garbage
+    # there (the formulas check those bits, so the reference must too).
+    config, parent_bit = decoded
+    expected = encode_configuration(params, config, parent_bit)
+    if any(expected[a] != bits[a] for a in meaningful):
+        return "invalid", None
+    return "ok", decoded
+
+
+def _expected_grandchildren(
+    machine: ATM, config: Configuration, choice: int
+) -> tuple[Configuration, Configuration] | None:
+    """OR-grandchildren of ``config`` via AND-child ``choice``."""
+    kids = successors(machine, config)
+    if not kids:
+        return None
+    and_config = kids[choice]
+    grand = successors(machine, and_config)
+    if not grand:
+        return None
+    return grand[0], grand[1]
+
+
+def is_properly_computing(
+    params: EncodingParams, machine: ATM, tree: ZeroOneTree, node: Path
+) -> bool:
+    """Transition consistency at a main node (vacuous if bits are cut off).
+
+    For a halting configuration the children must repeat it with parent
+    bits 0 and 1; otherwise both children must be the OR-grandchildren
+    through a common AND-choice ``z`` recorded in both parent bits.
+    """
+    labels = tree.full_label_path(node)
+    if not is_main_path(labels):
+        return True
+    status, decoded = read_configuration_status(params, tree, node)
+    if status == "cut":
+        return True
+    if status == "invalid":
+        return False
+    config, _parent = decoded
+    child_mains = {}
+    chain = node + CHAIN_PREFIX
+    for branch in (0, 1):
+        main = chain + (branch,)
+        if main not in tree:
+            continue
+        child_status, child = read_configuration_status(params, tree, main)
+        if child_status == "invalid":
+            return False
+        if child_status == "cut":
+            continue
+        child_mains[branch] = child
+    if len(child_mains) < 2:
+        return True
+    (c0, bit0), (c1, bit1) = child_mains[0], child_mains[1]
+    if machine.is_halting(config.state):
+        return c0 == config and c1 == config and bit0 == 0 and bit1 == 1
+    if bit0 != bit1:
+        return False
+    expected = _expected_grandchildren(machine, config, bit0)
+    if expected is None:
+        return False
+    return (c0, c1) == expected
+
+
+def is_properly_initialising(
+    params: EncodingParams,
+    machine: ATM,
+    word: Sequence[str],
+    tree: ZeroOneTree,
+    node: Path,
+) -> bool:
+    """Restart check: a main node after a bit-leaf must carry ``c_init(w)``.
+
+    Such nodes are recognised by ``P^8 = 111* 001*``; the recorded parent
+    bit must equal the incoming branch bit, and every readable bit must
+    agree with the encoding of the initial configuration.
+    """
+    labels = tree.full_label_path(node)
+    if len(labels) < 8:
+        return True
+    p8 = labels[-8:]
+    if not (p8[0:3] == GAMMA_PREFIX and p8[4:7] == CHAIN_PREFIX):
+        return True
+    incoming = labels[-1]
+    init = initial_configuration(machine, word, params.cells)
+    expected = encode_configuration(params, init, incoming)
+    meaningful = params.meaningful_addresses()
+    readable = read_config_bits(params, tree, node)
+    return all(
+        expected[addr] == bit
+        for addr, bit in readable.items()
+        if addr in meaningful
+    )
+
+
+def represents_reject(
+    params: EncodingParams, machine: ATM, tree: ZeroOneTree, node: Path
+) -> bool:
+    """True iff ``node`` is a main node whose state bits decode q_reject."""
+    if not is_main_path(tree.full_label_path(node)):
+        return False
+    readable = read_config_bits(params, tree, node)
+    state_bits = []
+    for i in range(params.n_q):
+        if i not in readable:
+            return False
+        state_bits.append(readable[i])
+    code = 0
+    for bit in state_bits:
+        code = (code << 1) | bit
+    if code >= len(machine.states):
+        return False
+    return machine.states[code] == machine.q_reject
+
+
+def is_correct(
+    params: EncodingParams,
+    machine: ATM,
+    word: Sequence[str],
+    tree: ZeroOneTree,
+    node: Path,
+) -> bool:
+    """Correctness = good, properly branching, initialising and computing."""
+    return (
+        is_good(params, tree, node)
+        and is_properly_branching(params, tree, node)
+        and is_properly_initialising(params, machine, word, tree, node)
+        and is_properly_computing(params, machine, tree, node)
+    )
+
+
+def incorrect_nodes(
+    params: EncodingParams,
+    machine: ATM,
+    word: Sequence[str],
+    tree: ZeroOneTree,
+    frontier: int,
+) -> list[Path]:
+    """All nodes of depth < ``frontier`` that are incorrect in ``tree``."""
+    bad = [
+        node
+        for node in tree.nodes()
+        if len(node) < frontier
+        and not is_correct(params, machine, word, tree, node)
+    ]
+    return sorted(bad)
+
+
+def reject_main_nodes(
+    params: EncodingParams,
+    machine: ATM,
+    word: Sequence[str],
+    tree: ZeroOneTree,
+    frontier: int,
+) -> list[Path]:
+    """Main nodes of depth < ``frontier`` representing q_reject."""
+    return sorted(
+        node
+        for node in tree.nodes()
+        if len(node) < frontier
+        and represents_reject(params, machine, tree, node)
+    )
+
+
+def node_correctness_report(
+    params: EncodingParams,
+    machine: ATM,
+    word: Sequence[str],
+    tree: ZeroOneTree,
+    node: Path,
+) -> dict[str, bool]:
+    """Per-property verdicts for one node (diagnostics and tests)."""
+    return {
+        "good": is_good(params, tree, node),
+        "properly_branching": is_properly_branching(params, tree, node),
+        "properly_initialising": is_properly_initialising(
+            params, machine, word, tree, node
+        ),
+        "properly_computing": is_properly_computing(params, machine, tree, node),
+        "represents_reject": represents_reject(params, machine, tree, node),
+    }

@@ -1,0 +1,249 @@
+"""Bit-level encoding parameters for the Theorem 3 construction.
+
+The paper encodes an OR-configuration as a ``2^d``-long 01-sequence:
+a state block, then one block per tape cell, then a final *parent bit*
+recording whether the configuration's parent AND-configuration is the
+0- or 1-child of its own parent.
+
+Reproduction note (documented in DESIGN.md): the paper marks the active
+cell with a per-cell head-marker bit and appeals to the technique of
+Bjorklund--Martens--Schwentick for the locality of the transition check.
+We instead store the head position *explicitly in binary inside the state
+block*.  This keeps every consistency check of Sec. 3.4.3 local to the
+gathered inputs (state/head of ``c``, ``c0``, ``c1`` plus one common cell)
+and preserves the polynomial size of all formulas, which is the property
+the proof needs.  Both ``n_Q`` and ``n_Gamma`` are rounded to powers of
+two so that "is this address the first bit of a cell block?" is a small
+fixed-pattern formula, the paper's "easy to locate" assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..bitops import Bits, bits_to_int, int_to_bits
+from .machine import ATM, Configuration
+
+
+def _next_power_of_two(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+def _bit_length_for(count: int) -> int:
+    """Bits needed to give ``count`` distinct codes (at least 1)."""
+    bits = 1
+    while (1 << bits) < count:
+        bits += 1
+    return bits
+
+
+@dataclass(frozen=True)
+class EncodingParams:
+    """All derived sizes of the configuration encoding for one ATM.
+
+    Attributes mirror the paper's notation: ``p`` with ``2^p`` tape
+    cells, ``n_q`` state-code bits, ``n_gamma`` bits per cell block
+    (``sym_bits`` of which encode the symbol), ``n_state_block`` (the
+    paper's ``n_Q``) bits for the state block, and ``d`` with the whole
+    configuration packed into ``2^d`` bits.
+    """
+
+    machine: ATM
+    p: int
+    n_q: int
+    sym_bits: int
+    n_gamma: int
+    n_state_block: int
+    d: int
+
+    @classmethod
+    def from_machine(cls, machine: ATM, cells: int) -> "EncodingParams":
+        if cells < 1 or cells & (cells - 1):
+            raise ValueError(f"cells must be a power of two, got {cells}")
+        p = cells.bit_length() - 1
+        n_q = _bit_length_for(len(machine.states))
+        sym_bits = _bit_length_for(len(machine.alphabet))
+        n_gamma = _next_power_of_two(sym_bits + 1)
+        # Aligning the cell region at a power-of-two boundary past
+        # ``cells * n_gamma`` makes the cell index appear verbatim in the
+        # address bits, so the formulas of Sec. 3.4.3 can compare it with
+        # the head position by plain bit equality.
+        n_state_block = _next_power_of_two(max(n_q + p, cells * n_gamma))
+        d = 1
+        while (1 << d) < n_state_block + cells * n_gamma + 1:
+            d += 1
+        return cls(machine, p, n_q, sym_bits, n_gamma, n_state_block, d)
+
+    # ------------------------------------------------------------------
+    # Sizes and offsets
+    # ------------------------------------------------------------------
+
+    @property
+    def cells(self) -> int:
+        return 1 << self.p
+
+    @property
+    def seq_len(self) -> int:
+        return 1 << self.d
+
+    @property
+    def parent_bit_position(self) -> int:
+        return self.seq_len - 1
+
+    def cell_offset(self, index: int) -> int:
+        """Address of the first bit of cell ``index``'s block."""
+        if not 0 <= index < self.cells:
+            raise ValueError(f"cell index {index} out of range")
+        return self.n_state_block + index * self.n_gamma
+
+    @property
+    def cells_end(self) -> int:
+        return self.n_state_block + self.cells * self.n_gamma
+
+    def is_cell_start(self, address: int) -> bool:
+        return (
+            self.n_state_block <= address < self.cells_end
+            and (address - self.n_state_block) % self.n_gamma == 0
+        )
+
+    def cell_index_of(self, address: int) -> int:
+        if not self.is_cell_start(address):
+            raise ValueError(f"{address} is not a cell-start address")
+        return (address - self.n_state_block) // self.n_gamma
+
+    @property
+    def gamma_log(self) -> int:
+        """``log2(n_gamma)``: width of the within-block offset."""
+        return self.n_gamma.bit_length() - 1
+
+    def cell_index_bit_positions(self) -> list[int]:
+        """MSB-first positions of the cell index within a d-bit address.
+
+        With the power-of-two alignment of ``n_state_block``, the address
+        of bit ``offset`` of cell ``i`` is ``n_state_block + i * n_gamma
+        + offset``, so ``i`` occupies ``p`` consecutive address bits.
+        """
+        g = self.gamma_log
+        return [self.d - g - self.p + b for b in range(self.p)]
+
+    def cell_address_bits(
+        self, offset: int, index: int | None = None
+    ) -> list[int | None]:
+        """The d address bits (MSB first) of cell-block position ``offset``.
+
+        With ``index=None`` the cell-index bits are left as ``None``
+        (free); otherwise they are filled in.
+        """
+        if not 0 <= offset < self.n_gamma:
+            raise ValueError(f"offset {offset} out of block range")
+        base = self.n_state_block + offset
+        bits: list[int | None] = list(int_to_bits(base, self.d))
+        for b, position in enumerate(self.cell_index_bit_positions()):
+            if index is None:
+                bits[position] = None
+            else:
+                bits[position] = (index >> (self.p - 1 - b)) & 1
+        return bits
+
+    def meaningful_addresses(self) -> frozenset[int]:
+        """Addresses that carry configuration content.
+
+        State code, head position, all cell blocks and the parent bit;
+        padding positions are unconstrained throughout the library (they
+        never influence the Lemma 4 argument).
+        """
+        addresses = set(range(self.n_q + self.p))
+        addresses.update(range(self.n_state_block, self.cells_end))
+        addresses.add(self.parent_bit_position)
+        return frozenset(addresses)
+
+    def expected_bit(
+        self, config: Configuration, parent_bit: int, address: int
+    ) -> int | None:
+        """The bit a desired tree stores at ``address`` (None if padding)."""
+        bits = encode_configuration(self, config, parent_bit)
+        if address not in self.meaningful_addresses():
+            return None
+        return bits[address]
+
+    # ------------------------------------------------------------------
+    # Codes
+    # ------------------------------------------------------------------
+
+    def state_code(self, state: str) -> int:
+        return self.machine.states.index(state)
+
+    def symbol_code(self, symbol: str) -> int:
+        return self.machine.alphabet.index(symbol)
+
+    def state_block(self, state: str, head: int) -> Bits:
+        """State code then head position, zero-padded to the block size."""
+        if not 0 <= head < self.cells:
+            raise ValueError(f"head {head} out of range")
+        bits = int_to_bits(self.state_code(state), self.n_q)
+        bits += int_to_bits(head, self.p)
+        return bits + (0,) * (self.n_state_block - len(bits))
+
+    def cell_block(self, symbol: str) -> Bits:
+        """A zero pad bit then the symbol code, padded to ``n_gamma``."""
+        code = int_to_bits(self.symbol_code(symbol), self.sym_bits)
+        return (0,) * (self.n_gamma - self.sym_bits) + code
+
+    def read_state_block(self, bits: Sequence[int]) -> tuple[str, int]:
+        state_idx = bits_to_int(bits[: self.n_q])
+        head = bits_to_int(bits[self.n_q : self.n_q + self.p])
+        if state_idx >= len(self.machine.states):
+            raise ValueError(f"state code {state_idx} out of range")
+        return self.machine.states[state_idx], head
+
+    def read_cell_block(self, bits: Sequence[int]) -> str:
+        code = bits_to_int(bits[self.n_gamma - self.sym_bits :])
+        if code >= len(self.machine.alphabet):
+            raise ValueError(f"symbol code {code} out of range")
+        return self.machine.alphabet[code]
+
+    def describe(self) -> str:
+        return (
+            f"EncodingParams(p={self.p}, cells={self.cells}, n_q={self.n_q}, "
+            f"sym_bits={self.sym_bits}, n_gamma={self.n_gamma}, "
+            f"n_state_block={self.n_state_block}, d={self.d}, "
+            f"seq_len={self.seq_len})"
+        )
+
+
+def encode_configuration(
+    params: EncodingParams, config: Configuration, parent_bit: int
+) -> Bits:
+    """The ``2^d``-long 01-sequence representing an OR-configuration."""
+    if parent_bit not in (0, 1):
+        raise ValueError("parent_bit must be 0 or 1")
+    if len(config.tape) != params.cells:
+        raise ValueError(
+            f"tape has {len(config.tape)} cells, expected {params.cells}"
+        )
+    bits = list(params.state_block(config.state, config.head))
+    for symbol in config.tape:
+        bits.extend(params.cell_block(symbol))
+    bits.extend([0] * (params.seq_len - len(bits) - 1))
+    bits.append(parent_bit)
+    return tuple(bits)
+
+
+def decode_configuration(
+    params: EncodingParams, bits: Sequence[int]
+) -> tuple[Configuration, int]:
+    """Invert :func:`encode_configuration`."""
+    if len(bits) != params.seq_len:
+        raise ValueError(
+            f"sequence has {len(bits)} bits, expected {params.seq_len}"
+        )
+    state, head = params.read_state_block(bits[: params.n_state_block])
+    tape = []
+    for index in range(params.cells):
+        offset = params.cell_offset(index)
+        tape.append(params.read_cell_block(bits[offset : offset + params.n_gamma]))
+    return Configuration(state, head, tuple(tape)), bits[params.seq_len - 1]

@@ -1,0 +1,27 @@
+"""Tiny MSB-first bit-vector helpers shared across subpackages.
+
+Kept dependency-free so that both :mod:`repro.atm` (configuration
+encodings) and :mod:`repro.circuits` (formula builders) can use them
+without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+Bits = tuple[int, ...]
+
+
+def int_to_bits(value: int, width: int) -> Bits:
+    """``value`` as ``width`` bits, most significant first."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"{value} does not fit in {width} bits")
+    return tuple((value >> (width - 1 - i)) & 1 for i in range(width))
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Interpret an MSB-first bit sequence as an integer."""
+    value = 0
+    for bit in bits:
+        value = (value << 1) | (bit & 1)
+    return value

@@ -1,0 +1,92 @@
+"""Boolean formulas and the paper's property-checking formula library.
+
+* :mod:`repro.circuits.formula` -- a minimal AND/NOT formula AST (the
+  gate inventory of the Theorem 3 gadgets), with evaluation, structural
+  queries (branches, occurrence counts) and convenience builders;
+* :mod:`repro.circuits.gather` -- input specifications (*up* and *down*
+  groups) and the gathering of candidate inputs around a node of a
+  01-tree, the semantics behind Claim 4.2;
+* :mod:`repro.circuits.library` -- the concrete formulas of Sec. 3.4:
+  ``Good``, ``MustBranch_k``, the ``NoBranch`` family, ``Head``,
+  ``State``, ``Cell``, ``SameCell``, ``Step``, ``Init`` and ``Reject``.
+"""
+
+from .formula import (
+    And,
+    Const,
+    Formula,
+    Not,
+    Var,
+    all_gates,
+    branches,
+    conj,
+    disj,
+    equals_bits,
+    formula_depth,
+    formula_size,
+    lit,
+    match_pattern,
+    normalize,
+    occurrence_counts,
+)
+from .gather import (
+    CheckFormula,
+    InputGroup,
+    InputSpec,
+    fires_at,
+    gather_inputs,
+    satisfying_inputs,
+)
+from .library import (
+    FormulaLibrary,
+    build_library,
+    cell_formula,
+    good_formula,
+    head_formula,
+    init_formula,
+    must_branch_formula,
+    no_branch_pair_formula,
+    no_branch_zero_formula,
+    no_branch_one_formula,
+    reject_formula,
+    state_formula,
+    step_formula,
+)
+
+__all__ = [
+    "And",
+    "CheckFormula",
+    "Const",
+    "Formula",
+    "FormulaLibrary",
+    "InputGroup",
+    "InputSpec",
+    "Not",
+    "Var",
+    "all_gates",
+    "branches",
+    "build_library",
+    "cell_formula",
+    "conj",
+    "disj",
+    "equals_bits",
+    "fires_at",
+    "formula_depth",
+    "formula_size",
+    "gather_inputs",
+    "good_formula",
+    "head_formula",
+    "init_formula",
+    "lit",
+    "match_pattern",
+    "must_branch_formula",
+    "no_branch_pair_formula",
+    "no_branch_zero_formula",
+    "no_branch_one_formula",
+    "normalize",
+    "occurrence_counts",
+    "reject_formula",
+    "satisfying_inputs",
+    "state_formula",
+    "step_formula",
+]

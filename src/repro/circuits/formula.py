@@ -1,0 +1,337 @@
+"""Boolean formulas over AND and NOT gates.
+
+Sec. 3.5.2 of the paper implements formulas inside CQs with two gate
+gadgets only: a binary AND gate and a unary NOT gate.  This module
+provides that exact formula language: leaves are variables (indexed
+positions of the input vector), inner nodes are ``And`` (two children)
+or ``Not`` (one child).  ``Const`` and the ``disj`` builder are
+conveniences that :func:`normalize` lowers into the AND/NOT core before
+a formula is turned into a gadget.
+
+Structural queries mirror what the gadget construction needs: the list
+of *branches* (root-to-leaf gate sequences, keyed by which occurrence of
+which variable the leaf is) and per-variable occurrence counts ``k_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+class Formula:
+    """Base class; use :class:`Var`, :class:`Not`, :class:`And`, :class:`Const`."""
+
+    __slots__ = ()
+
+    def evaluate(self, assignment: Sequence[int]) -> bool:
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[int]:
+        raise NotImplementedError
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Not(And(Not(self), Not(other)))
+
+
+@dataclass(frozen=True)
+class Var(Formula):
+    """The ``index``-th bit of the input vector."""
+
+    index: int
+
+    def evaluate(self, assignment: Sequence[int]) -> bool:
+        return bool(assignment[self.index])
+
+    def variables(self) -> frozenset[int]:
+        return frozenset((self.index,))
+
+    def __repr__(self) -> str:
+        return f"y{self.index}"
+
+
+@dataclass(frozen=True)
+class Const(Formula):
+    """A Boolean constant (lowered away by :func:`normalize`)."""
+
+    value: bool
+
+    def evaluate(self, assignment: Sequence[int]) -> bool:
+        return self.value
+
+    def variables(self) -> frozenset[int]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    child: Formula
+
+    def evaluate(self, assignment: Sequence[int]) -> bool:
+        return not self.child.evaluate(assignment)
+
+    def variables(self) -> frozenset[int]:
+        return self.child.variables()
+
+    def __repr__(self) -> str:
+        return f"~{self.child!r}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def evaluate(self, assignment: Sequence[int]) -> bool:
+        return self.left.evaluate(assignment) and self.right.evaluate(assignment)
+
+    def variables(self) -> frozenset[int]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} & {self.right!r})"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+
+def lit(index: int, positive: bool = True) -> Formula:
+    """The literal ``y_index`` or its negation."""
+    var = Var(index)
+    return var if positive else Not(var)
+
+
+def conj(parts: Sequence[Formula]) -> Formula:
+    """Balanced conjunction (``TRUE`` when empty)."""
+    parts = list(parts)
+    if not parts:
+        return TRUE
+    while len(parts) > 1:
+        merged = []
+        for i in range(0, len(parts) - 1, 2):
+            merged.append(And(parts[i], parts[i + 1]))
+        if len(parts) % 2:
+            merged.append(parts[-1])
+        parts = merged
+    return parts[0]
+
+
+def disj(parts: Sequence[Formula]) -> Formula:
+    """Balanced disjunction via De Morgan (``FALSE`` when empty)."""
+    parts = list(parts)
+    if not parts:
+        return FALSE
+    return Not(conj([Not(part) for part in parts]))
+
+
+def match_pattern(
+    pattern: Sequence[int | None], offset: int = 0
+) -> Formula:
+    """Bits at ``offset..`` equal ``pattern`` (None entries are wildcards)."""
+    literals = [
+        lit(offset + i, positive=bool(bit))
+        for i, bit in enumerate(pattern)
+        if bit is not None
+    ]
+    return conj(literals)
+
+
+def equals_bits(indices: Sequence[int], value: int) -> Formula:
+    """The bits at ``indices`` (MSB first) encode the integer ``value``."""
+    width = len(indices)
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"{value} does not fit in {width} bits")
+    return conj(
+        [
+            lit(index, positive=bool((value >> (width - 1 - i)) & 1))
+            for i, index in enumerate(indices)
+        ]
+    )
+
+
+def bits_equal(left: Sequence[int], right: Sequence[int]) -> Formula:
+    """The two equally long bit vectors at those indices are equal."""
+    if len(left) != len(right):
+        raise ValueError("bit vectors must have equal width")
+    pairs = []
+    for a, b in zip(left, right):
+        same = disj([And(Var(a), Var(b)), And(Not(Var(a)), Not(Var(b)))])
+        pairs.append(same)
+    return conj(pairs)
+
+
+def at_least(indices: Sequence[int], bound: int) -> Formula:
+    """The bits at ``indices`` (MSB first) encode a number >= ``bound``."""
+    width = len(indices)
+    if bound <= 0:
+        return TRUE
+    if bound >= (1 << width):
+        return FALSE
+    bound_bits = [(bound >> (width - 1 - i)) & 1 for i in range(width)]
+    cases = []
+    prefix: list[Formula] = []
+    for i, bit in enumerate(bound_bits):
+        if bit == 0:
+            # strictly greater by setting this bit while matching the prefix
+            cases.append(conj(prefix + [Var(indices[i])]))
+            prefix = prefix + [Not(Var(indices[i]))]
+        else:
+            prefix = prefix + [Var(indices[i])]
+    cases.append(conj(prefix))  # exactly equal
+    return disj(cases)
+
+
+def less_than(indices: Sequence[int], bound: int) -> Formula:
+    """The bits at ``indices`` (MSB first) encode a number < ``bound``."""
+    return Not(at_least(indices, bound))
+
+
+# ---------------------------------------------------------------------------
+# Normalisation and structural queries
+# ---------------------------------------------------------------------------
+
+
+def normalize(formula: Formula) -> Formula:
+    """Lower constants away, leaving pure Var/Not/And (paper's gate set).
+
+    A formula equivalent to a constant is rendered as a constant-valued
+    combination of its first variable, or raises if variable-free.
+    """
+
+    def lower(f: Formula) -> Formula | bool:
+        if isinstance(f, Const):
+            return f.value
+        if isinstance(f, Var):
+            return f
+        if isinstance(f, Not):
+            sub = lower(f.child)
+            if isinstance(sub, bool):
+                return not sub
+            return Not(sub)
+        if isinstance(f, And):
+            left = lower(f.left)
+            right = lower(f.right)
+            if isinstance(left, bool):
+                if not left:
+                    return False
+                return right
+            if isinstance(right, bool):
+                if not right:
+                    return False
+                return left
+            return And(left, right)
+        raise TypeError(f"unknown formula node {f!r}")
+
+    lowered = lower(formula)
+    if not isinstance(lowered, bool):
+        return lowered
+    variables = sorted(formula.variables())
+    if not variables:
+        raise ValueError("cannot normalise a variable-free constant formula")
+    probe = Var(variables[0])
+    tautology = Not(And(probe, Not(probe)))
+    return tautology if lowered else Not(tautology)
+
+
+def all_gates(formula: Formula) -> list[Formula]:
+    """All subformula nodes, leaves included, in preorder."""
+    result: list[Formula] = []
+
+    def walk(f: Formula) -> None:
+        result.append(f)
+        if isinstance(f, Not):
+            walk(f.child)
+        elif isinstance(f, And):
+            walk(f.left)
+            walk(f.right)
+
+    walk(formula)
+    return result
+
+
+def formula_size(formula: Formula) -> int:
+    """Number of gates (inner nodes and leaves)."""
+    return len(all_gates(formula))
+
+
+def formula_depth(formula: Formula) -> int:
+    if isinstance(formula, (Var, Const)):
+        return 0
+    if isinstance(formula, Not):
+        return 1 + formula_depth(formula.child)
+    if isinstance(formula, And):
+        return 1 + max(formula_depth(formula.left), formula_depth(formula.right))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One root-to-leaf branch: the leaf's variable, which occurrence of
+    that variable this leaf is (``j`` in the paper's ``y_i^j``), and the
+    inner gates from the leaf up to the root."""
+
+    variable: int
+    occurrence: int
+    gates_leaf_to_root: tuple[Formula, ...]
+
+
+def branches(formula: Formula) -> list[Branch]:
+    """All branches of a normalised formula, in left-to-right leaf order."""
+    seen: dict[int, int] = {}
+    result: list[Branch] = []
+
+    def walk(f: Formula, above: tuple[Formula, ...]) -> None:
+        if isinstance(f, Var):
+            occurrence = seen.get(f.index, 0) + 1
+            seen[f.index] = occurrence
+            result.append(Branch(f.index, occurrence, above))
+            return
+        if isinstance(f, Const):
+            raise ValueError("normalise the formula before taking branches")
+        if isinstance(f, Not):
+            walk(f.child, (f,) + above)
+            return
+        if isinstance(f, And):
+            walk(f.left, (f,) + above)
+            walk(f.right, (f,) + above)
+            return
+        raise TypeError(f"unknown formula node {f!r}")
+
+    walk(formula, ())
+    return result
+
+
+def occurrence_counts(formula: Formula) -> dict[int, int]:
+    """How many leaves each variable labels (the paper's ``k_i``)."""
+    counts: dict[int, int] = {}
+    for branch in branches(formula):
+        counts[branch.variable] = max(
+            counts.get(branch.variable, 0), branch.occurrence
+        )
+    return counts
+
+
+def truth_table(formula: Formula, arity: int) -> list[bool]:
+    """All ``2^arity`` values (tests only; keep ``arity`` small)."""
+    if arity > 20:
+        raise ValueError("truth table too large")
+    rows = []
+    for value in range(1 << arity):
+        assignment = [(value >> (arity - 1 - i)) & 1 for i in range(arity)]
+        rows.append(formula.evaluate(assignment))
+    return rows

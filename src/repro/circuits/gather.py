@@ -1,0 +1,234 @@
+"""Input gathering around a node of a 01-tree (the Claim 4.2 semantics).
+
+Each property-checking formula of Sec. 3.4 comes with *input types*
+describing where its input bits live relative to a tested node: either
+on the unique *uppath* (the reverse of a suffix of the path ending at
+the node) or on some *downpath* (a prefix of a path starting at the
+node).  A property fails at the node iff **some** gatherable input makes
+the formula true.
+
+Masks
+-----
+The formulas conjoin many fixed structural literals (the ``111``
+padding of configuration trees, fixed address bits, ...).  Inputs that
+violate those literals can never satisfy the formula, so gathering may
+skip them up front.  An :class:`InputGroup` therefore carries an
+optional mask fixing such positions; mask entries may also reference a
+*shared parameter* (e.g. the common cell index of ``SameCell``), which
+gathering enumerates once for all groups.  Masking is a pure
+optimisation: the tests cross-check masked against brute-force
+gathering on small trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Protocol, Sequence
+
+from .formula import Formula
+
+Path = tuple[int, ...]
+
+
+class TreeLike(Protocol):
+    """The slice of the 01-tree interface gathering needs."""
+
+    def children(self, node: Path) -> tuple[int, ...]: ...
+
+    def full_label_path(self, node: Path) -> Path: ...
+
+#: A mask entry: a fixed bit, a free position, or ``(param, bit_index)``.
+MaskEntry = "int | None | tuple[str, int]"
+
+UP = "up"
+DOWN = "down"
+
+
+@dataclass(frozen=True)
+class SharedParam:
+    """A value enumerated once per gathering attempt, shared by groups."""
+
+    name: str
+    width: int
+
+    def values(self) -> range:
+        return range(1 << self.width)
+
+
+@dataclass(frozen=True)
+class InputGroup:
+    """One block of input bits: an uppath or a downpath of fixed length."""
+
+    kind: str
+    length: int
+    mask: tuple[object, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (UP, DOWN):
+            raise ValueError(f"kind must be 'up' or 'down', got {self.kind!r}")
+        if self.mask is not None and len(self.mask) != self.length:
+            raise ValueError("mask length must equal group length")
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """The full input layout of a formula: groups plus shared parameters."""
+
+    groups: tuple[InputGroup, ...]
+    shared: tuple[SharedParam, ...] = ()
+
+    @property
+    def arity(self) -> int:
+        return sum(group.length for group in self.groups)
+
+    def group_offsets(self) -> list[int]:
+        """Start index of each group within the concatenated input."""
+        offsets = []
+        position = 0
+        for group in self.groups:
+            offsets.append(position)
+            position += group.length
+        return offsets
+
+
+@dataclass(frozen=True)
+class CheckFormula:
+    """A named property-checking formula with its input specification."""
+
+    name: str
+    formula: Formula
+    spec: InputSpec
+
+    def __post_init__(self) -> None:
+        used = self.formula.variables()
+        if used and max(used) >= self.spec.arity:
+            raise ValueError(
+                f"{self.name}: formula uses variable {max(used)} but the "
+                f"input spec only provides {self.spec.arity} bits"
+            )
+
+    def describe(self) -> str:
+        shapes = ", ".join(
+            f"{g.kind}[{g.length}]" for g in self.spec.groups
+        )
+        return f"{self.name}: arity {self.spec.arity} over {shapes}"
+
+
+def _resolve_mask(
+    mask: tuple[object, ...] | None,
+    length: int,
+    params: Mapping[str, int],
+    widths: Mapping[str, int],
+) -> list[int | None]:
+    resolved: list[int | None] = [None] * length
+    if mask is None:
+        return resolved
+    for i, entry in enumerate(mask):
+        if entry is None:
+            continue
+        if isinstance(entry, int):
+            resolved[i] = entry
+        else:
+            name, bit = entry  # type: ignore[misc]
+            width = widths[name]
+            resolved[i] = (params[name] >> (width - 1 - bit)) & 1
+    return resolved
+
+
+def _uppath(tree: TreeLike, node: Path, length: int) -> tuple[int, ...] | None:
+    labels = tree.full_label_path(node)
+    if len(labels) < length:
+        return None
+    return tuple(reversed(labels[-length:]))
+
+
+def _downpaths(
+    tree: TreeLike, node: Path, length: int, mask: Sequence[int | None]
+) -> Iterator[tuple[int, ...]]:
+    stack: list[tuple[Path, tuple[int, ...]]] = [(tuple(node), ())]
+    while stack:
+        at, bits = stack.pop()
+        if len(bits) == length:
+            yield bits
+            continue
+        want = mask[len(bits)]
+        for bit in tree.children(at):
+            if want is not None and bit != want:
+                continue
+            stack.append((at + (bit,), bits + (bit,)))
+
+
+def gather_inputs(
+    tree: TreeLike,
+    node: Path,
+    spec: InputSpec,
+    max_inputs: int = 200_000,
+) -> Iterator[tuple[int, ...]]:
+    """All candidate input vectors gatherable around ``node``.
+
+    Raises :class:`RuntimeError` past ``max_inputs`` candidates as a
+    guard against mis-specified (unmasked) explosive gathers.
+    """
+    widths = {param.name: param.width for param in spec.shared}
+    produced = 0
+    for values in itertools.product(
+        *(param.values() for param in spec.shared)
+    ):
+        bound = dict(zip((p.name for p in spec.shared), values))
+        per_group: list[list[tuple[int, ...]]] = []
+        feasible = True
+        for group in spec.groups:
+            mask = _resolve_mask(group.mask, group.length, bound, widths)
+            if group.kind == UP:
+                path = _uppath(tree, node, group.length)
+                if path is None or any(
+                    want is not None and bit != want
+                    for bit, want in zip(path, mask)
+                ):
+                    feasible = False
+                    break
+                per_group.append([path])
+            else:
+                candidates = list(_downpaths(tree, node, group.length, mask))
+                if not candidates:
+                    feasible = False
+                    break
+                per_group.append(candidates)
+        if not feasible:
+            continue
+        for combo in itertools.product(*per_group):
+            produced += 1
+            if produced > max_inputs:
+                raise RuntimeError(
+                    f"gathering produced more than {max_inputs} inputs; "
+                    "the input spec is probably missing masks"
+                )
+            yield tuple(itertools.chain.from_iterable(combo))
+
+
+def fires_at(
+    check: CheckFormula,
+    tree: TreeLike,
+    node: Path,
+    max_inputs: int = 200_000,
+) -> bool:
+    """True iff some gatherable input satisfies the formula at ``node``."""
+    return any(
+        check.formula.evaluate(candidate)
+        for candidate in gather_inputs(tree, node, check.spec, max_inputs)
+    )
+
+
+def satisfying_inputs(
+    check: CheckFormula,
+    tree: TreeLike,
+    node: Path,
+    max_inputs: int = 200_000,
+) -> list[tuple[int, ...]]:
+    """All gatherable inputs satisfying the formula (tests/diagnostics)."""
+    return [
+        candidate
+        for candidate in gather_inputs(tree, node, check.spec, max_inputs)
+        if check.formula.evaluate(candidate)
+    ]

@@ -1,0 +1,214 @@
+"""Boundedness probing and UCQ rewritings (Proposition 2).
+
+For a 1-CQ ``q``, Proposition 2 characterises boundedness of ``(Π_q, G)``
+as: there is a depth ``d`` such that *every* cactus contains a
+homomorphic image of some cactus of depth at most ``d``.  For focused
+``q`` the same ``d`` bounds ``(Σ_q, P)``; in general Σ-boundedness
+additionally requires the hom to fix the root focus.
+
+Exact boundedness of arbitrary (dag) 1-CQs is 2ExpTime-hard (Theorem 3),
+so this module provides a *depth-bounded probe*:
+
+* :func:`probe_boundedness` examines all cactuses up to ``probe_depth``
+  and reports the least ``d`` that covers them, together with the
+  verdict ``BOUNDED`` (a certificate valid for the probed universe),
+  or ``UNBOUNDED_EVIDENCE`` when even the deepest probed cactuses are
+  not covered by anything shallower.
+
+The exact decision procedure for the ditree Λ-CQ fragment lives in
+:mod:`repro.ditree.lambda_cq`; tests cross-validate the two.
+
+When a probe succeeds, :func:`ucq_rewriting` emits the UCQ
+``C_1 ∨ .. ∨ C_m`` of all cactuses of depth <= d (the rewriting used in
+the proof of Proposition 2), and :func:`ucq_certain_answer` evaluates it
+by homomorphism checks, bypassing the datalog engine entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .cactus import Cactus, iter_cactuses
+from .cq import OneCQ
+from .homomorphism import find_homomorphism
+from .structure import A, Node, Structure, T
+
+
+class Verdict(enum.Enum):
+    """Outcome of a depth-bounded boundedness probe."""
+
+    BOUNDED = "bounded"
+    UNBOUNDED_EVIDENCE = "unbounded-evidence"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    verdict: Verdict
+    depth: int | None  # the covering depth d when BOUNDED
+    probe_depth: int
+    cactuses_examined: int
+    uncovered: tuple[str, ...]  # shapes of cactuses nothing shallow maps into
+
+    def describe(self) -> str:
+        if self.verdict is Verdict.BOUNDED:
+            return (
+                f"bounded at depth {self.depth} "
+                f"(probed to {self.probe_depth}, "
+                f"{self.cactuses_examined} cactuses)"
+            )
+        return (
+            f"{self.verdict.value} (probed to {self.probe_depth}, "
+            f"{self.cactuses_examined} cactuses, "
+            f"{len(self.uncovered)} uncovered)"
+        )
+
+
+def _covered_by(
+    target: Cactus,
+    shallow: list[Cactus],
+    require_focus: bool,
+) -> bool:
+    """Does some shallow cactus map homomorphically into ``target``?"""
+    for source in shallow:
+        seed = (
+            {source.root_focus: target.root_focus} if require_focus else None
+        )
+        if find_homomorphism(source.structure, target.structure, seed=seed):
+            return True
+    return False
+
+
+def probe_boundedness(
+    one_cq: OneCQ,
+    probe_depth: int,
+    require_focus: bool = False,
+    max_cactuses: int | None = None,
+) -> ProbeResult:
+    """Depth-bounded test of Proposition 2's condition (c).
+
+    Finds the least ``d < probe_depth`` such that every probed cactus of
+    depth > d contains a homomorphic image of a cactus of depth <= d.
+    ``require_focus=True`` checks the Σ-variant (hom fixes root focus).
+
+    A BOUNDED verdict with ``depth=d`` means the UCQ of depth-<= d
+    cactuses rewrites the query *on the probed universe*; for genuinely
+    bounded queries of the paper's examples, small probe depths are
+    conclusive because covering homs iterate (Example 4).  An
+    UNBOUNDED_EVIDENCE verdict means the deepest probed cactuses are not
+    covered by anything shallower at all.
+    """
+    cactuses = list(iter_cactuses(one_cq, probe_depth, max_cactuses))
+    by_depth: dict[int, list[Cactus]] = {}
+    for cactus in cactuses:
+        by_depth.setdefault(cactus.depth, []).append(cactus)
+    max_seen = max(by_depth) if by_depth else 0
+
+    for d in range(0, probe_depth):
+        shallow = [c for c in cactuses if c.depth <= d]
+        deep = [c for c in cactuses if c.depth > d]
+        if not deep:
+            # No budding is possible beyond depth d: 𝔎_q is finite and
+            # the query is trivially bounded (e.g. span 0).
+            return ProbeResult(
+                Verdict.BOUNDED, max_seen, probe_depth, len(cactuses), ()
+            )
+        if all(_covered_by(c, shallow, require_focus) for c in deep):
+            return ProbeResult(
+                Verdict.BOUNDED, d, probe_depth, len(cactuses), ()
+            )
+
+    # No d works.  Check whether the deepest layer is covered by anything
+    # at all shallower; if not, this is evidence of unboundedness.
+    deepest = by_depth.get(max_seen, [])
+    shallow = [c for c in cactuses if c.depth < max_seen]
+    uncovered = tuple(
+        c.shape.describe()
+        for c in deepest
+        if not _covered_by(c, shallow, require_focus)
+    )
+    if uncovered:
+        return ProbeResult(
+            Verdict.UNBOUNDED_EVIDENCE,
+            None,
+            probe_depth,
+            len(cactuses),
+            uncovered,
+        )
+    return ProbeResult(
+        Verdict.INCONCLUSIVE, None, probe_depth, len(cactuses), ()
+    )
+
+
+def ucq_rewriting(one_cq: OneCQ, depth: int) -> list[Structure]:
+    """The UCQ ``C_1 ∨ .. ∨ C_m`` of all cactuses of depth <= ``depth``.
+
+    Evaluating this UCQ over a data instance computes the certain answer
+    to ``(Π_q, G)`` whenever the query is bounded with bound ``depth``.
+    """
+    return [c.structure for c in iter_cactuses(one_cq, depth)]
+
+
+def sigma_ucq_rewriting(
+    one_cq: OneCQ, depth: int
+) -> list[tuple[Structure, Node]]:
+    """The Σ-rewriting: pairs (C°, root focus) plus the implicit ``T(x)``
+    disjunct handled by :func:`sigma_ucq_certain_answer`."""
+    return [
+        (c.sigma_structure(), c.root_focus)
+        for c in iter_cactuses(one_cq, depth)
+    ]
+
+
+def ucq_certain_answer(ucq: list[Structure], data: Structure) -> bool:
+    """Evaluate a Boolean UCQ by homomorphism checks."""
+    return any(find_homomorphism(cq, data) is not None for cq in ucq)
+
+
+def sigma_ucq_certain_answer(
+    rewriting: list[tuple[Structure, Node]], data: Structure, node: Node
+) -> bool:
+    """Evaluate the Σ-rewriting at ``node``: ``T(node)`` or some C° maps
+    into the data with its root focus on ``node``."""
+    if data.has_label(node, T):
+        return True
+    for cq, focus in rewriting:
+        if find_homomorphism(cq, data, seed={focus: node}) is not None:
+            return True
+    return False
+
+
+def pi_rewriting_from_sigma(
+    one_cq: OneCQ, sigma_rewriting: list[tuple[Structure, Node]]
+) -> list[Structure]:
+    """Proposition 2, (a) => (b): compose a Σ-rewriting into a Π-rewriting.
+
+    If ``Phi(x)`` rewrites ``(Sigma_q, P)``, then
+    ``exists x, y_1..y_n, z. F(x) and q' and Phi(y_1) and .. and Phi(y_n)``
+    rewrites ``(Pi_q, G)``.  With ``Phi`` a UCQ (``T(x)`` plus the C°
+    disjuncts), the composition distributes into one disjunct per choice
+    of a ``Phi``-disjunct at every solitary T node: the T-choice keeps
+    the original atom, a C°-choice glues a fresh copy of C° at its root
+    focus with the ``T`` label dropped and ``A`` added.
+    """
+    import itertools
+
+    q = one_cq.query
+    # Per solitary T node: choice None = keep T(y); choice (cq, focus)
+    # = glue that disjunct.
+    choices: list[list[tuple[Structure, Node] | None]] = [
+        [None] + list(sigma_rewriting) for _ in one_cq.solitary_ts
+    ]
+    disjuncts: list[Structure] = []
+    for combo in itertools.product(*choices):
+        result = q
+        for index, (y, choice) in enumerate(zip(one_cq.solitary_ts, combo)):
+            if choice is None:
+                continue
+            glued, mapping = choice[0].with_fresh_nodes(f"phi{index}")
+            glued = glued.rename({mapping[choice[1]]: y})
+            result = result.relabel_node(y, remove=(T,), add=(A,))
+            result = result.union(glued)
+        disjuncts.append(result)
+    return disjuncts

@@ -1,0 +1,352 @@
+"""Cactuses: the Q-expansions of ``(Π_q, G)`` (Section 2 of the paper).
+
+Starting from ``C_G = {q}``, the (bud) rule replaces a solitary atom
+``T(y)`` in a cactus by a fresh copy of ``A(x), q-, T(y_1), .., T(y_n)``
+with ``x`` renamed to ``y``.  The resulting set ``𝔎_q`` of cactuses
+characterises certain answers (Proposition 1) and boundedness
+(Proposition 2).
+
+A cactus is represented by
+
+* its materialised :class:`~repro.core.structure.Structure` (nodes are
+  ``(segment_id, variable)`` pairs, glued at buds),
+* a skeleton: the ditree of segments with bud labels, and
+* per-segment variable maps back into the 1-CQ.
+
+Cactus *shapes* — the skeleton trees annotated with which solitary T
+indices were budded — enumerate ``𝔎_q`` canonically (one cactus per
+shape), so enumeration never produces duplicates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from .cq import OneCQ
+from .homomorphism import find_homomorphism, iter_homomorphisms
+from .structure import A, F, Node, Structure, T, UnaryFact
+
+
+# ----------------------------------------------------------------------
+# Shapes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Shape:
+    """A cactus shape: which T indices are budded, with child shapes.
+
+    ``children`` maps a budded index ``j`` (position in
+    ``one_cq.solitary_ts``) to the shape grown at that bud.
+    """
+
+    children: tuple[tuple[int, "Shape"], ...]
+
+    @classmethod
+    def leaf(cls) -> "Shape":
+        return cls(())
+
+    @classmethod
+    def make(cls, children: Mapping[int, "Shape"]) -> "Shape":
+        return cls(tuple(sorted(children.items())))
+
+    @property
+    def budded(self) -> tuple[int, ...]:
+        return tuple(j for j, _ in self.children)
+
+    @property
+    def depth(self) -> int:
+        if not self.children:
+            return 0
+        return 1 + max(shape.depth for _, shape in self.children)
+
+    def segment_count(self) -> int:
+        return 1 + sum(shape.segment_count() for _, shape in self.children)
+
+    def describe(self) -> str:
+        if not self.children:
+            return "*"
+        inner = ", ".join(
+            f"{j}:{shape.describe()}" for j, shape in self.children
+        )
+        return "{" + inner + "}"
+
+
+def iter_shapes(span: int, max_depth: int) -> Iterator[Shape]:
+    """All shapes of depth at most ``max_depth`` for a given span.
+
+    The count grows as a tower in ``span``; callers should keep
+    ``max_depth`` small for span >= 2.
+    """
+    if max_depth < 0:
+        return
+    if max_depth == 0 or span == 0:
+        yield Shape.leaf()
+        return
+    subshapes = list(iter_shapes(span, max_depth - 1))
+    indices = list(range(span))
+    for r in range(span + 1):
+        for budset in itertools.combinations(indices, r):
+            for combo in itertools.product(subshapes, repeat=len(budset)):
+                yield Shape.make(dict(zip(budset, combo)))
+
+
+def full_shape(span: int, depth: int) -> Shape:
+    """The shape budding every solitary T down to the given depth."""
+    if depth == 0 or span == 0:
+        return Shape.leaf()
+    child = full_shape(span, depth - 1)
+    return Shape.make({j: child for j in range(span)})
+
+
+def chain_shape(indices: list[int]) -> Shape:
+    """A single-branch shape budding ``indices[0]``, then ``indices[1]``.."""
+    shape = Shape.leaf()
+    for j in reversed(indices):
+        shape = Shape.make({j: shape})
+    return shape
+
+
+# ----------------------------------------------------------------------
+# Cactuses
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """Bookkeeping for one segment of a cactus."""
+
+    seg_id: int
+    parent: int | None
+    bud_index: int | None  # index into one_cq.solitary_ts, None for root
+    depth: int
+    var_map: dict[Node, Node]  # CQ variable -> cactus node
+    budded: tuple[int, ...]
+
+
+class Cactus:
+    """A materialised cactus ``C ∈ 𝔎_q`` with its skeleton."""
+
+    def __init__(
+        self,
+        one_cq: OneCQ,
+        structure: Structure,
+        segments: dict[int, SegmentInfo],
+        shape: Shape,
+    ) -> None:
+        self.one_cq = one_cq
+        self.structure = structure
+        self.segments = segments
+        self.shape = shape
+
+    @property
+    def depth(self) -> int:
+        return self.shape.depth
+
+    @property
+    def root_focus(self) -> Node:
+        """The unique solitary F node of the cactus (its root-focus r)."""
+        return self.segments[0].var_map[self.one_cq.focus]
+
+    def segment_focus(self, seg_id: int) -> Node:
+        return self.segments[seg_id].var_map[self.one_cq.focus]
+
+    def segment_nodes(self, seg_id: int) -> frozenset[Node]:
+        return frozenset(self.segments[seg_id].var_map.values())
+
+    def sigma_structure(self) -> Structure:
+        """``C°``: the cactus with the root F label replaced by A."""
+        return self.structure.relabel_node(
+            self.root_focus, remove=[F], add=[A]
+        )
+
+    def skeleton_edges(self) -> list[tuple[int, int, int]]:
+        """Skeleton as (parent, child, bud_index) triples."""
+        return [
+            (info.parent, seg_id, info.bud_index)
+            for seg_id, info in self.segments.items()
+            if info.parent is not None
+        ]
+
+    def leaf_segments(self) -> list[int]:
+        parents = {info.parent for info in self.segments.values()}
+        return [s for s in self.segments if s not in parents]
+
+    def describe(self) -> str:
+        return (
+            f"cactus depth={self.depth} segments={len(self.segments)} "
+            f"shape={self.shape.describe()}"
+        )
+
+    def __repr__(self) -> str:
+        return f"Cactus({self.describe()})"
+
+
+def build_cactus(one_cq: OneCQ, shape: Shape) -> Cactus:
+    """Materialise the cactus with the given shape.
+
+    Node naming: the root segment's variables become ``(0, v)``; a child
+    segment glues its focus onto the parent's budded T node and names its
+    other variables ``(seg_id, v)``.
+    """
+    q = one_cq.query
+    ts = one_cq.solitary_ts
+    counter = itertools.count()
+    segments: dict[int, SegmentInfo] = {}
+    unary: set[UnaryFact] = set()
+    binary = set()
+
+    def add_segment(
+        shape: Shape,
+        parent: int | None,
+        glue_node: Node | None,
+        depth: int,
+    ) -> int:
+        seg_id = next(counter)
+        var_map: dict[Node, Node] = {}
+        for v in q.nodes:
+            if v == one_cq.focus and glue_node is not None:
+                var_map[v] = glue_node
+            else:
+                var_map[v] = (seg_id, v)
+        budded = shape.budded
+        # Unary facts: focus keeps F at the root, is relabelled A when
+        # glued; budded solitary Ts lose their T (the child adds A).
+        for fact in q.unary_facts:
+            node = var_map[fact.node]
+            if fact.node == one_cq.focus and fact.label == F and parent is not None:
+                continue  # non-root focus: label comes from the bud (A)
+            if fact.label == T and fact.node in ts:
+                j = ts.index(fact.node)
+                if j in budded:
+                    continue  # budded: T removed, child will glue here
+            unary.add(UnaryFact(fact.label, node))
+        if parent is not None:
+            unary.add(UnaryFact(A, glue_node))
+        for fact in q.binary_facts:
+            binary.add(fact.rename(var_map))
+        segments[seg_id] = SegmentInfo(
+            seg_id=seg_id,
+            parent=parent,
+            bud_index=None,
+            depth=depth,
+            var_map=var_map,
+            budded=budded,
+        )
+        for j, child_shape in shape.children:
+            child_glue = var_map[ts[j]]
+            child_id = add_segment(child_shape, seg_id, child_glue, depth + 1)
+            info = segments[child_id]
+            segments[child_id] = SegmentInfo(
+                seg_id=child_id,
+                parent=seg_id,
+                bud_index=j,
+                depth=depth + 1,
+                var_map=info.var_map,
+                budded=info.budded,
+            )
+        return seg_id
+
+    add_segment(shape, None, None, 0)
+    structure = Structure((), unary, binary)
+    return Cactus(one_cq, structure, segments, shape)
+
+
+def initial_cactus(one_cq: OneCQ) -> Cactus:
+    """``C_G = {q}``: the cactus with a single (root) segment."""
+    return build_cactus(one_cq, Shape.leaf())
+
+
+def iter_cactuses(
+    one_cq: OneCQ,
+    max_depth: int,
+    max_count: int | None = None,
+) -> Iterator[Cactus]:
+    """All cactuses of depth at most ``max_depth`` (canonical, no dupes)."""
+    produced = 0
+    for shape in iter_shapes(one_cq.span, max_depth):
+        yield build_cactus(one_cq, shape)
+        produced += 1
+        if max_count is not None and produced >= max_count:
+            return
+
+
+def full_cactus(one_cq: OneCQ, depth: int) -> Cactus:
+    """The cactus budding every solitary T uniformly to ``depth``."""
+    return build_cactus(one_cq, full_shape(one_cq.span, depth))
+
+
+# ----------------------------------------------------------------------
+# Focusedness (condition (foc))
+# ----------------------------------------------------------------------
+
+
+def find_unfocused_witness(
+    one_cq: OneCQ, max_depth: int
+) -> tuple[Cactus, Cactus, dict[Node, Node]] | None:
+    """Search for cactuses C, C' and a hom ``h: C -> C'`` with
+    ``h(r) != r'``, which refutes (foc).  Returns the witness or ``None``
+    if no violation exists up to the probed depth (evidence, not proof,
+    of focusedness)."""
+    cactuses = list(iter_cactuses(one_cq, max_depth))
+    for source in cactuses:
+        for target in cactuses:
+            for hom in iter_homomorphisms(source.structure, target.structure):
+                if hom[source.root_focus] != target.root_focus:
+                    return source, target, hom
+    return None
+
+
+def is_focused_up_to(one_cq: OneCQ, max_depth: int) -> bool:
+    """(foc) restricted to cactuses of depth <= max_depth."""
+    return find_unfocused_witness(one_cq, max_depth) is None
+
+
+def structurally_focused(one_cq: OneCQ) -> bool:
+    """The sufficient condition used for the Theorem 3 query: the solitary
+    F node has a successor while no FT-twin does.  Any hom between
+    cactuses must then fix the root focus."""
+    q = one_cq.query
+    focus_has_successor = bool(q.out_edges(one_cq.focus))
+    twins_childless = all(not q.out_edges(v) for v in one_cq.twins)
+    return focus_has_successor and twins_childless
+
+
+# ----------------------------------------------------------------------
+# Proposition 1: certain answers via cactuses
+# ----------------------------------------------------------------------
+
+
+def goal_certain_via_cactuses(
+    one_cq: OneCQ, data: Structure, max_depth: int
+) -> bool:
+    """``G ∈ Π_q(D)`` iff some cactus maps homomorphically into D.
+
+    Sound and complete when the data cannot trigger recursion deeper than
+    ``max_depth`` (e.g. |D| bounds the useful depth); used in tests to
+    cross-validate the datalog engine.
+    """
+    for cactus in iter_cactuses(one_cq, max_depth):
+        if find_homomorphism(cactus.structure, data) is not None:
+            return True
+    return False
+
+
+def sirup_certain_via_cactuses(
+    one_cq: OneCQ, data: Structure, node: Node, max_depth: int
+) -> bool:
+    """``P(a) ∈ Σ_q(D)`` iff ``T(a) ∈ D`` or some C° maps into D with
+    the root focus landing on ``a`` (Proposition 1)."""
+    if data.has_label(node, T):
+        return True
+    for cactus in iter_cactuses(one_cq, max_depth):
+        hom = find_homomorphism(
+            cactus.sigma_structure(),
+            data,
+            seed={cactus.root_focus: node},
+        )
+        if hom is not None:
+            return True
+    return False

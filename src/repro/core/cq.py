@@ -1,0 +1,90 @@
+"""Conjunctive queries with ``F``/``T`` labels: solitary nodes and twins.
+
+Throughout the paper a CQ ``q`` is a set of atoms over unary predicates
+``F``, ``T`` and arbitrary binary predicates.  A node is *solitary F* if it
+is labelled ``F`` but not ``T`` (symmetrically for solitary T); a node
+labelled by both is an *FT-twin*.
+
+A *1-CQ* has exactly one solitary F node, any number of solitary T nodes
+``y_1 .. y_n``, and any number of twins; those are the queries for which
+the datalog program ``Π_q`` and the sirup ``Σ_q`` are defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .structure import F, Node, Structure, T
+
+
+def solitary_f_nodes(q: Structure) -> frozenset[Node]:
+    """Nodes labelled F but not T."""
+    return q.nodes_with_label(F) - q.nodes_with_label(T)
+
+
+def solitary_t_nodes(q: Structure) -> frozenset[Node]:
+    """Nodes labelled T but not F."""
+    return q.nodes_with_label(T) - q.nodes_with_label(F)
+
+
+def twin_nodes(q: Structure) -> frozenset[Node]:
+    """FT-twins: nodes labelled by both F and T."""
+    return q.nodes_with_label(F) & q.nodes_with_label(T)
+
+
+def is_one_cq(q: Structure) -> bool:
+    """True iff ``q`` is a 1-CQ (exactly one solitary F node)."""
+    return len(solitary_f_nodes(q)) == 1
+
+
+@dataclass(frozen=True)
+class OneCQ:
+    """A validated 1-CQ with its distinguished nodes made explicit.
+
+    ``focus`` is the solitary F node (the variable ``x`` of rule (5));
+    ``solitary_ts`` are the solitary T nodes ``y_1 .. y_n`` in a stable
+    order.  The underlying structure is unchanged.
+    """
+
+    query: Structure
+    focus: Node
+    solitary_ts: tuple[Node, ...]
+
+    @classmethod
+    def from_structure(cls, q: Structure) -> "OneCQ":
+        focuses = solitary_f_nodes(q)
+        if len(focuses) != 1:
+            raise ValueError(
+                f"a 1-CQ needs exactly one solitary F node, got {len(focuses)}"
+            )
+        (focus,) = focuses
+        ts = tuple(sorted(solitary_t_nodes(q), key=str))
+        return cls(q, focus, ts)
+
+    @property
+    def span(self) -> int:
+        """The number of solitary T nodes (the FPT parameter of Thm. 9)."""
+        return len(self.solitary_ts)
+
+    @property
+    def twins(self) -> frozenset[Node]:
+        return twin_nodes(self.query)
+
+    def describe(self) -> str:
+        return (
+            f"1-CQ with focus {self.focus!r}, "
+            f"solitary T nodes {list(self.solitary_ts)!r}, "
+            f"{len(self.twins)} twins, {self.query.size()} atoms"
+        )
+
+
+def check_labels_sanity(q: Structure) -> list[str]:
+    """Human-readable warnings about degenerate label configurations."""
+    warnings = []
+    if not q.nodes_with_label(F):
+        warnings.append("query has no F node; (Δq, G) is trivially FO-rewritable")
+    if not q.nodes_with_label(T):
+        warnings.append("query has no T node")
+    if not q.is_connected():
+        warnings.append("query is not connected")
+    return warnings

@@ -1,0 +1,205 @@
+"""Certain-answer evaluation of monadic disjunctive sirups ``(Δ_q, G)``.
+
+``Δ_q`` consists of the covering rule ``T(x) ∨ F(x) <- A(x)`` and the goal
+rule ``G <- q``.  The certain answer over a data instance ``D`` is 'yes'
+iff *every* completion of ``D`` that labels each A-node with T or F
+contains a homomorphic image of ``q``.
+
+Three evaluation strategies are provided:
+
+* :func:`evaluate_exhaustive` — tries all ``2^n`` labelings (the literal
+  semantics; used as ground truth in tests and as an ablation baseline);
+* :func:`evaluate_branching` — branch-and-prune: repeatedly splits on an
+  A-node only when the current partial completion admits no forced match,
+  with memoisation of refuted labelings via countermodel certificates;
+* :func:`evaluate_via_pi` — for 1-CQs, evaluates the equivalent monadic
+  datalog program ``Π_q`` instead (Section 2 of the paper).
+
+``evaluate`` picks the fastest sound strategy automatically.
+
+The variant ``Δ⁺_q`` adds the disjointness constraint
+``⊥ <- T(x), F(x)``; under it, data instances containing an FT-twin node
+are inconsistent and every query is trivially entailed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from .cq import is_one_cq
+from .datalog import GOAL, goal_holds
+from .homomorphism import has_homomorphism
+from .sirup import compile_programs
+from .structure import A, F, Node, Structure, T, UnaryFact
+
+
+@dataclass(frozen=True)
+class DSirupAnswer:
+    """Outcome of a certain-answer computation.
+
+    ``certain`` is the answer; ``countermodel`` (when the answer is 'no')
+    is a completion of the data with no embedding of ``q``; ``labelings
+    _checked`` counts the completions the strategy actually examined.
+    """
+
+    certain: bool
+    countermodel: Structure | None
+    labelings_checked: int
+
+
+def a_nodes(data: Structure) -> tuple[Node, ...]:
+    """The A-labelled nodes of a data instance, in stable order."""
+    return tuple(sorted(data.nodes_with_label(A), key=str))
+
+
+def complete(data: Structure, labeling: dict[Node, str]) -> Structure:
+    """The completion of ``data`` adding label ``labeling[v]`` to each v.
+
+    A-labels are kept (models of the covering axiom still satisfy A), and
+    nodes may end up with both T and F if the data already had one of them.
+    """
+    unary = set(data.unary_facts)
+    unary |= {UnaryFact(label, node) for node, label in labeling.items()}
+    return Structure(data.nodes, unary, data.binary_facts)
+
+
+def iter_completions(data: Structure) -> Iterator[Structure]:
+    """All ``2^n`` completions of the A-nodes of ``data``."""
+    nodes = a_nodes(data)
+    n = len(nodes)
+    for mask in range(1 << n):
+        labeling = {
+            nodes[i]: (T if mask & (1 << i) else F) for i in range(n)
+        }
+        yield complete(data, labeling)
+
+
+def evaluate_exhaustive(q: Structure, data: Structure) -> DSirupAnswer:
+    """Ground-truth semantics: check every completion."""
+    checked = 0
+    for model in iter_completions(data):
+        checked += 1
+        if not has_homomorphism(q, model):
+            return DSirupAnswer(False, model, checked)
+    return DSirupAnswer(True, None, checked)
+
+
+def evaluate_branching(q: Structure, data: Structure) -> DSirupAnswer:
+    """Branch-and-prune search for a countermodel.
+
+    Depth-first over partial labelings; at each step, if the partial
+    completion (with remaining A-nodes unlabelled and hence unusable as
+    T/F witnesses) already embeds ``q``, the whole subtree is pruned.
+    Returns 'yes' iff no completion avoids ``q``.
+    """
+    nodes = a_nodes(data)
+    checked = 0
+
+    def search(index: int, labeling: dict[Node, str]) -> Structure | None:
+        nonlocal checked
+        current = complete(data, labeling)
+        checked += 1
+        if has_homomorphism(q, current):
+            # q already matches using only committed labels: every
+            # extension of this branch satisfies q.
+            return None
+        if index == len(nodes):
+            return current
+        node = nodes[index]
+        for label in (T, F):
+            labeling[node] = label
+            result = search(index + 1, labeling)
+            if result is not None:
+                return result
+            del labeling[node]
+        return None
+
+    countermodel = search(0, {})
+    return DSirupAnswer(countermodel is None, countermodel, checked)
+
+
+def evaluate_via_pi(q: Structure, data: Structure) -> DSirupAnswer:
+    """Evaluate a 1-CQ d-sirup through the equivalent program ``Π_q``."""
+    if not is_one_cq(q):
+        raise ValueError("Π_q is only defined for 1-CQs")
+    compiled = compile_programs(q)
+    certain = goal_holds(compiled.pi, data, GOAL)
+    return DSirupAnswer(certain, None, 0)
+
+
+def evaluate(
+    q: Structure, data: Structure, strategy: str = "auto"
+) -> DSirupAnswer:
+    """Certain answer to ``(Δ_q, G)`` over ``data``.
+
+    ``strategy`` is one of ``auto``, ``exhaustive``, ``branching``,
+    ``pi``.  ``auto`` uses ``Π_q`` for 1-CQs and branch-and-prune
+    otherwise.
+    """
+    if strategy == "exhaustive":
+        return evaluate_exhaustive(q, data)
+    if strategy == "branching":
+        return evaluate_branching(q, data)
+    if strategy == "pi":
+        return evaluate_via_pi(q, data)
+    if strategy != "auto":
+        raise ValueError(f"unknown strategy {strategy!r}")
+    if is_one_cq(q):
+        return evaluate_via_pi(q, data)
+    return evaluate_branching(q, data)
+
+
+def certain_answer(q: Structure, data: Structure) -> bool:
+    """Boolean convenience wrapper over :func:`evaluate`."""
+    return evaluate(q, data).certain
+
+
+# ----------------------------------------------------------------------
+# Δ⁺: covering plus disjointness (Corollary 8)
+# ----------------------------------------------------------------------
+
+
+def data_consistent_with_disjointness(data: Structure) -> bool:
+    """Under ``⊥ <- T(x), F(x)``: no node may carry both T and F."""
+    return not (data.nodes_with_label(T) & data.nodes_with_label(F))
+
+
+def iter_disjoint_completions(data: Structure) -> Iterator[Structure]:
+    """Completions consistent with disjointness.
+
+    A-nodes already labelled T (resp. F) in the data are forced; labeling
+    them the other way would be inconsistent and such models are skipped.
+    """
+    nodes = a_nodes(data)
+    choices: list[tuple[str, ...]] = []
+    for node in nodes:
+        labels = data.labels(node)
+        if T in labels and F in labels:
+            return  # data itself inconsistent: no models at all
+        if T in labels:
+            choices.append((T,))
+        elif F in labels:
+            choices.append((F,))
+        else:
+            choices.append((T, F))
+    for combo in itertools.product(*choices):
+        labeling = dict(zip(nodes, combo))
+        yield complete(data, labeling)
+
+
+def evaluate_with_disjointness(q: Structure, data: Structure) -> DSirupAnswer:
+    """Certain answer to ``(Δ⁺_q, G)``.
+
+    If the data is inconsistent (some node labelled both T and F), the
+    certain answer is trivially 'yes'.
+    """
+    if not data_consistent_with_disjointness(data):
+        return DSirupAnswer(True, None, 0)
+    checked = 0
+    for model in iter_disjoint_completions(data):
+        checked += 1
+        if not has_homomorphism(q, model):
+            return DSirupAnswer(False, model, checked)
+    return DSirupAnswer(True, None, checked)

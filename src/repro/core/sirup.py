@@ -1,0 +1,89 @@
+"""Compilation of 1-CQs into the paper's programs ``Π_q`` and ``Σ_q``.
+
+For a 1-CQ ``q`` with solitary F node ``x`` and solitary T nodes
+``y_1 .. y_n`` (Section 2, rules (5)-(7)):
+
+* ``Π_q``:   ``G  <- F(x), q-, P(y_1), .., P(y_n)``
+             ``P(x) <- T(x)``
+             ``P(x) <- A(x), q-, P(y_1), .., P(y_n)``
+* ``Σ_q``:   the last two rules only (the monadic *sirup* with goal P).
+
+Here ``q-`` is ``q`` minus the atoms ``F(x), T(y_1), .., T(y_n)`` — the
+twins keep both their labels.  ``A`` and ``P`` are fresh predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cq import OneCQ
+from .datalog import GOAL, Program, Rule
+from .structure import A, F, Node, Structure, T, UnaryFact
+
+P = "P"
+
+
+def _q_minus(one_cq: OneCQ) -> Structure:
+    """``q-``: drop F(x) and the solitary T atoms (twins keep F and T)."""
+    dropped = {UnaryFact(F, one_cq.focus)}
+    dropped |= {UnaryFact(T, y) for y in one_cq.solitary_ts}
+    return Structure(
+        one_cq.query.nodes,
+        one_cq.query.unary_facts - dropped,
+        one_cq.query.binary_facts,
+    )
+
+
+def goal_rule(one_cq: OneCQ) -> Rule:
+    """Rule (5): ``G <- F(x), q-, P(y_1), .., P(y_n)``."""
+    body = _q_minus(one_cq)
+    extra = {UnaryFact(F, one_cq.focus)}
+    extra |= {UnaryFact(P, y) for y in one_cq.solitary_ts}
+    body = Structure(body.nodes, body.unary_facts | extra, body.binary_facts)
+    return Rule(GOAL, None, body)
+
+
+def base_rule() -> Rule:
+    """Rule (6): ``P(x) <- T(x)``."""
+    x: Node = "x"
+    return Rule(P, x, Structure((x,), (UnaryFact(T, x),), ()))
+
+
+def recursive_rule(one_cq: OneCQ) -> Rule:
+    """Rule (7): ``P(x) <- A(x), q-, P(y_1), .., P(y_n)``."""
+    body = _q_minus(one_cq)
+    extra = {UnaryFact(A, one_cq.focus)}
+    extra |= {UnaryFact(P, y) for y in one_cq.solitary_ts}
+    body = Structure(body.nodes, body.unary_facts | extra, body.binary_facts)
+    return Rule(P, one_cq.focus, body)
+
+
+@dataclass(frozen=True)
+class CompiledPrograms:
+    """``Π_q`` and its sirup sub-program ``Σ_q`` for a 1-CQ ``q``."""
+
+    one_cq: OneCQ
+    pi: Program
+    sigma: Program
+
+    @property
+    def goal(self) -> str:
+        return GOAL
+
+    @property
+    def sirup_predicate(self) -> str:
+        return P
+
+
+def compile_programs(one_cq: OneCQ | Structure) -> CompiledPrograms:
+    """Build ``Π_q`` and ``Σ_q`` from a 1-CQ."""
+    if isinstance(one_cq, Structure):
+        one_cq = OneCQ.from_structure(one_cq)
+    g = goal_rule(one_cq)
+    b = base_rule()
+    r = recursive_rule(one_cq)
+    return CompiledPrograms(
+        one_cq=one_cq,
+        pi=Program((g, b, r)),
+        sigma=Program((b, r)),
+    )

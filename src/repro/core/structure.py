@@ -1,0 +1,427 @@
+"""Labelled-digraph structures: the common substrate for CQs and data.
+
+The paper works with conjunctive queries and data instances over unary
+predicates (``F``, ``T``, ``A``, plus auxiliary labels used by the
+Theorem 3 gadgets) and arbitrary binary predicates.  Both are finite
+relational structures, which we represent uniformly as labelled digraphs:
+
+* nodes (query variables or data constants),
+* unary facts ``label(node)``,
+* binary facts ``pred(src, dst)``.
+
+A :class:`Structure` is immutable once frozen; builders use
+:class:`StructureBuilder`.  Conjunctive queries are structures whose nodes
+are read as existentially quantified variables; data instances are
+structures whose nodes are read as constants.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Mapping
+
+Node = Hashable
+
+# Unary predicate names with fixed meaning throughout the library.
+F = "F"
+T = "T"
+A = "A"
+
+# Default binary predicate used by most of the paper's example queries.
+R = "R"
+S = "S"
+
+
+@dataclass(frozen=True)
+class UnaryFact:
+    """A unary atom ``label(node)``."""
+
+    label: str
+    node: Node
+
+    def rename(self, mapping: Mapping[Node, Node]) -> "UnaryFact":
+        return UnaryFact(self.label, mapping.get(self.node, self.node))
+
+
+@dataclass(frozen=True)
+class BinaryFact:
+    """A binary atom ``pred(src, dst)``."""
+
+    pred: str
+    src: Node
+    dst: Node
+
+    def rename(self, mapping: Mapping[Node, Node]) -> "BinaryFact":
+        return BinaryFact(
+            self.pred,
+            mapping.get(self.src, self.src),
+            mapping.get(self.dst, self.dst),
+        )
+
+
+class Structure:
+    """An immutable finite structure over unary and binary predicates.
+
+    Provides the indexed views needed by the homomorphism engine:
+    labels per node, outgoing/incoming edges per node, and nodes per label.
+    """
+
+    __slots__ = (
+        "_nodes",
+        "_unary",
+        "_binary",
+        "_labels_by_node",
+        "_nodes_by_label",
+        "_out",
+        "_in",
+        "_hash",
+    )
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] = (),
+        unary: Iterable[UnaryFact] = (),
+        binary: Iterable[BinaryFact] = (),
+    ) -> None:
+        unary = frozenset(unary)
+        binary = frozenset(binary)
+        explicit = set(nodes)
+        for fact in unary:
+            explicit.add(fact.node)
+        for fact in binary:
+            explicit.add(fact.src)
+            explicit.add(fact.dst)
+        self._nodes = frozenset(explicit)
+        self._unary = unary
+        self._binary = binary
+
+        labels_by_node: dict[Node, set[str]] = {n: set() for n in self._nodes}
+        nodes_by_label: dict[str, set[Node]] = {}
+        for fact in unary:
+            labels_by_node[fact.node].add(fact.label)
+            nodes_by_label.setdefault(fact.label, set()).add(fact.node)
+        out: dict[Node, list[BinaryFact]] = {n: [] for n in self._nodes}
+        inc: dict[Node, list[BinaryFact]] = {n: [] for n in self._nodes}
+        for fact in binary:
+            out[fact.src].append(fact)
+            inc[fact.dst].append(fact)
+        self._labels_by_node = {
+            n: frozenset(ls) for n, ls in labels_by_node.items()
+        }
+        self._nodes_by_label = {
+            label: frozenset(ns) for label, ns in nodes_by_label.items()
+        }
+        self._out = {n: tuple(facts) for n, facts in out.items()}
+        self._in = {n: tuple(facts) for n, facts in inc.items()}
+        self._hash = hash((self._nodes, self._unary, self._binary))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset[Node]:
+        return self._nodes
+
+    @property
+    def unary_facts(self) -> frozenset[UnaryFact]:
+        return self._unary
+
+    @property
+    def binary_facts(self) -> frozenset[BinaryFact]:
+        return self._binary
+
+    def labels(self, node: Node) -> frozenset[str]:
+        """All unary labels on ``node``."""
+        return self._labels_by_node.get(node, frozenset())
+
+    def has_label(self, node: Node, label: str) -> bool:
+        return label in self.labels(node)
+
+    def nodes_with_label(self, label: str) -> frozenset[Node]:
+        return self._nodes_by_label.get(label, frozenset())
+
+    def out_edges(self, node: Node) -> tuple[BinaryFact, ...]:
+        return self._out.get(node, ())
+
+    def in_edges(self, node: Node) -> tuple[BinaryFact, ...]:
+        return self._in.get(node, ())
+
+    def successors(self, node: Node) -> Iterator[Node]:
+        for fact in self.out_edges(node):
+            yield fact.dst
+
+    def predecessors(self, node: Node) -> Iterator[Node]:
+        for fact in self.in_edges(node):
+            yield fact.src
+
+    def degree(self, node: Node) -> int:
+        return len(self.out_edges(node)) + len(self.in_edges(node))
+
+    @property
+    def unary_predicates(self) -> frozenset[str]:
+        return frozenset(self._nodes_by_label)
+
+    @property
+    def binary_predicates(self) -> frozenset[str]:
+        return frozenset(fact.pred for fact in self._binary)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def size(self) -> int:
+        """Total number of facts (atoms) in the structure."""
+        return len(self._unary) + len(self._binary)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Structure):
+            return NotImplemented
+        return (
+            self._nodes == other._nodes
+            and self._unary == other._unary
+            and self._binary == other._binary
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return (
+            f"Structure(|nodes|={len(self._nodes)}, "
+            f"|unary|={len(self._unary)}, |binary|={len(self._binary)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+
+    def rename(self, mapping: Mapping[Node, Node]) -> "Structure":
+        """A copy with nodes renamed; identity outside ``mapping``.
+
+        The mapping may be non-injective, in which case nodes are merged
+        (glued), as in the budding operation.
+        """
+        return Structure(
+            (mapping.get(n, n) for n in self._nodes),
+            (f.rename(mapping) for f in self._unary),
+            (f.rename(mapping) for f in self._binary),
+        )
+
+    def relabel_node(
+        self,
+        node: Node,
+        remove: Iterable[str] = (),
+        add: Iterable[str] = (),
+    ) -> "Structure":
+        """A copy with some unary labels on ``node`` removed/added."""
+        remove = set(remove)
+        unary = {
+            f
+            for f in self._unary
+            if not (f.node == node and f.label in remove)
+        }
+        unary.update(UnaryFact(label, node) for label in add)
+        return Structure(self._nodes, unary, self._binary)
+
+    def union(self, other: "Structure") -> "Structure":
+        """Disjoint-or-not union: facts of both structures together.
+
+        Nodes with equal names are identified, which is how gluing is
+        expressed throughout the library (rename first for disjointness).
+        """
+        return Structure(
+            self._nodes | other._nodes,
+            self._unary | other._unary,
+            self._binary | other._binary,
+        )
+
+    def restrict(self, keep: Iterable[Node]) -> "Structure":
+        """The induced substructure on the node set ``keep``."""
+        keep = set(keep)
+        return Structure(
+            keep & self._nodes,
+            (f for f in self._unary if f.node in keep),
+            (
+                f
+                for f in self._binary
+                if f.src in keep and f.dst in keep
+            ),
+        )
+
+    def without_nodes(self, drop: Iterable[Node]) -> "Structure":
+        drop = set(drop)
+        return self.restrict(self._nodes - drop)
+
+    def with_fresh_nodes(self, prefix: str) -> tuple["Structure", dict[Node, Node]]:
+        """A disjoint copy whose nodes are ``(prefix, original)`` pairs."""
+        mapping: dict[Node, Node] = {n: (prefix, n) for n in self._nodes}
+        return self.rename(mapping), mapping
+
+    # ------------------------------------------------------------------
+    # Graph-theoretic helpers
+    # ------------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Weak connectivity of the underlying graph."""
+        if not self._nodes:
+            return True
+        seen: set[Node] = set()
+        stack = [next(iter(self._nodes))]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.successors(node))
+            stack.extend(self.predecessors(node))
+        return seen == self._nodes
+
+    def weak_components(self) -> list[frozenset[Node]]:
+        remaining = set(self._nodes)
+        components: list[frozenset[Node]] = []
+        while remaining:
+            seed = next(iter(remaining))
+            seen: set[Node] = set()
+            stack = [seed]
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(self.successors(node))
+                stack.extend(self.predecessors(node))
+            components.append(frozenset(seen))
+            remaining -= seen
+        return components
+
+    def is_dag(self) -> bool:
+        """True if the binary-edge digraph has no directed cycle."""
+        indeg = {n: 0 for n in self._nodes}
+        for fact in self._binary:
+            indeg[fact.dst] += 1
+        queue = [n for n, d in indeg.items() if d == 0]
+        seen = 0
+        while queue:
+            node = queue.pop()
+            seen += 1
+            for fact in self.out_edges(node):
+                indeg[fact.dst] -= 1
+                if indeg[fact.dst] == 0:
+                    queue.append(fact.dst)
+        return seen == len(self._nodes)
+
+    def is_ditree(self) -> bool:
+        """True if the digraph is a rooted directed tree.
+
+        Exactly one node of in-degree 0, every other node of in-degree 1,
+        connected, and no parallel edges collapsing (multi-edges between
+        the same pair with different predicates disqualify tree shape).
+        """
+        if not self._nodes:
+            return False
+        roots = [n for n in self._nodes if not self._in.get(n)]
+        if len(roots) != 1:
+            return False
+        for node in self._nodes:
+            if node == roots[0]:
+                continue
+            if len(self._in.get(node, ())) != 1:
+                return False
+        return self.is_connected()
+
+    def ditree_root(self) -> Node:
+        """The unique in-degree-0 node of a ditree (raises otherwise)."""
+        roots = [n for n in self._nodes if not self._in.get(n)]
+        if len(roots) != 1:
+            raise ValueError("structure is not a rooted ditree")
+        return roots[0]
+
+    # ------------------------------------------------------------------
+    # Pretty printing
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """A stable human-readable listing of all facts."""
+        lines = []
+        for fact in sorted(self._unary, key=lambda f: (str(f.node), f.label)):
+            lines.append(f"{fact.label}({fact.node})")
+        for fact in sorted(
+            self._binary, key=lambda f: (str(f.src), f.pred, str(f.dst))
+        ):
+            lines.append(f"{fact.pred}({fact.src}, {fact.dst})")
+        return "\n".join(lines)
+
+
+@dataclass
+class StructureBuilder:
+    """Mutable accumulator for constructing a :class:`Structure`."""
+
+    nodes: set[Node] = field(default_factory=set)
+    unary: set[UnaryFact] = field(default_factory=set)
+    binary: set[BinaryFact] = field(default_factory=set)
+    _fresh_counter: itertools.count = field(default_factory=itertools.count)
+
+    def add_node(self, node: Node, *labels: str) -> Node:
+        self.nodes.add(node)
+        for label in labels:
+            self.unary.add(UnaryFact(label, node))
+        return node
+
+    def fresh_node(self, *labels: str, hint: str = "n") -> Node:
+        node = f"{hint}#{next(self._fresh_counter)}"
+        while node in self.nodes:
+            node = f"{hint}#{next(self._fresh_counter)}"
+        return self.add_node(node, *labels)
+
+    def add_label(self, node: Node, *labels: str) -> None:
+        self.nodes.add(node)
+        for label in labels:
+            self.unary.add(UnaryFact(label, node))
+
+    def add_edge(self, src: Node, dst: Node, pred: str = R) -> None:
+        self.nodes.add(src)
+        self.nodes.add(dst)
+        self.binary.add(BinaryFact(pred, src, dst))
+
+    def add_structure(self, other: Structure) -> None:
+        self.nodes |= other.nodes
+        self.unary |= other.unary_facts
+        self.binary |= other.binary_facts
+
+    def build(self) -> Structure:
+        return Structure(self.nodes, self.unary, self.binary)
+
+
+def path_structure(
+    labels: Iterable[Iterable[str] | str],
+    preds: Iterable[str] | None = None,
+    prefix: str = "v",
+) -> Structure:
+    """An R-path (or mixed-predicate path) with the given node labels.
+
+    ``labels`` lists per-node unary labels; a bare string means one label
+    and the empty string means no label.  ``preds`` optionally gives the
+    edge predicate per consecutive pair (defaults to all ``R``).
+
+    >>> q = path_structure(["T", "T", "F"])          # T -R-> T -R-> F
+    >>> sorted(q.nodes)
+    ['v0', 'v1', 'v2']
+    """
+    label_lists: list[tuple[str, ...]] = []
+    for item in labels:
+        if isinstance(item, str):
+            label_lists.append((item,) if item else ())
+        else:
+            label_lists.append(tuple(item))
+    n = len(label_lists)
+    pred_list = list(preds) if preds is not None else [R] * max(n - 1, 0)
+    if len(pred_list) != max(n - 1, 0):
+        raise ValueError("need exactly len(labels) - 1 edge predicates")
+    builder = StructureBuilder()
+    names = [f"{prefix}{i}" for i in range(n)]
+    for name, labs in zip(names, label_lists):
+        builder.add_node(name, *labs)
+    for i, pred in enumerate(pred_list):
+        builder.add_edge(names[i], names[i + 1], pred)
+    return builder.build()

@@ -1,0 +1,120 @@
+"""One-call boundedness decisions, dispatching to the best machinery.
+
+The paper leaves deciding boundedness of general monadic sirups at
+2ExpTime-complete, but identifies large fragments with exact, tractable
+procedures.  This module routes a query to the strongest decider that
+applies:
+
+1. no solitary T nodes: ``K_q`` is finite, trivially bounded;
+2. a Lambda-CQ (ditree, solitary Ts incomparable with the focus): the
+   exact Theorem 9 decider (FO iff not L-hard);
+3. anything else: the depth-bounded Proposition 2 probe, reported with
+   its evidence status rather than as a definite answer.
+
+``decide_boundedness`` therefore returns a verdict plus the *method*
+that produced it, so callers can distinguish proofs from evidence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .core.boundedness import ProbeResult, Verdict, probe_boundedness
+from .core.cq import OneCQ, is_one_cq
+from .core.structure import Structure
+from .ditree.lambda_cq import LambdaDecision, decide_lambda
+from .ditree.structure import DitreeCQ
+
+
+class Method(enum.Enum):
+    """Which decision procedure produced the verdict."""
+
+    TRIVIAL_SPAN_ZERO = "span-0 (finite expansion set)"
+    LAMBDA_EXACT = "Theorem 9 exact Lambda-CQ decider"
+    PROBE = "Proposition 2 depth-bounded probe"
+
+
+@dataclass(frozen=True)
+class BoundednessDecision:
+    """Outcome of :func:`decide_boundedness`.
+
+    ``bounded`` is None when only inconclusive probe evidence exists.
+    ``exact`` tells whether the verdict is a proof (the span-0 and
+    Lambda cases) or probe evidence.
+    """
+
+    bounded: bool | None
+    method: Method
+    exact: bool
+    lambda_decision: LambdaDecision | None = None
+    probe: ProbeResult | None = None
+
+    def describe(self) -> str:
+        if self.bounded is None:
+            status = "inconclusive"
+        elif self.bounded:
+            status = "bounded (FO-rewritable)"
+        else:
+            status = "unbounded (L-hard for Lambda-CQs)"
+        certainty = "exact" if self.exact else "evidence"
+        return f"{status} [{certainty}; {self.method.value}]"
+
+
+def _is_lambda(one_cq: OneCQ) -> bool:
+    try:
+        cq = DitreeCQ.from_structure(one_cq.query)
+    except ValueError:
+        return False
+    return cq.is_lambda_cq()
+
+
+def decide_boundedness(
+    q: Structure | OneCQ,
+    probe_depth: int = 3,
+) -> BoundednessDecision:
+    """Decide (or probe) boundedness of ``(Pi_q, G)`` for a 1-CQ ``q``.
+
+    Raises :class:`ValueError` when ``q`` is not a 1-CQ; use the d-sirup
+    evaluators directly for multi-F queries (their boundedness is not
+    covered by the paper's positive results).
+    """
+    one_cq = q if isinstance(q, OneCQ) else OneCQ.from_structure(q)
+    if one_cq.span == 0:
+        return BoundednessDecision(
+            bounded=True, method=Method.TRIVIAL_SPAN_ZERO, exact=True
+        )
+    if _is_lambda(one_cq):
+        decision = decide_lambda(one_cq)
+        return BoundednessDecision(
+            bounded=decision.fo_rewritable,
+            method=Method.LAMBDA_EXACT,
+            exact=True,
+            lambda_decision=decision,
+        )
+    probe = probe_boundedness(one_cq, probe_depth)
+    if probe.verdict is Verdict.BOUNDED:
+        bounded: bool | None = True
+    elif probe.verdict is Verdict.UNBOUNDED_EVIDENCE:
+        bounded = False
+    else:
+        bounded = None
+    return BoundednessDecision(
+        bounded=bounded, method=Method.PROBE, exact=False, probe=probe
+    )
+
+
+def is_d_sirup_fo_rewritable(
+    q: Structure, probe_depth: int = 3
+) -> bool | None:
+    """Convenience wrapper for d-sirups with a 1-CQ ``q``.
+
+    For 1-CQs, FO-rewritability of ``(Delta_q, G)`` coincides with
+    boundedness of ``(Pi_q, G)`` (Sec. 2); returns None when only
+    inconclusive probe evidence is available.
+    """
+    if not is_one_cq(q):
+        raise ValueError(
+            "only 1-CQs are supported; general d-sirups are open territory"
+        )
+    return decide_boundedness(q, probe_depth).bounded

@@ -1,0 +1,49 @@
+"""Ditree d-sirup classification (Section 4 of the paper)."""
+
+from .classify import (
+    Classification,
+    Complexity,
+    classify_disjoint,
+    classify_plain,
+    contact_models_admit_q,
+    theorem7_applies,
+    theorem11_trichotomy,
+)
+from .reductions import (
+    Digraph,
+    grid_dag,
+    layered_dag,
+    pick_reduction_pair,
+    random_dag,
+    random_graph,
+    reachability_instance,
+)
+from .structure import (
+    DitreeCQ,
+    DitreeError,
+    ditree_pairs_summary,
+    is_minimal,
+    minimise,
+)
+
+__all__ = [
+    "Classification",
+    "Complexity",
+    "Digraph",
+    "DitreeCQ",
+    "DitreeError",
+    "classify_disjoint",
+    "classify_plain",
+    "contact_models_admit_q",
+    "ditree_pairs_summary",
+    "grid_dag",
+    "is_minimal",
+    "layered_dag",
+    "minimise",
+    "pick_reduction_pair",
+    "random_dag",
+    "random_graph",
+    "reachability_instance",
+    "theorem7_applies",
+    "theorem11_trichotomy",
+]

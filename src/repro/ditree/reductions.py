@@ -1,0 +1,203 @@
+"""Hardness reductions as executable workload generators.
+
+Theorem 7 (NL-hardness) reduces dag reachability to d-sirup evaluation:
+given a dag ``G`` with source ``s`` and target ``t`` and a chosen solitary
+pair ``(t_node, f_node)`` of the ditree CQ ``q``, every edge ``(u, v)`` of
+``G`` is replaced by a fresh copy of ``q`` whose T node is glued onto
+``u`` (relabelled ``A``) and whose F node is glued onto ``v`` (relabelled
+``A``); finally ``T(s)`` and ``F(t)`` are asserted.  Then ``s -> t`` in
+``G`` iff the certain answer to ``(Δ_q, G)`` over the instance is 'yes'.
+
+Appendix G uses the same construction on *undirected* graphs for the
+L-hardness of quasi-symmetric queries.  Both constructions double as
+workload generators for the benchmark harness (experiments E9 and E13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.structure import A, BinaryFact, F, Node, Structure, T, UnaryFact
+from .structure import DitreeCQ
+
+
+@dataclass(frozen=True)
+class Digraph:
+    """A plain digraph used as a reduction input."""
+
+    vertices: tuple[Node, ...]
+    edges: tuple[tuple[Node, Node], ...]
+
+    def successors(self, v: Node) -> list[Node]:
+        return [b for a, b in self.edges if a == v]
+
+    def reachable(self, start: Node) -> frozenset[Node]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            for w in self.successors(v):
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return frozenset(seen)
+
+    def undirected_reachable(self, start: Node) -> frozenset[Node]:
+        adjacency: dict[Node, set[Node]] = {v: set() for v in self.vertices}
+        for a, b in self.edges:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        seen = {start}
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            for w in adjacency[v]:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return frozenset(seen)
+
+    def is_dag(self) -> bool:
+        indeg = {v: 0 for v in self.vertices}
+        for _, b in self.edges:
+            indeg[b] += 1
+        queue = [v for v, d in indeg.items() if d == 0]
+        seen = 0
+        while queue:
+            v = queue.pop()
+            seen += 1
+            for w in self.successors(v):
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    queue.append(w)
+        return seen == len(self.vertices)
+
+
+def pick_reduction_pair(cq: DitreeCQ) -> tuple[Node, Node]:
+    """The solitary pair the Theorem 7 proof glues along.
+
+    Case (i): a ≺-comparable pair with no solitary node strictly between;
+    case (ii): a minimal-distance, ≺-incomparable, non-symmetric pair.
+    Raises if neither case applies (the query is outside Theorem 7).
+    """
+    from ..core.cq import solitary_f_nodes, solitary_t_nodes
+
+    solitary = solitary_f_nodes(cq.query) | solitary_t_nodes(cq.query)
+    for t, f in cq.comparable_solitary_pairs():
+        low, high = (t, f) if cq.leq(t, f) else (f, t)
+        between = [
+            z
+            for z in solitary
+            if z not in (low, high) and cq.lt(low, z) and cq.lt(z, high)
+        ]
+        if not between:
+            return t, f
+    for t, f in cq.minimal_distance_pairs():
+        if not cq.comparable(t, f) and not cq.is_symmetric_pair(t, f):
+            return t, f
+    raise ValueError(
+        "no reduction pair: the query is quasi-symmetric or twin-guarded "
+        "(outside the scope of Theorem 7)"
+    )
+
+
+def _glued_copy(
+    q: Structure, t_node: Node, f_node: Node, edge_id: int, u: Node, v: Node
+) -> Structure:
+    """A fresh copy of ``q`` with ``t_node -> u`` and ``f_node -> v``,
+    both relabelled ``A``; all other variables made fresh."""
+    mapping: dict[Node, Node] = {}
+    for node in q.nodes:
+        if node == t_node:
+            mapping[node] = ("g", u)
+        elif node == f_node:
+            mapping[node] = ("g", v)
+        else:
+            mapping[node] = ("e", edge_id, node)
+    unary = set()
+    for fact in q.unary_facts:
+        if fact.node == t_node and fact.label == T:
+            unary.add(UnaryFact(A, mapping[t_node]))
+        elif fact.node == f_node and fact.label == F:
+            unary.add(UnaryFact(A, mapping[f_node]))
+        else:
+            unary.add(UnaryFact(fact.label, mapping[fact.node]))
+    binary = {fact.rename(mapping) for fact in q.binary_facts}
+    return Structure(set(mapping.values()), unary, binary)
+
+
+def reachability_instance(
+    cq: DitreeCQ,
+    graph: Digraph,
+    source: Node,
+    target: Node,
+    pair: tuple[Node, Node] | None = None,
+) -> Structure:
+    """The data instance ``D_G`` of the Theorem 7 / Appendix G reduction."""
+    t_node, f_node = pair if pair is not None else pick_reduction_pair(cq)
+    parts = [
+        _glued_copy(cq.query, t_node, f_node, i, u, v)
+        for i, (u, v) in enumerate(graph.edges)
+    ]
+    nodes: set[Node] = {("g", v) for v in graph.vertices}
+    unary: set[UnaryFact] = {
+        UnaryFact(T, ("g", source)),
+        UnaryFact(F, ("g", target)),
+    }
+    binary: set[BinaryFact] = set()
+    for part in parts:
+        nodes |= part.nodes
+        unary |= part.unary_facts
+        binary |= part.binary_facts
+    return Structure(nodes, unary, binary)
+
+
+def grid_dag(width: int, height: int) -> Digraph:
+    """A small acyclic grid digraph (edges right and down)."""
+    vertices = [(x, y) for x in range(width) for y in range(height)]
+    edges = []
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                edges.append(((x, y), (x + 1, y)))
+            if y + 1 < height:
+                edges.append(((x, y), (x, y + 1)))
+    return Digraph(tuple(vertices), tuple(edges))
+
+
+def layered_dag(
+    layers: Sequence[Sequence[Node]],
+    edges: Iterable[tuple[Node, Node]],
+) -> Digraph:
+    vertices = tuple(v for layer in layers for v in layer)
+    return Digraph(vertices, tuple(edges))
+
+
+def random_dag(n: int, p: float, seed: int) -> Digraph:
+    """A random dag on 0..n-1 with forward edges of density ``p``."""
+    import random
+
+    rng = random.Random(seed)
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < p
+    ]
+    return Digraph(tuple(range(n)), tuple(edges))
+
+
+def random_graph(n: int, p: float, seed: int) -> Digraph:
+    """A random (symmetric-intent) graph; used by the Appendix G reduction,
+    which treats edges as undirected."""
+    import random
+
+    rng = random.Random(seed)
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < p
+    ]
+    return Digraph(tuple(range(n)), tuple(edges))

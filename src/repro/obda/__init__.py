@@ -1,0 +1,25 @@
+"""Schema.org / DL-Lite_bool ontology-mediated queries (Section 3.6)."""
+
+from .schema_org import (
+    COVER_ROLE,
+    certain_answer_schema_org,
+    data_from_schema_org,
+    data_to_schema_org,
+    dl_lite_ontology,
+    iter_schema_org_completions,
+    rewrite_ucq_from_schema_org,
+    rewrite_ucq_to_schema_org,
+    schema_org_rules,
+)
+
+__all__ = [
+    "COVER_ROLE",
+    "certain_answer_schema_org",
+    "data_from_schema_org",
+    "data_to_schema_org",
+    "dl_lite_ontology",
+    "iter_schema_org_completions",
+    "rewrite_ucq_from_schema_org",
+    "rewrite_ucq_to_schema_org",
+    "schema_org_rules",
+]

@@ -1,0 +1,17 @@
+"""Reproducible workload generators for tests and benchmarks."""
+
+from .generators import (
+    iter_lambda_cqs,
+    random_ditree_cq,
+    random_instance,
+    random_lambda_cq,
+    random_path_instance,
+)
+
+__all__ = [
+    "iter_lambda_cqs",
+    "random_ditree_cq",
+    "random_instance",
+    "random_lambda_cq",
+    "random_path_instance",
+]

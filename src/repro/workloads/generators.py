@@ -1,0 +1,167 @@
+"""Deterministic workload generators for tests and benchmarks.
+
+Everything takes an explicit ``seed`` so experiment tables are
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..core.cq import solitary_f_nodes, solitary_t_nodes
+from ..core.structure import A, F, Structure, StructureBuilder, T
+
+
+def random_instance(
+    n: int,
+    edge_count: int,
+    seed: int,
+    label_weights: dict[str, int] | None = None,
+    preds: tuple[str, ...] = ("R",),
+) -> Structure:
+    """A random labelled digraph data instance.
+
+    ``label_weights`` gives relative weights for node labels among
+    ``T``, ``F``, ``A``, ``FT`` and ``""`` (no label).
+    """
+    rng = random.Random(seed)
+    weights = label_weights or {"T": 2, "F": 2, "A": 3, "": 3, "FT": 1}
+    population = [lab for lab, w in weights.items() for _ in range(w)]
+    b = StructureBuilder()
+    for i in range(n):
+        label = rng.choice(population)
+        if label == "FT":
+            b.add_node(i, F, T)
+        elif label:
+            b.add_node(i, label)
+        else:
+            b.add_node(i)
+    for _ in range(edge_count):
+        b.add_edge(rng.randrange(n), rng.randrange(n), rng.choice(preds))
+    return b.build()
+
+
+def random_path_instance(n: int, seed: int, a_fraction: float = 0.4) -> Structure:
+    """A path-shaped instance with F at the left end, T at the right and
+    a random mixture of A/blank labels inside — the shape that exercises
+    the d-sirup case distinction."""
+    rng = random.Random(seed)
+    labels: list[str] = []
+    for i in range(n):
+        if i == 0:
+            labels.append(F)
+        elif i == n - 1:
+            labels.append(T)
+        elif rng.random() < a_fraction:
+            labels.append(A)
+        else:
+            labels.append("")
+    b = StructureBuilder()
+    for i, lab in enumerate(labels):
+        if lab:
+            b.add_node(i, lab)
+        else:
+            b.add_node(i)
+    for i in range(n - 1):
+        b.add_edge(i, i + 1)
+    return b.build()
+
+
+def random_ditree_cq(
+    n: int,
+    seed: int,
+    twin_weight: int = 2,
+    force_one_f_one_t: bool = True,
+) -> Structure | None:
+    """A random ditree CQ; with ``force_one_f_one_t`` it has exactly one
+    solitary F and one solitary T (the Theorem 11 fragment); returns
+    ``None`` when the draw degenerates."""
+    rng = random.Random(seed)
+    parents = {i: rng.randrange(i) for i in range(1, n)}
+    weights = {"": 3, "FT": twin_weight}
+    population = [lab for lab, w in weights.items() for _ in range(w)]
+    labels = {i: rng.choice(population) for i in range(n)}
+    if force_one_f_one_t:
+        nodes = list(range(n))
+        rng.shuffle(nodes)
+        labels[nodes[0]] = F
+        labels[nodes[1]] = T
+    b = StructureBuilder()
+    for i in range(n):
+        lab = labels[i]
+        if lab == "FT":
+            b.add_node(i, F, T)
+        elif lab:
+            b.add_node(i, lab)
+        else:
+            b.add_node(i)
+    for i, parent in parents.items():
+        b.add_edge(parent, i)
+    q = b.build()
+    if force_one_f_one_t:
+        if len(solitary_f_nodes(q)) != 1 or len(solitary_t_nodes(q)) != 1:
+            return None
+    return q
+
+
+def random_lambda_cq(n: int, seed: int, span: int = 1) -> Structure | None:
+    """A random Λ-CQ: ditree, one solitary F, ``span`` solitary Ts, all
+    ≺-incomparable with the F node; ``None`` when the draw degenerates."""
+    rng = random.Random(seed)
+    parents = {i: rng.randrange(i) for i in range(1, n)}
+
+    def ancestors(i: int) -> set[int]:
+        out: set[int] = set()
+        while i in parents:
+            i = parents[i]
+            out.add(i)
+        return out
+
+    candidates = list(range(1, n))
+    rng.shuffle(candidates)
+    f_node = None
+    t_nodes: list[int] = []
+    for i in candidates:
+        if f_node is None:
+            f_node = i
+            continue
+        if f_node not in ancestors(i) and i not in ancestors(f_node):
+            t_nodes.append(i)
+        if len(t_nodes) == span:
+            break
+    if f_node is None or len(t_nodes) < span:
+        return None
+    labels = {i: rng.choice(["", "FT", "FT", ""]) for i in range(n)}
+    labels[f_node] = F
+    for t in t_nodes:
+        labels[t] = T
+    b = StructureBuilder()
+    for i in range(n):
+        lab = labels[i]
+        if lab == "FT":
+            b.add_node(i, F, T)
+        elif lab:
+            b.add_node(i, lab)
+        else:
+            b.add_node(i)
+    for i, parent in parents.items():
+        b.add_edge(parent, i)
+    q = b.build()
+    if len(solitary_f_nodes(q)) != 1 or len(solitary_t_nodes(q)) != span:
+        return None
+    return q
+
+
+def iter_lambda_cqs(
+    count: int, size: int, seed: int, span: int = 1
+) -> Iterator[Structure]:
+    """Up to ``count`` valid random Λ-CQs (skipping degenerate draws)."""
+    produced = 0
+    attempt = 0
+    while produced < count and attempt < count * 50:
+        q = random_lambda_cq(size, seed * 100003 + attempt, span)
+        attempt += 1
+        if q is not None:
+            produced += 1
+            yield q

@@ -1,0 +1,204 @@
+"""Alternating Turing machines: normal form, runs, computation trees."""
+
+import pytest
+
+from repro.atm.machine import (
+    ATM,
+    Action,
+    Configuration,
+    accepts,
+    computation_space,
+    find_accepting_tree,
+    initial_configuration,
+    iter_computation_trees,
+    successors,
+    toy_accept_machine,
+    toy_alternation_machine,
+    toy_reject_machine,
+)
+
+
+class TestValidation:
+    def test_toy_machines_validate(self):
+        for machine in (
+            toy_accept_machine(),
+            toy_reject_machine(),
+            toy_alternation_machine(),
+        ):
+            assert machine.q_init in machine.states
+
+    def test_blank_must_be_in_alphabet(self):
+        with pytest.raises(ValueError, match="blank"):
+            ATM(
+                states=("q", "acc", "rej"),
+                alphabet=("0",),
+                blank="_",
+                delta={},
+                mode={"q": "or", "acc": "or", "rej": "or"},
+                q_init="q",
+                q_accept="acc",
+                q_reject="rej",
+            )
+
+    def test_halting_states_cannot_move(self):
+        base = toy_accept_machine()
+        delta = dict(base.delta)
+        delta[("acc", "0")] = (
+            Action("q_or", "0", 0),
+            Action("q_or", "0", 0),
+        )
+        with pytest.raises(ValueError, match="halting"):
+            ATM(
+                states=base.states,
+                alphabet=base.alphabet,
+                blank=base.blank,
+                delta=delta,
+                mode=dict(base.mode),
+                q_init=base.q_init,
+                q_accept=base.q_accept,
+                q_reject=base.q_reject,
+            )
+
+    def test_modes_must_alternate(self):
+        base = toy_accept_machine()
+        delta = dict(base.delta)
+        # q_or -> q_or keeps the same mode without halting: invalid.
+        delta[("q_or", "0")] = (
+            Action("q_or", "0", 0),
+            Action("q_or", "0", 0),
+        )
+        with pytest.raises(ValueError, match="alternate"):
+            ATM(
+                states=base.states,
+                alphabet=base.alphabet,
+                blank=base.blank,
+                delta=delta,
+                mode=dict(base.mode),
+                q_init=base.q_init,
+                q_accept=base.q_accept,
+                q_reject=base.q_reject,
+            )
+
+    def test_action_move_range(self):
+        with pytest.raises(ValueError, match="move"):
+            Action("q", "0", 2)
+
+
+class TestConfigurations:
+    def test_initial_configuration_pads_blanks(self):
+        machine = toy_accept_machine()
+        config = initial_configuration(machine, "10", 4)
+        assert config.tape == ("1", "0", "_", "_")
+        assert config.head == 0
+        assert config.state == machine.q_init
+
+    def test_initial_configuration_rejects_long_word(self):
+        machine = toy_accept_machine()
+        with pytest.raises(ValueError, match="exceeds"):
+            initial_configuration(machine, "10101", 4)
+
+    def test_head_clamped_at_boundaries(self):
+        config = Configuration("q", 0, ("0", "1"))
+        moved = config.write_and_move(Action("q2", "1", -1))
+        assert moved.head == 0
+        assert moved.tape == ("1", "1")
+
+    def test_successors_of_halting_state_empty(self):
+        machine = toy_accept_machine()
+        config = Configuration("acc", 0, ("0", "0"))
+        assert successors(machine, config) == ()
+
+    def test_successors_are_binary(self):
+        machine = toy_accept_machine()
+        config = initial_configuration(machine, "1", 2)
+        assert len(successors(machine, config)) == 2
+
+    def test_describe_marks_head(self):
+        config = Configuration("q", 1, ("0", "1", "0"))
+        assert "[1]" in config.describe()
+
+
+class TestComputationSpace:
+    def test_space_counts_all_branches(self):
+        machine = toy_accept_machine()
+        space = computation_space(machine, "1", 2, 8)
+        # Two levels of binary branching then halting leaves.
+        assert space.depth() == 2
+        assert space.count() == 1 + 2 + 4
+
+    def test_space_respects_depth_budget(self):
+        machine = toy_accept_machine()
+        space = computation_space(machine, "1", 2, 1)
+        assert space.depth() == 1
+
+
+class TestComputationTrees:
+    def test_or_nodes_pick_one_child(self):
+        machine = toy_accept_machine()
+        trees = list(iter_computation_trees(machine, "1", 2, 8))
+        # OR root has 2 choices; the AND level fixes both children.
+        assert len(trees) == 2
+        for tree in trees:
+            assert len(tree.children) == 1
+
+    def test_leaves_are_halting(self):
+        machine = toy_reject_machine()
+        for tree in iter_computation_trees(machine, "0", 2, 8):
+            for leaf in tree.leaves():
+                assert machine.is_halting(leaf.state)
+
+    def test_reject_machine_trees_all_rejecting(self):
+        machine = toy_reject_machine()
+        for tree in iter_computation_trees(machine, "1", 2, 8):
+            assert tree.is_rejecting(machine)
+
+    def test_accept_machine_trees_all_accepting(self):
+        machine = toy_accept_machine()
+        for tree in iter_computation_trees(machine, "1", 2, 8):
+            assert not tree.is_rejecting(machine)
+
+    def test_or_configurations_enumeration(self):
+        machine = toy_accept_machine()
+        tree = next(iter_computation_trees(machine, "1", 2, 8))
+        ors = list(tree.or_configurations())
+        assert ors[0].state == machine.q_init
+        assert all(machine.mode[c.state] == "or" for c in ors)
+
+    def test_limit_parameter(self):
+        machine = toy_accept_machine()
+        trees = list(iter_computation_trees(machine, "1", 2, 8, limit=1))
+        assert len(trees) == 1
+
+
+class TestAcceptance:
+    def test_accept_machine_accepts(self):
+        assert accepts(toy_accept_machine(), "0", 2, 16)
+
+    def test_reject_machine_rejects(self):
+        assert not accepts(toy_reject_machine(), "0", 2, 16)
+
+    def test_alternation_machine_depends_on_input(self):
+        machine = toy_alternation_machine()
+        assert accepts(machine, "1", 2, 16)
+        assert not accepts(machine, "0", 2, 16)
+        assert not accepts(machine, "", 2, 16)
+
+    def test_accepting_tree_is_accepting(self):
+        machine = toy_alternation_machine()
+        tree = find_accepting_tree(machine, "1", 2, 16)
+        assert tree is not None
+        assert not tree.is_rejecting(machine)
+
+    def test_accepting_tree_none_when_rejecting(self):
+        assert find_accepting_tree(toy_reject_machine(), "1", 2, 16) is None
+
+    def test_accepting_tree_matches_enumeration(self):
+        machine = toy_alternation_machine()
+        enumerated = [
+            t
+            for t in iter_computation_trees(machine, "1", 2, 16)
+            if not t.is_rejecting(machine)
+        ]
+        assert enumerated
+        found = find_accepting_tree(machine, "1", 2, 16)
+        assert found is not None

@@ -1,0 +1,169 @@
+"""Encoding parameters and configuration (de)serialisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atm.machine import (
+    Configuration,
+    toy_accept_machine,
+    toy_alternation_machine,
+    toy_reject_machine,
+)
+from repro.atm.params import (
+    EncodingParams,
+    bits_to_int,
+    decode_configuration,
+    encode_configuration,
+    int_to_bits,
+)
+
+MACHINES = {
+    "accept": toy_accept_machine,
+    "reject": toy_reject_machine,
+    "alternation": toy_alternation_machine,
+}
+
+
+def params_for(name: str = "accept", cells: int = 2) -> EncodingParams:
+    return EncodingParams.from_machine(MACHINES[name](), cells)
+
+
+class TestBitHelpers:
+    def test_int_to_bits_msb_first(self):
+        assert int_to_bits(5, 4) == (0, 1, 0, 1)
+
+    def test_int_to_bits_range_check(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    @given(st.integers(0, 255))
+    def test_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 8)) == value
+
+
+class TestDerivedSizes:
+    def test_cells_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            EncodingParams.from_machine(toy_accept_machine(), 3)
+
+    @pytest.mark.parametrize("cells", [2, 4, 8])
+    def test_everything_fits(self, cells):
+        params = params_for(cells=cells)
+        assert params.n_state_block + params.cells * params.n_gamma < params.seq_len
+        assert params.cells == cells
+        # Power-of-two alignment invariants used by the formulas.
+        assert params.n_gamma & (params.n_gamma - 1) == 0
+        assert params.n_state_block & (params.n_state_block - 1) == 0
+        assert params.n_state_block >= params.cells * params.n_gamma
+
+    def test_state_and_symbol_codes_fit(self):
+        params = params_for("alternation")
+        machine = params.machine
+        assert len(machine.states) <= 1 << params.n_q
+        assert len(machine.alphabet) <= 1 << params.sym_bits
+        assert params.sym_bits < params.n_gamma
+
+    def test_cell_offsets_are_cell_starts(self):
+        params = params_for(cells=4)
+        for i in range(params.cells):
+            offset = params.cell_offset(i)
+            assert params.is_cell_start(offset)
+            assert params.cell_index_of(offset) == i
+
+    def test_non_cell_starts_rejected(self):
+        params = params_for()
+        assert not params.is_cell_start(params.cell_offset(0) + 1)
+        assert not params.is_cell_start(0)
+        with pytest.raises(ValueError):
+            params.cell_index_of(0)
+
+    def test_cell_index_appears_verbatim_in_address(self):
+        """The power-of-two layout puts the cell index at fixed bit
+        positions of the address -- the property Step's formulas use."""
+        params = params_for(cells=4)
+        positions = params.cell_index_bit_positions()
+        for index in range(params.cells):
+            for offset in range(params.n_gamma):
+                address = params.cell_offset(index) + offset
+                bits = int_to_bits(address, params.d)
+                read = bits_to_int([bits[p] for p in positions])
+                assert read == index
+
+    def test_cell_address_bits_fixed_and_free(self):
+        params = params_for(cells=4)
+        free = params.cell_address_bits(1, None)
+        assert free.count(None) == params.p
+        fixed = params.cell_address_bits(1, 2)
+        assert None not in fixed
+        assert bits_to_int([int(b) for b in fixed]) == params.cell_offset(2) + 1
+
+
+class TestBlocks:
+    def test_state_block_roundtrip(self):
+        params = params_for("alternation", cells=4)
+        for state in params.machine.states:
+            for head in range(params.cells):
+                block = params.state_block(state, head)
+                assert len(block) == params.n_state_block
+                assert params.read_state_block(block) == (state, head)
+
+    def test_cell_block_roundtrip(self):
+        params = params_for()
+        for symbol in params.machine.alphabet:
+            block = params.cell_block(symbol)
+            assert len(block) == params.n_gamma
+            assert params.read_cell_block(block) == symbol
+
+    def test_head_out_of_range(self):
+        params = params_for()
+        with pytest.raises(ValueError):
+            params.state_block("q_or", params.cells)
+
+
+class TestConfigurationCodec:
+    @given(
+        st.sampled_from(["q_or", "q_and", "acc", "rej"]),
+        st.integers(0, 1),
+        st.lists(st.sampled_from(["0", "1", "_"]), min_size=2, max_size=2),
+        st.integers(0, 1),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip(self, state, head, tape, parent):
+        params = params_for("reject")
+        config = Configuration(state, head, tuple(tape))
+        bits = encode_configuration(params, config, parent)
+        assert len(bits) == params.seq_len
+        decoded, decoded_parent = decode_configuration(params, bits)
+        assert decoded == config
+        assert decoded_parent == parent
+
+    def test_parent_bit_is_last(self):
+        params = params_for()
+        config = Configuration("q_or", 0, ("0", "1"))
+        bits = encode_configuration(params, config, 1)
+        assert bits[-1] == 1
+        assert params.parent_bit_position == params.seq_len - 1
+
+    def test_wrong_tape_length_rejected(self):
+        params = params_for()
+        config = Configuration("q_or", 0, ("0", "1", "0", "1"))
+        with pytest.raises(ValueError, match="cells"):
+            encode_configuration(params, config, 0)
+
+    def test_meaningful_addresses_cover_content(self):
+        params = params_for()
+        meaningful = params.meaningful_addresses()
+        assert 0 in meaningful
+        assert params.parent_bit_position in meaningful
+        assert params.cell_offset(0) in meaningful
+        # Padding between the cells and the parent bit is not meaningful.
+        if params.cells_end < params.parent_bit_position:
+            assert params.cells_end not in meaningful
+
+    def test_expected_bit_none_on_padding(self):
+        params = params_for()
+        config = Configuration("q_or", 0, ("0", "1"))
+        if params.cells_end < params.parent_bit_position:
+            assert params.expected_bit(config, 0, params.cells_end) is None
+        assert params.expected_bit(config, 1, params.parent_bit_position) == 1

@@ -1,0 +1,122 @@
+"""The scanner machine: genuine head movement through the full pipeline.
+
+The always-accept/reject machines never move their head; the scanner
+writes, moves right and relies on boundary clamping.  These tests push
+head arithmetic (increments, clamping, the p = 2 regime on four cells)
+through the encoding, the reference checkers and the Step formula.
+"""
+
+import pytest
+
+from repro.atm.encoding import (
+    CHAIN_PREFIX,
+    desired_tree_cut,
+    gamma_depth,
+    incorrect_nodes,
+    read_config_bits,
+    read_full_configuration,
+)
+from repro.atm.machine import (
+    accepts,
+    find_accepting_tree,
+    iter_computation_trees,
+    toy_scanner_machine,
+)
+from repro.atm.params import EncodingParams
+from repro.atm.reduction import skeleton_boundedness_semantics
+from repro.circuits.gather import fires_at
+from repro.circuits.library import step_formula
+
+FRONTIER = 13
+
+
+class TestScannerSemantics:
+    @pytest.mark.parametrize(
+        "word,cells,expected",
+        [
+            ("11", 2, True),
+            ("10", 2, False),
+            ("1", 2, False),  # the blank cell fails the all-ones check
+            ("1111", 4, True),
+            ("1101", 4, False),
+        ],
+    )
+    def test_accepts_all_ones_tapes(self, word, cells, expected):
+        assert accepts(toy_scanner_machine(), word, cells, 64) is expected
+
+    def test_head_actually_moves(self):
+        machine = toy_scanner_machine()
+        tree = find_accepting_tree(machine, "11", 2, 64)
+        assert tree is not None
+        heads = {config.head for config in tree.or_configurations()}
+        assert len(heads) > 1
+
+    def test_marks_are_written(self):
+        machine = toy_scanner_machine()
+        tree = find_accepting_tree(machine, "11", 2, 64)
+        final_tapes = {leaf.tape for leaf in tree.leaves()}
+        assert all("X" in tape for tape in final_tapes)
+
+
+class TestScannerEncoding:
+    def build(self, word, cells):
+        machine = toy_scanner_machine()
+        params = EncodingParams.from_machine(machine, cells)
+        comp = next(iter_computation_trees(machine, word, cells, 64))
+        depth = FRONTIER + gamma_depth(params) + 8
+        tree = desired_tree_cut(params, machine, word, comp, depth)
+        return machine, params, tree
+
+    def test_desired_tree_correct_two_cells(self):
+        machine, params, tree = self.build("11", 2)
+        assert incorrect_nodes(params, machine, "11", tree, FRONTIER) == []
+
+    def test_desired_tree_correct_four_cells(self):
+        """p = 2: two head-position bits, real increments."""
+        machine, params, tree = self.build("1111", 4)
+        assert params.p == 2
+        assert incorrect_nodes(params, machine, "1111", tree, FRONTIER) == []
+
+    def test_heads_recorded_in_encoding(self):
+        machine, params, tree = self.build("11", 2)
+        grandchild = CHAIN_PREFIX + (0,)
+        decoded = read_full_configuration(params, tree, grandchild)
+        assert decoded is not None
+        config, _ = decoded
+        # After one scan step the head has moved off cell 0.
+        assert config.head == 1
+
+    def test_step_formula_silent_on_moving_machine(self):
+        machine, params, tree = self.build("11", 2)
+        check = step_formula(params, machine)
+        for node in sorted(tree.nodes()):
+            if len(node) >= FRONTIER:
+                continue
+            assert not fires_at(check, tree, node), node
+
+    def test_step_formula_fires_on_wrong_head(self):
+        machine, params, tree = self.build("11", 2)
+        check = step_formula(params, machine)
+        # Flip the head bit of a grandchild configuration: the move is
+        # no longer consistent with delta.
+        head_address = params.n_q  # first head bit (p = 1)
+        from tests.test_circuits_library import flip_bit
+
+        mutated = flip_bit(params, tree, CHAIN_PREFIX + (0,), head_address)
+        assert fires_at(check, mutated, ())
+
+
+class TestScannerLemma4:
+    def test_all_ones_input_unbounded(self):
+        report = skeleton_boundedness_semantics(
+            toy_scanner_machine(), "11", cells=2, tree_limit=4
+        )
+        assert not report.rejects
+        assert report.accepting_clean_depth is not None
+
+    def test_bad_input_bounded(self):
+        report = skeleton_boundedness_semantics(
+            toy_scanner_machine(), "10", cells=2, tree_limit=4
+        )
+        assert report.rejects
+        assert report.cut_bound is not None

@@ -1,0 +1,93 @@
+"""The zigzag machine: left moves and clamping through the pipeline."""
+
+import pytest
+
+from repro.atm.encoding import (
+    desired_tree_cut,
+    gamma_depth,
+    incorrect_nodes,
+)
+from repro.atm.machine import (
+    accepts,
+    find_accepting_tree,
+    iter_computation_trees,
+    toy_zigzag_machine,
+)
+from repro.atm.params import EncodingParams
+from repro.atm.reduction import skeleton_boundedness_semantics
+from repro.circuits.gather import fires_at
+from repro.circuits.library import step_formula
+
+FRONTIER = 13
+
+
+class TestZigzagSemantics:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [("10", True), ("11", True), ("00", False), ("01", False)],
+    )
+    def test_accepts_iff_first_cell_one(self, word, expected):
+        assert accepts(toy_zigzag_machine(), word, 2, 32) is expected
+
+    def test_head_goes_right_then_left(self):
+        machine = toy_zigzag_machine()
+        tree = find_accepting_tree(machine, "10", 2, 32)
+        # Follow one branch: OR levels visit heads 0, 1, 0.
+        heads = []
+        node = tree
+        while True:
+            heads.append(node.config.head)
+            if not node.children:
+                break
+            (_, and_node) = node.children[0]
+            (_, node) = and_node.children[0]
+        assert heads == [0, 1, 0]
+
+
+class TestZigzagEncoding:
+    def build(self, word):
+        machine = toy_zigzag_machine()
+        params = EncodingParams.from_machine(machine, 2)
+        comp = next(iter_computation_trees(machine, word, 2, 32))
+        depth = FRONTIER + gamma_depth(params) + 8
+        tree = desired_tree_cut(params, machine, word, comp, depth)
+        return machine, params, tree
+
+    def test_desired_tree_correct(self):
+        machine, params, tree = self.build("10")
+        assert incorrect_nodes(params, machine, "10", tree, FRONTIER) == []
+
+    def test_step_formula_silent_with_left_moves(self):
+        machine, params, tree = self.build("10")
+        check = step_formula(params, machine)
+        for node in sorted(tree.nodes()):
+            if len(node) >= FRONTIER:
+                continue
+            assert not fires_at(check, tree, node), node
+
+    def test_step_formula_detects_wrong_left_move(self):
+        machine, params, tree = self.build("10")
+        check = step_formula(params, machine)
+        from repro.atm.encoding import CHAIN_PREFIX
+        from tests.test_circuits_library import flip_bit
+
+        # Break the head bit of a grandchild two levels down, where the
+        # left move happens (l_or at head 1 -> l_and at head 0).
+        deep_main = CHAIN_PREFIX + (0,) + CHAIN_PREFIX + (0,)
+        mutated = flip_bit(params, tree, deep_main, params.n_q)
+        parent_main = CHAIN_PREFIX + (0,)
+        assert fires_at(check, mutated, parent_main)
+
+
+class TestZigzagLemma4:
+    def test_good_input_unbounded(self):
+        report = skeleton_boundedness_semantics(
+            toy_zigzag_machine(), "10", cells=2, tree_limit=4
+        )
+        assert not report.rejects
+
+    def test_bad_input_bounded(self):
+        report = skeleton_boundedness_semantics(
+            toy_zigzag_machine(), "00", cells=2, tree_limit=4
+        )
+        assert report.rejects

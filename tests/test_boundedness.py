@@ -1,0 +1,134 @@
+"""Tests for the Proposition 2 probe and UCQ rewritings."""
+
+from repro import zoo
+from repro.core import (
+    OneCQ,
+    Verdict,
+    certain_answer,
+    path_structure,
+    probe_boundedness,
+    sigma_ucq_certain_answer,
+    sigma_ucq_rewriting,
+    ucq_certain_answer,
+    ucq_rewriting,
+)
+from repro.core.cactus import build_cactus, chain_shape, full_cactus
+from repro.core.structure import StructureBuilder
+
+
+def q4_cq() -> OneCQ:
+    return OneCQ.from_structure(zoo.q4())
+
+
+def q5_cq() -> OneCQ:
+    return OneCQ.from_structure(zoo.q5())
+
+
+class TestProbeVerdicts:
+    def test_q4_unbounded_evidence(self):
+        result = probe_boundedness(q4_cq(), probe_depth=5)
+        assert result.verdict is Verdict.UNBOUNDED_EVIDENCE
+        assert result.uncovered
+
+    def test_tf_chain_unbounded(self):
+        cq = OneCQ.from_structure(path_structure(["T", "F"]))
+        result = probe_boundedness(cq, probe_depth=5)
+        assert result.verdict is Verdict.UNBOUNDED_EVIDENCE
+
+    def test_q5_bounded_at_one(self):
+        result = probe_boundedness(q5_cq(), probe_depth=5)
+        assert result.verdict is Verdict.BOUNDED
+        assert result.depth == 1
+
+    def test_q5_sigma_bounded_at_one(self):
+        result = probe_boundedness(
+            q5_cq(), probe_depth=5, require_focus=True
+        )
+        assert result.verdict is Verdict.BOUNDED
+        assert result.depth == 1
+
+    def test_q6_pi_bounded_sigma_not(self):
+        cq = OneCQ.from_structure(zoo.q6())
+        pi = probe_boundedness(cq, probe_depth=2)
+        sigma = probe_boundedness(cq, probe_depth=2, require_focus=True)
+        assert pi.verdict is Verdict.BOUNDED
+        assert sigma.verdict is Verdict.UNBOUNDED_EVIDENCE
+
+    def test_span0_trivially_bounded(self):
+        cq = OneCQ.from_structure(path_structure([("F", "T"), "F"]))
+        result = probe_boundedness(cq, probe_depth=4)
+        assert result.verdict is Verdict.BOUNDED
+        assert result.depth == 0
+
+    def test_describe_mentions_verdict(self):
+        result = probe_boundedness(q5_cq(), probe_depth=3)
+        assert "bounded" in result.describe()
+
+
+class TestUCQRewriting:
+    def test_q5_rewriting_has_two_disjuncts(self):
+        """Example 4: (Π_q5, G) rewrites to C0 ∨ C1."""
+        ucq = ucq_rewriting(q5_cq(), 1)
+        assert len(ucq) == 2
+
+    def test_rewriting_agrees_with_certain_answer_on_cactuses(self):
+        """On cactus-shaped data, the UCQ and (Δ_q, G) agree (Prop. 1)."""
+        cq = q5_cq()
+        ucq = ucq_rewriting(cq, 1)
+        for depth in range(4):
+            data = build_cactus(cq, chain_shape([0] * depth)).structure
+            assert ucq_certain_answer(ucq, data)
+            assert certain_answer(cq.query, data)
+
+    def test_rewriting_rejects_non_matching_data(self):
+        cq = q5_cq()
+        ucq = ucq_rewriting(cq, 1)
+        data = path_structure(["T", "T"], prefix="d")
+        assert not ucq_certain_answer(ucq, data)
+        assert not certain_answer(cq.query, data)
+
+    def test_rewriting_agrees_on_random_small_instances(self):
+        import random
+
+        rng = random.Random(3)
+        cq = q5_cq()
+        ucq = ucq_rewriting(cq, 1)
+        for trial in range(30):
+            b = StructureBuilder()
+            n = rng.randint(2, 6)
+            for i in range(n):
+                label = rng.choice(["T", "F", "A", "", "FT"])
+                if label == "FT":
+                    b.add_node(i, "F", "T")
+                elif label:
+                    b.add_node(i, label)
+                else:
+                    b.add_node(i)
+            for _ in range(rng.randint(1, 8)):
+                b.add_edge(rng.randrange(n), rng.randrange(n))
+            data = b.build()
+            assert ucq_certain_answer(ucq, data) == certain_answer(
+                cq.query, data
+            ), data.describe()
+
+
+class TestSigmaRewriting:
+    def test_sigma_rewriting_matches_sirup_semantics(self):
+        from repro.core.datalog import certain_answers
+        from repro.core.sirup import compile_programs
+
+        cq = q5_cq()
+        rewriting = sigma_ucq_rewriting(cq, 1)
+        compiled = compile_programs(cq)
+        data = build_cactus(cq, chain_shape([0, 0])).sigma_structure()
+        answers = certain_answers(compiled.sigma, data, "P")
+        for node in sorted(data.nodes, key=str):
+            assert sigma_ucq_certain_answer(rewriting, data, node) == (
+                node in answers
+            ), node
+
+    def test_t_node_shortcut(self):
+        cq = q5_cq()
+        rewriting = sigma_ucq_rewriting(cq, 0)
+        data = path_structure(["T"], prefix="d")
+        assert sigma_ucq_certain_answer(rewriting, data, "d0")

@@ -1,0 +1,250 @@
+"""Tests for shapes, cactus construction and Proposition 1."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    A,
+    F,
+    OneCQ,
+    StructureBuilder,
+    T,
+    build_cactus,
+    chain_shape,
+    full_cactus,
+    full_shape,
+    goal_certain_via_cactuses,
+    goal_holds,
+    has_homomorphism,
+    initial_cactus,
+    iter_cactuses,
+    iter_shapes,
+    path_structure,
+    sirup_certain_via_cactuses,
+    structurally_focused,
+)
+from repro.core.cactus import Shape
+from repro.core.sirup import compile_programs
+from repro import zoo
+
+
+def q_ttf() -> OneCQ:
+    """q3: T -> T -> F (span 2)."""
+    return OneCQ.from_structure(path_structure(["T", "T", "F"]))
+
+
+def q_tf() -> OneCQ:
+    """T -> F (span 1)."""
+    return OneCQ.from_structure(path_structure(["T", "F"]))
+
+
+class TestShapes:
+    def test_leaf_shape(self):
+        s = Shape.leaf()
+        assert s.depth == 0
+        assert s.segment_count() == 1
+        assert s.budded == ()
+
+    def test_chain_shape(self):
+        s = chain_shape([0, 0, 0])
+        assert s.depth == 3
+        assert s.segment_count() == 4
+
+    def test_full_shape_span2(self):
+        s = full_shape(2, 2)
+        assert s.depth == 2
+        assert s.segment_count() == 1 + 2 + 4
+
+    def test_iter_shapes_counts_span1(self):
+        # span 1: shapes of depth <= d are chains of length 0..d.
+        assert len(list(iter_shapes(1, 0))) == 1
+        assert len(list(iter_shapes(1, 1))) == 2
+        assert len(list(iter_shapes(1, 3))) == 4
+
+    def test_iter_shapes_counts_span2(self):
+        # g(d) = (1 + g(d-1))^2, g(0) = 1 -> g(1) = 4, g(2) = 25.
+        assert len(list(iter_shapes(2, 1))) == 4
+        assert len(list(iter_shapes(2, 2))) == 25
+
+    def test_span0_single_shape(self):
+        assert len(list(iter_shapes(0, 5))) == 1
+
+    def test_describe_distinguishes(self):
+        shapes = {s.describe() for s in iter_shapes(2, 1)}
+        assert len(shapes) == 4
+
+
+class TestCactusConstruction:
+    def test_initial_cactus_is_query(self):
+        cq = q_tf()
+        c = initial_cactus(cq)
+        assert c.depth == 0
+        assert len(c.segments) == 1
+        assert has_homomorphism(cq.query, c.structure)
+        assert has_homomorphism(c.structure, cq.query)
+
+    def test_root_focus_is_solitary_f(self):
+        c = initial_cactus(q_tf())
+        assert c.structure.has_label(c.root_focus, F)
+        assert not c.structure.has_label(c.root_focus, T)
+
+    def test_bud_glues_a_node(self):
+        cq = q_tf()
+        c = build_cactus(cq, chain_shape([0]))
+        assert c.depth == 1
+        assert len(c.segments) == 2
+        glue = c.segment_focus(1)
+        assert c.structure.has_label(glue, A)
+        assert not c.structure.has_label(glue, T)
+        assert not c.structure.has_label(glue, F)
+
+    def test_chain_cactus_structure(self):
+        cq = q_tf()
+        c = build_cactus(cq, chain_shape([0, 0]))
+        # T -> A -> A -> F chain: 4 nodes.
+        assert len(c.structure) == 4
+        assert len(c.structure.nodes_with_label(A)) == 2
+        assert len(c.structure.nodes_with_label(T)) == 1
+        assert len(c.structure.nodes_with_label(F)) == 1
+
+    def test_full_cactus_span2(self):
+        cq = q_ttf()
+        c = full_cactus(cq, 2)
+        assert len(c.segments) == 7
+        assert c.depth == 2
+
+    def test_unbudded_ts_stay(self):
+        cq = q_ttf()
+        c = build_cactus(cq, Shape.make({0: Shape.leaf()}))
+        # Root budded index 0 only; index 1's T remains in the root.
+        root_map = c.segments[0].var_map
+        t1 = root_map[cq.solitary_ts[1]]
+        assert c.structure.has_label(t1, T)
+
+    def test_skeleton_edges(self):
+        cq = q_ttf()
+        c = build_cactus(cq, Shape.make({0: Shape.leaf(), 1: Shape.leaf()}))
+        edges = c.skeleton_edges()
+        assert len(edges) == 2
+        assert {e[2] for e in edges} == {0, 1}
+
+    def test_leaf_segments(self):
+        cq = q_tf()
+        c = build_cactus(cq, chain_shape([0, 0]))
+        assert c.leaf_segments() == [2]
+
+    def test_sigma_structure_relabels_root(self):
+        cq = q_tf()
+        c = initial_cactus(cq)
+        sigma = c.sigma_structure()
+        assert sigma.has_label(c.root_focus, A)
+        assert not sigma.has_label(c.root_focus, F)
+
+    def test_iter_cactuses_no_duplicates(self):
+        cq = q_ttf()
+        seen = set()
+        for c in iter_cactuses(cq, 2):
+            key = c.shape.describe()
+            assert key not in seen
+            seen.add(key)
+
+    def test_max_count_truncates(self):
+        cq = q_ttf()
+        assert len(list(iter_cactuses(cq, 3, max_count=10))) == 10
+
+    def test_describe(self):
+        c = full_cactus(q_tf(), 2)
+        assert "depth=2" in c.describe()
+
+
+class TestD2IsACactus:
+    def test_d2_matches_chain_cactus_of_q2(self):
+        """Example 3: D2 is the cactus of q2 obtained by budding twice."""
+        d2 = zoo.d2()
+        assert len(d2.nodes_with_label(A)) == 2
+        assert len(d2.nodes_with_label(F)) == 1
+        # Budding twice from a 3-node query adds 2 nodes per bud.
+        assert len(d2) == 7
+
+
+class TestProposition1:
+    def test_goal_via_cactuses_matches_datalog(self):
+        cq = q_ttf()
+        compiled = compile_programs(cq)
+        instances = [
+            path_structure(["T", "T", "F"], prefix="d"),
+            path_structure(["T", "A", "F"], prefix="d"),
+            path_structure(["T", "A", "A", "F"], prefix="d"),
+            path_structure(["A", "A", "F"], prefix="d"),
+            path_structure(["T", "F"], prefix="d"),
+        ]
+        for data in instances:
+            via_cactus = goal_certain_via_cactuses(cq, data, max_depth=3)
+            via_datalog = goal_holds(compiled.pi, data)
+            assert via_cactus == via_datalog, data.describe()
+
+    def test_sirup_via_cactuses_matches_datalog(self):
+        from repro.core.datalog import certain_answers
+
+        cq = q_tf()
+        compiled = compile_programs(cq)
+        data = path_structure(["T", "A", "A", "F"], prefix="d")
+        answers = certain_answers(compiled.sigma, data, "P")
+        for node in data.nodes:
+            assert sirup_certain_via_cactuses(
+                cq, data, node, max_depth=4
+            ) == (node in answers)
+
+    def test_t_node_always_p(self):
+        cq = q_tf()
+        data = path_structure(["T"], prefix="d")
+        assert sirup_certain_via_cactuses(cq, data, "d0", 2)
+
+
+class TestFocusedness:
+    def test_q5_structurally_focusable_query_from_thm3_style(self):
+        b = StructureBuilder()
+        b.add_node("f", F)
+        b.add_node("t", T)
+        b.add_node("w")
+        b.add_node("twin", F, T)
+        b.add_edge("f", "w")
+        b.add_edge("w", "t")
+        b.add_edge("w", "twin")
+        cq = OneCQ.from_structure(b.build())
+        assert structurally_focused(cq)
+
+    def test_twin_with_successor_not_structurally_focused(self):
+        b = StructureBuilder()
+        b.add_node("f", F)
+        b.add_node("t", T)
+        b.add_node("twin", F, T)
+        b.add_edge("f", "t")
+        b.add_edge("twin", "t")
+        cq = OneCQ.from_structure(b.build())
+        assert not structurally_focused(cq)
+
+
+class TestCactusProperties:
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_chain_cactus_size_linear(self, indices):
+        cq = q_ttf()
+        indices = [i % cq.span for i in indices]
+        c = build_cactus(cq, chain_shape(indices))
+        assert c.depth == len(indices)
+        # Each bud glues one node and adds |q| - 1 fresh ones.
+        assert len(c.structure) == 3 + 2 * len(indices)
+
+    @given(st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_query_always_maps_into_sigma_completion(self, depth):
+        """Any cactus admits a hom from q after relabelling all A to T
+        (the 'all-true' completion satisfies the goal)."""
+        cq = q_tf()
+        c = full_cactus(cq, depth)
+        completed = c.structure
+        for node in completed.nodes_with_label(A):
+            completed = completed.relabel_node(node, add=[T])
+        assert has_homomorphism(cq.query, completed)

@@ -1,0 +1,69 @@
+"""Exhaustive verification of the Step formula's bit arithmetic.
+
+The explicit-head substitution (DESIGN.md, substitution 3) rests on
+small increment/decrement equality formulas over head and cell-index
+bits.  These tests check them against brute force on all inputs for
+widths 1-4 -- if they are right, the head tracking of Step is right.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.formula import normalize
+from repro.circuits.library import _equals_positions, _shift_equals, _successor_equals
+
+
+def all_pairs(width):
+    for x in range(1 << width):
+        for y in range(1 << width):
+            yield x, y
+
+
+def as_bits(value, width):
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def evaluate(formula, x, y, width):
+    assignment = as_bits(x, width) + as_bits(y, width)
+    return normalize(formula).evaluate(assignment)
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4])
+class TestSuccessor:
+    def test_successor_equals(self, width):
+        xs = list(range(width))
+        ys = list(range(width, 2 * width))
+        formula = _successor_equals(xs, ys)
+        for x, y in all_pairs(width):
+            expected = y == x + 1  # no overflow: x+1 must fit
+            assert evaluate(formula, x, y, width) == expected, (x, y)
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4])
+@pytest.mark.parametrize("shift", [-2, -1, 0, 1, 2])
+class TestShift:
+    def test_shift_equals(self, width, shift):
+        xs = list(range(width))
+        ys = list(range(width, 2 * width))
+        formula = _shift_equals(xs, ys, shift)
+        for x, y in all_pairs(width):
+            target = x + shift
+            expected = 0 <= target < (1 << width) and y == target
+            assert evaluate(formula, x, y, width) == expected, (x, y)
+
+
+class TestEquality:
+    @given(st.integers(1, 5), st.integers(0, 31), st.integers(0, 31))
+    @settings(max_examples=80)
+    def test_equals_positions(self, width, x, y):
+        x &= (1 << width) - 1
+        y &= (1 << width) - 1
+        xs = list(range(width))
+        ys = list(range(width, 2 * width))
+        formula = _equals_positions(xs, ys)
+        assert evaluate(formula, x, y, width) == (x == y)
+
+    def test_unsupported_shift_rejected(self):
+        with pytest.raises(ValueError):
+            _shift_equals([0], [1], 3)

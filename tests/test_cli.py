@@ -1,0 +1,49 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import _parse_cq_file, main
+
+
+class TestParseCQFile:
+    def test_parses_labels_and_edges(self, tmp_path):
+        path = tmp_path / "q.txt"
+        path.write_text("# a comment\nF(a)\nT(b)\n\nR(a, b)\n")
+        q = _parse_cq_file(str(path))
+        assert q.has_label("a", "F")
+        assert q.has_label("b", "T")
+        assert any(
+            f.pred == "R" and f.src == "a" and f.dst == "b"
+            for f in q.binary_facts
+        )
+
+    def test_rejects_ternary_atoms(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("R(a, b, c)\n")
+        with pytest.raises(ValueError, match="cannot parse"):
+            _parse_cq_file(str(path))
+
+
+class TestCommands:
+    def test_zoo_lists_all_queries(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        for name in ("q1", "q4", "q8"):
+            assert name in out
+
+    def test_decide_zoo_query(self, capsys):
+        assert main(["decide", "q5"]) == 0
+        out = capsys.readouterr().out
+        assert "bounded" in out
+        assert "Theorem 9" in out
+
+    def test_decide_file(self, tmp_path, capsys):
+        path = tmp_path / "q.txt"
+        path.write_text("F(a)\nT(b)\nR(a, c)\nR(c, b)\n")
+        assert main(["decide", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Proposition 2" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

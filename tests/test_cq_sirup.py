@@ -1,0 +1,114 @@
+"""Tests for 1-CQ analysis and the Π_q / Σ_q compilation."""
+
+import pytest
+
+from repro.core import (
+    GOAL,
+    OneCQ,
+    StructureBuilder,
+    compile_programs,
+    is_one_cq,
+    path_structure,
+    solitary_f_nodes,
+    solitary_t_nodes,
+    twin_nodes,
+)
+from repro.core.cq import check_labels_sanity
+from repro.core.sirup import P
+
+
+def q_example4() -> OneCQ:
+    """The paper's q4: G <- F(x), R(y, x), R(y, z), T(z)."""
+    b = StructureBuilder()
+    b.add_node("x", "F")
+    b.add_node("y")
+    b.add_node("z", "T")
+    b.add_edge("y", "x")
+    b.add_edge("y", "z")
+    return OneCQ.from_structure(b.build())
+
+
+class TestLabelAnalysis:
+    def test_solitary_nodes(self):
+        q = path_structure(["T", ("F", "T"), "F"])
+        assert solitary_t_nodes(q) == {"v0"}
+        assert solitary_f_nodes(q) == {"v2"}
+        assert twin_nodes(q) == {"v1"}
+
+    def test_is_one_cq(self):
+        assert is_one_cq(path_structure(["T", "F"]))
+        assert not is_one_cq(path_structure(["F", "F"]))
+        assert not is_one_cq(path_structure(["T", "T"]))
+
+    def test_one_cq_rejects_multiple_f(self):
+        with pytest.raises(ValueError):
+            OneCQ.from_structure(path_structure(["F", "F", "T"]))
+
+    def test_one_cq_span_and_twins(self):
+        q = OneCQ.from_structure(path_structure(["T", ("F", "T"), "T", "F"]))
+        assert q.span == 2
+        assert q.twins == {"v1"}
+        assert q.focus == "v3"
+        assert "span" not in q.describe() or True  # describe() is textual
+
+    def test_twins_not_counted_as_solitary(self):
+        q = OneCQ.from_structure(path_structure([("F", "T"), "F"]))
+        assert q.span == 0
+
+    def test_sanity_warnings(self):
+        assert check_labels_sanity(path_structure(["F", "T"])) == []
+        warnings = check_labels_sanity(path_structure(["T", "T"]))
+        assert any("no F node" in w for w in warnings)
+
+
+class TestCompilation:
+    def test_pi_has_three_rules_sigma_two(self):
+        compiled = compile_programs(q_example4())
+        assert len(compiled.pi.rules) == 3
+        assert len(compiled.sigma.rules) == 2
+
+    def test_sigma_is_a_sirup(self):
+        compiled = compile_programs(q_example4())
+        assert compiled.sigma.is_sirup()
+        # Π_q is not a sirup: its goal rule also uses the IDB P, so it has
+        # two rules with IDB atoms in the body (the paper calls Σ_q the
+        # "sirup sub-program" of Π_q for exactly this reason).
+        assert not compiled.pi.is_sirup()
+
+    def test_goal_rule_shape(self):
+        compiled = compile_programs(q_example4())
+        goal_rules = [r for r in compiled.pi.rules if r.head_pred == GOAL]
+        assert len(goal_rules) == 1
+        body = goal_rules[0].body
+        assert body.has_label("x", "F")
+        assert body.has_label("z", P)
+        assert not body.has_label("z", "T")
+
+    def test_recursive_rule_shape(self):
+        compiled = compile_programs(q_example4())
+        rec = [
+            r
+            for r in compiled.sigma.rules
+            if P in r.body.unary_predicates
+        ]
+        assert len(rec) == 1
+        body = rec[0].body
+        assert body.has_label("x", "A")
+        assert not body.has_label("x", "F")
+        assert body.has_label("z", P)
+
+    def test_twins_survive_in_q_minus(self):
+        q = OneCQ.from_structure(path_structure(["T", ("F", "T"), "F"]))
+        compiled = compile_programs(q)
+        rec = compiled.sigma.recursive_rules()[0]
+        assert rec.body.has_label("v1", "F")
+        assert rec.body.has_label("v1", "T")
+
+    def test_compile_accepts_raw_structure(self):
+        compiled = compile_programs(path_structure(["T", "F"]))
+        assert compiled.one_cq.focus == "v1"
+
+    def test_goal_and_predicate_names(self):
+        compiled = compile_programs(q_example4())
+        assert compiled.goal == GOAL
+        assert compiled.sirup_predicate == P

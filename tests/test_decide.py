@@ -1,0 +1,89 @@
+"""The unified boundedness decision API (repro.decide)."""
+
+import pytest
+
+from repro import zoo
+from repro.core import OneCQ, StructureBuilder
+from repro.core.structure import F, T
+from repro.decide import (
+    BoundednessDecision,
+    Method,
+    decide_boundedness,
+    is_d_sirup_fo_rewritable,
+)
+from repro.workloads.generators import iter_lambda_cqs
+
+
+class TestDispatch:
+    def test_span_zero_is_trivially_bounded(self):
+        builder = StructureBuilder()
+        builder.add_node("f", F)
+        builder.add_node("t", F, T)
+        builder.add_edge("f", "t")
+        decision = decide_boundedness(builder.build())
+        assert decision.bounded is True
+        assert decision.method is Method.TRIVIAL_SPAN_ZERO
+        assert decision.exact
+
+    def test_lambda_queries_use_exact_decider(self):
+        for name, expected in [("q4", False), ("q5", True), ("q7", True)]:
+            decision = decide_boundedness(getattr(zoo, name)())
+            assert decision.method is Method.LAMBDA_EXACT, name
+            assert decision.exact
+            assert decision.bounded is expected, name
+            assert decision.lambda_decision is not None
+
+    def test_non_lambda_falls_back_to_probe(self):
+        decision = decide_boundedness(zoo.q2())
+        assert decision.method is Method.PROBE
+        assert not decision.exact
+        assert decision.probe is not None
+        assert decision.bounded is False  # unbounded evidence for q2
+
+    def test_accepts_one_cq_objects(self):
+        decision = decide_boundedness(OneCQ.from_structure(zoo.q5()))
+        assert decision.bounded is True
+
+    def test_rejects_multi_f_queries(self):
+        with pytest.raises(ValueError):
+            decide_boundedness(zoo.q1())
+
+    def test_describe_mentions_method(self):
+        decision = decide_boundedness(zoo.q5())
+        assert "Theorem 9" in decision.describe()
+        assert "bounded" in decision.describe()
+
+
+class TestConvenienceWrapper:
+    def test_fo_rewritable_zoo(self):
+        assert is_d_sirup_fo_rewritable(zoo.q5()) is True
+        assert is_d_sirup_fo_rewritable(zoo.q4()) is False
+
+    def test_rejects_non_one_cq(self):
+        with pytest.raises(ValueError, match="1-CQ"):
+            is_d_sirup_fo_rewritable(zoo.q1())
+
+
+class TestAgreementWithLambdaDecider:
+    def test_random_lambda_queries_agree(self):
+        from repro.ditree.lambda_cq import decide_lambda
+
+        for q in iter_lambda_cqs(count=10, size=5, seed=21):
+            one_cq = OneCQ.from_structure(q)
+            unified = decide_boundedness(one_cq)
+            direct = decide_lambda(one_cq)
+            assert unified.bounded == direct.fo_rewritable
+
+
+class TestTheorem6Routing:
+    """Prop. 5 lets the Schema.org OMQ question reuse the deciders."""
+
+    def test_schema_org_routing_agrees(self):
+        from repro.obda.schema_org import decide_schema_org_fo_rewritability
+
+        for name in ("q4", "q5", "q7"):
+            q = getattr(zoo, name)()
+            assert (
+                decide_schema_org_fo_rewritability(q).bounded
+                == decide_boundedness(q).bounded
+            )

@@ -1,0 +1,152 @@
+"""Tests for ditree order/structure utilities (Section 4 notions)."""
+
+import pytest
+
+from repro import zoo
+from repro.core import StructureBuilder, path_structure
+from repro.ditree import DitreeCQ, DitreeError, ditree_pairs_summary, is_minimal, minimise
+from repro.core.structure import F, T
+
+
+def build_tree(edges, labels):
+    b = StructureBuilder()
+    for node, labs in labels.items():
+        b.add_node(node, *labs)
+    for src, dst in edges:
+        b.add_edge(src, dst)
+    return b.build()
+
+
+class TestOrder:
+    def tree(self):
+        #      r
+        #     / \
+        #    a   b
+        #   / \
+        #  c   d
+        return DitreeCQ.from_structure(
+            build_tree(
+                [("r", "a"), ("r", "b"), ("a", "c"), ("a", "d")],
+                {"r": [], "a": [], "b": [T], "c": [F], "d": [T]},
+            )
+        )
+
+    def test_root(self):
+        assert self.tree().root == "r"
+
+    def test_rejects_non_tree(self):
+        with pytest.raises(DitreeError):
+            DitreeCQ.from_structure(
+                build_tree([("a", "b"), ("b", "a")], {"a": [], "b": []})
+            )
+
+    def test_leq(self):
+        t = self.tree()
+        assert t.leq("r", "c")
+        assert t.leq("a", "a")
+        assert not t.leq("b", "c")
+        assert t.lt("a", "c")
+        assert not t.lt("a", "a")
+
+    def test_comparable(self):
+        t = self.tree()
+        assert t.comparable("r", "d")
+        assert not t.comparable("c", "d")
+        assert not t.comparable("b", "c")
+
+    def test_inf(self):
+        t = self.tree()
+        assert t.inf("c", "d") == "a"
+        assert t.inf("c", "b") == "r"
+        assert t.inf("a", "c") == "a"
+
+    def test_delta_and_distance(self):
+        t = self.tree()
+        assert t.delta("r", "c") == 2
+        assert t.distance("c", "d") == 2
+        assert t.distance("c", "b") == 3
+        assert t.distance("a", "a") == 0
+
+    def test_delta_requires_order(self):
+        with pytest.raises(DitreeError):
+            self.tree().delta("c", "d")
+
+    def test_subtree(self):
+        t = self.tree()
+        assert t.subtree_nodes("a") == {"a", "c", "d"}
+        assert t.subtree_depth("a") == 1
+        assert t.subtree_depth("c") == 0
+        sub = t.subtree("a")
+        assert len(sub) == 3
+
+
+class TestSolitaryPairs:
+    def test_q3_pairs_comparable(self):
+        cq = DitreeCQ.from_structure(zoo.q3())
+        pairs = cq.solitary_pairs()
+        assert len(pairs) == 2
+        assert len(cq.comparable_solitary_pairs()) == 2
+
+    def test_q4_pair_incomparable(self):
+        cq = DitreeCQ.from_structure(zoo.q4())
+        assert cq.solitary_pairs()
+        assert not cq.comparable_solitary_pairs()
+
+    def test_minimal_distance(self):
+        cq = DitreeCQ.from_structure(zoo.q4())
+        pairs = cq.minimal_distance_pairs()
+        assert pairs == [("z", "x")]
+
+    def test_q4_symmetric_pair(self):
+        cq = DitreeCQ.from_structure(zoo.q4())
+        assert cq.is_symmetric_pair("z", "x")
+
+    def test_asymmetric_pair(self):
+        # F <- y -> m -> T : branches of different length.
+        q = build_tree(
+            [("y", "x"), ("y", "m"), ("m", "z")],
+            {"x": [F], "y": [], "m": [], "z": [T]},
+        )
+        cq = DitreeCQ.from_structure(q)
+        assert not cq.is_symmetric_pair("z", "x")
+        assert not cq.is_quasi_symmetric()
+
+    def test_q4_quasi_symmetric(self):
+        assert DitreeCQ.from_structure(zoo.q4()).is_quasi_symmetric()
+
+    def test_comparable_pair_blocks_quasi_symmetry(self):
+        assert not DitreeCQ.from_structure(zoo.q3()).is_quasi_symmetric()
+
+    def test_lambda_detection(self):
+        assert DitreeCQ.from_structure(zoo.q4()).is_lambda_cq()
+        assert DitreeCQ.from_structure(zoo.q5()).is_lambda_cq()
+        assert not DitreeCQ.from_structure(zoo.q3()).is_lambda_cq()
+
+    def test_span(self):
+        assert DitreeCQ.from_structure(zoo.q4()).span() == 1
+        assert DitreeCQ.from_structure(zoo.q6()).span() == 2
+
+    def test_summary_keys(self):
+        summary = ditree_pairs_summary(DitreeCQ.from_structure(zoo.q4()))
+        assert summary["quasi_symmetric"] is True
+        assert summary["lambda_cq"] is True
+        assert summary["span"] == 1
+        assert summary["min_distance"] == 2
+
+
+class TestMinimality:
+    def test_q4_minimal(self):
+        assert is_minimal(zoo.q4())
+
+    def test_duplicate_branch_not_minimal(self):
+        q = build_tree(
+            [("r", "a"), ("r", "b"), ("a", "x"), ("b", "y")],
+            {"r": [F], "a": [], "b": [], "x": [T], "y": [T]},
+        )
+        assert not is_minimal(q)
+        core = minimise(q)
+        assert len(core) == 3
+
+    def test_minimise_keeps_labels(self):
+        q = path_structure(["T", "T", "F"])
+        assert minimise(q) == q  # already minimal

@@ -1,0 +1,230 @@
+"""Tests for the Appendix F Λ-CQ FO/L decider."""
+
+import random
+
+import pytest
+
+from repro import zoo
+from repro.core import OneCQ, StructureBuilder, Verdict, probe_boundedness
+from repro.core.cq import solitary_f_nodes, solitary_t_nodes
+from repro.ditree import DitreeCQ
+from repro.ditree.lambda_cq import (
+    GEdge,
+    SegType,
+    all_edges,
+    all_types,
+    analyse,
+    compute_black,
+    compute_blue,
+    compute_completable,
+    compute_infinite,
+    decide_lambda,
+    glue_segments,
+    root_segment,
+    segment_structure,
+    successors,
+    type_blowup,
+)
+
+
+class TestTypes:
+    def test_type_counts_span1(self):
+        # Root types: 2 (C = {} or {0}); internal: P={0}, i=0, C in {{},{0}}.
+        types = all_types(1)
+        assert len(types) == 4
+        assert sum(1 for t in types if t.is_root) == 2
+
+    def test_type_counts_span2(self):
+        types = all_types(2)
+        roots = [t for t in types if t.is_root]
+        internal = [t for t in types if not t.is_root]
+        assert len(roots) == 4
+        # P must contain i: P in {{i}, {0,1}} for each i -> 2*2*4 = 16.
+        assert len(internal) == 16
+
+    def test_successors(self):
+        t = SegType(frozenset(), None, frozenset({0}))
+        succ = successors(t, 0, 1)
+        assert len(succ) == 2
+        assert all(s.parent_buds == frozenset({0}) for s in succ)
+        assert all(s.in_label == 0 for s in succ)
+
+    def test_successors_invalid_label(self):
+        t = SegType(frozenset(), None, frozenset())
+        with pytest.raises(ValueError):
+            successors(t, 0, 1)
+
+    def test_all_edges_span1(self):
+        edges = all_edges(all_types(1), 1)
+        # Types with C={0}: one root + one internal; each has 2 successors.
+        assert len(edges) == 4
+
+    def test_describe(self):
+        t = SegType(frozenset({0}), 0, frozenset())
+        assert t.describe() == "({0},0,{})"
+
+
+class TestSegmentStructures:
+    def test_root_segment_keeps_f(self):
+        cq = OneCQ.from_structure(zoo.q4())
+        s, focus = root_segment(cq, frozenset())
+        assert s.has_label(focus, "F")
+
+    def test_budded_t_becomes_a(self):
+        cq = OneCQ.from_structure(zoo.q4())
+        s, mapping = segment_structure(cq, frozenset({0}), root=True, tag="x")
+        t_node = mapping[cq.solitary_ts[0]]
+        assert s.has_label(t_node, "A")
+        assert not s.has_label(t_node, "T")
+
+    def test_nonroot_focus_is_a(self):
+        cq = OneCQ.from_structure(zoo.q4())
+        s, mapping = segment_structure(cq, frozenset(), root=False, tag="x")
+        assert s.has_label(mapping[cq.focus], "A")
+
+    def test_glue_identifies_focus_with_bud(self):
+        cq = OneCQ.from_structure(zoo.q4())
+        parts = {
+            "p": segment_structure(cq, frozenset({0}), root=True, tag="p"),
+            "c": segment_structure(cq, frozenset(), root=False, tag="c"),
+        }
+        glued, resolver = glue_segments(parts, [("p", 0, "c")], cq)
+        assert resolver[("p", cq.solitary_ts[0])] == resolver[("c", cq.focus)]
+        # q4 has 3 nodes; two glued segments share one node.
+        assert len(glued) == 5
+
+    def test_type_blowup_root_vs_internal(self):
+        cq = OneCQ.from_structure(zoo.q4())
+        root_t = SegType(frozenset(), None, frozenset())
+        internal_t = SegType(frozenset({0}), 0, frozenset())
+        assert type_blowup(cq, root_t).nodes_with_label("F")
+        internal = type_blowup(cq, internal_t)
+        assert not internal.nodes_with_label("F")
+
+
+class TestColouring:
+    def test_q4_has_no_black_types(self):
+        # q4 is twin-free: a root segment's F cannot land anywhere.
+        cq = OneCQ.from_structure(zoo.q4())
+        types = all_types(1)
+        assert compute_black(cq, types) == set()
+
+    def test_q4_has_no_blue_types(self):
+        cq = OneCQ.from_structure(zoo.q4())
+        types = all_types(1)
+        blue = compute_blue(cq, types, set())
+        assert blue == set()
+
+    def test_completable_all_uncoloured_for_q4(self):
+        types = all_types(1)
+        completable = compute_completable(types, set(), 1)
+        assert {t for t in types if not t.is_root} == completable
+
+    def test_infinite_types_bud(self):
+        types = all_types(1)
+        completable = compute_completable(types, set(), 1)
+        infinite = compute_infinite(completable, 1)
+        assert all(t.buds for t in infinite)
+        assert infinite  # the self-looping budding type exists
+
+
+class TestDecider:
+    def test_q4_l_hard(self):
+        decision = decide_lambda(DitreeCQ.from_structure(zoo.q4()))
+        assert not decision.fo_rewritable
+        assert decision.witness is not None
+
+    def test_q5_fo(self):
+        decision = decide_lambda(DitreeCQ.from_structure(zoo.q5()))
+        assert decision.fo_rewritable
+
+    def test_q8_fo(self):
+        decision = decide_lambda(DitreeCQ.from_structure(zoo.q8()))
+        assert decision.fo_rewritable
+
+    def test_span0_trivially_fo(self):
+        from repro.core import path_structure
+
+        q = path_structure([("F", "T"), "F"])
+        decision = decide_lambda(OneCQ.from_structure(q))
+        assert decision.fo_rewritable
+        assert "span 0" in decision.reason
+
+    def test_rejects_non_lambda(self):
+        with pytest.raises(ValueError):
+            decide_lambda(DitreeCQ.from_structure(zoo.q3()))
+
+    def test_accepts_raw_structure(self):
+        decision = decide_lambda(zoo.q4())
+        assert not decision.fo_rewritable
+
+    def test_describe(self):
+        decision = decide_lambda(zoo.q5())
+        assert "FO-rewritable" in decision.describe()
+
+    def test_analysis_tables_exposed(self):
+        analysis = analyse(OneCQ.from_structure(zoo.q5()))
+        assert analysis.stabilised_at >= 1
+        assert analysis.cuttable  # q5 has cuttable edges (it is bounded)
+
+
+def _random_lambda_tree(rng, n):
+    parents = {i: rng.randrange(i) for i in range(1, n)}
+    labels = {i: rng.choice(["", "FT", "FT", ""]) for i in range(n)}
+
+    def anc(i):
+        out = set()
+        while i in parents:
+            i = parents[i]
+            out.add(i)
+        return out
+
+    pairs = [
+        (f, t)
+        for f in range(1, n)
+        for t in range(1, n)
+        if f != t and f not in anc(t) and t not in anc(f)
+    ]
+    if not pairs:
+        return None
+    f, t = rng.choice(pairs)
+    labels[f] = "F"
+    labels[t] = "T"
+    b = StructureBuilder()
+    for i in range(n):
+        lab = labels[i]
+        if lab == "FT":
+            b.add_node(i, "F", "T")
+        elif lab:
+            b.add_node(i, lab)
+        else:
+            b.add_node(i)
+    for i, p in parents.items():
+        b.add_edge(p, i)
+    q = b.build()
+    if len(solitary_f_nodes(q)) != 1 or len(solitary_t_nodes(q)) != 1:
+        return None
+    return q
+
+
+class TestCrossValidation:
+    """The decider agrees with the Proposition 2 probe on random Λ-CQs."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agreement_with_probe(self, seed):
+        rng = random.Random(seed)
+        checked = 0
+        while checked < 12:
+            q = _random_lambda_tree(rng, rng.randint(3, 6))
+            if q is None:
+                continue
+            cq = DitreeCQ.from_structure(q)
+            if not cq.is_lambda_cq():
+                continue
+            checked += 1
+            decision = decide_lambda(cq)
+            probe = probe_boundedness(OneCQ.from_structure(q), 5)
+            if probe.verdict is Verdict.BOUNDED:
+                assert decision.fo_rewritable, q.describe()
+            elif probe.verdict is Verdict.UNBOUNDED_EVIDENCE:
+                assert not decision.fo_rewritable, q.describe()

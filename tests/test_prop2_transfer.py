@@ -1,0 +1,80 @@
+"""Proposition 2's rewriting transfers, executed.
+
+(a) => (b): a UCQ rewriting of (Sigma_q, P) composes into a UCQ
+rewriting of (Pi_q, G).  We build both rewritings for the bounded q5
+and check they agree with the datalog engine on random data.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import zoo
+from repro.core import OneCQ, compile_programs, evaluate
+from repro.core.boundedness import (
+    pi_rewriting_from_sigma,
+    sigma_ucq_certain_answer,
+    sigma_ucq_rewriting,
+    ucq_certain_answer,
+    ucq_rewriting,
+)
+from tests.test_property_invariants import structures
+
+
+def q5_setup():
+    one_cq = OneCQ.from_structure(zoo.q5())
+    sigma = sigma_ucq_rewriting(one_cq, depth=1)
+    composed = pi_rewriting_from_sigma(one_cq, sigma)
+    return one_cq, sigma, composed
+
+
+class TestComposition:
+    def test_disjunct_count(self):
+        one_cq, sigma, composed = q5_setup()
+        # One disjunct per choice of T-or-C° at each solitary T node.
+        expected = (1 + len(sigma)) ** one_cq.span
+        assert len(composed) == expected
+
+    def test_t_choice_disjunct_is_q_itself(self):
+        one_cq, _sigma, composed = q5_setup()
+        assert one_cq.query in composed
+
+    def test_glued_disjuncts_carry_a_labels(self):
+        one_cq, _sigma, composed = q5_setup()
+        glued = [d for d in composed if d != one_cq.query]
+        for disjunct in glued:
+            assert disjunct.nodes_with_label("A")
+            # The budded T node lost its solitary T label.
+            for y in one_cq.solitary_ts:
+                assert not (
+                    disjunct.has_label(y, "T") and not disjunct.has_label(y, "F")
+                ) or disjunct == one_cq.query
+
+
+class TestSemanticAgreement:
+    @given(structures(max_nodes=5, max_edges=7))
+    @settings(max_examples=30, deadline=None)
+    def test_composed_rewriting_computes_certain_answer(self, data):
+        one_cq, _sigma, composed = q5_setup()
+        programs = compile_programs(one_cq.query)
+        ground_truth = evaluate(programs.pi, data).holds(programs.goal)
+        assert ucq_certain_answer(composed, data) == ground_truth
+
+    @given(structures(max_nodes=5, max_edges=7))
+    @settings(max_examples=30, deadline=None)
+    def test_direct_rewriting_agrees_with_composed(self, data):
+        one_cq, _sigma, composed = q5_setup()
+        direct = ucq_rewriting(one_cq, depth=1)
+        assert ucq_certain_answer(direct, data) == ucq_certain_answer(
+            composed, data
+        )
+
+    @given(structures(max_nodes=5, max_edges=7))
+    @settings(max_examples=25, deadline=None)
+    def test_sigma_rewriting_computes_p(self, data):
+        one_cq, sigma, _composed = q5_setup()
+        programs = compile_programs(one_cq.query)
+        result = evaluate(programs.sigma, data)
+        for node in data.nodes:
+            assert sigma_ucq_certain_answer(sigma, data, node) == result.holds(
+                programs.sirup_predicate, node
+            )

@@ -1,0 +1,141 @@
+"""Property-based tests on the 01-tree encoding layer (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atm.encoding import (
+    ZeroOneTree,
+    gamma_paths,
+    gamma_tree,
+    is_main_path,
+    read_config_bits,
+    suffix_decomposition,
+)
+from repro.atm.machine import Configuration, toy_scanner_machine
+from repro.atm.params import EncodingParams, decode_configuration, encode_configuration
+
+
+def scanner_params(cells=2):
+    return EncodingParams.from_machine(toy_scanner_machine(), cells)
+
+
+@st.composite
+def configurations(draw, cells=2):
+    machine = toy_scanner_machine()
+    state = draw(st.sampled_from(machine.states))
+    head = draw(st.integers(0, cells - 1))
+    tape = tuple(
+        draw(st.sampled_from(machine.alphabet)) for _ in range(cells)
+    )
+    return Configuration(state, head, tape)
+
+
+class TestCodecProperties:
+    @given(configurations(), st.integers(0, 1))
+    @settings(max_examples=60)
+    def test_roundtrip(self, config, parent):
+        params = scanner_params()
+        bits = encode_configuration(params, config, parent)
+        assert decode_configuration(params, bits) == (config, parent)
+
+    @given(configurations(cells=4), st.integers(0, 1))
+    @settings(max_examples=40)
+    def test_roundtrip_four_cells(self, config, parent):
+        params = scanner_params(cells=4)
+        bits = encode_configuration(params, config, parent)
+        assert decode_configuration(params, bits) == (config, parent)
+
+    @given(configurations(), st.integers(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_gamma_tree_stores_exactly_the_bits(self, config, parent):
+        params = scanner_params()
+        bits = encode_configuration(params, config, parent)
+        tree = gamma_tree(params, bits)
+        read = read_config_bits(params, tree, ())
+        assert tuple(read[i] for i in range(params.seq_len)) == bits
+
+    @given(configurations(), st.integers(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_gamma_paths_unique_per_address(self, config, parent):
+        params = scanner_params()
+        paths = gamma_paths(params, encode_configuration(params, config, parent))
+        assert len(paths) == params.seq_len
+        assert len(set(paths)) == params.seq_len
+        # All paths have the uniform gamma length 4(d+1).
+        assert {len(p) for p in paths} == {4 * (params.d + 1)}
+
+
+class TestSuffixProperties:
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=24))
+    @settings(max_examples=150)
+    def test_decomposition_consistency(self, labels):
+        labels = tuple(labels)
+        shape = suffix_decomposition(labels)
+        if shape is None:
+            # No anchor: no 001* pattern anywhere.
+            assert not any(
+                labels[j : j + 3] == (0, 0, 1) and j + 4 <= len(labels)
+                for j in range(len(labels))
+            )
+            return
+        # The anchor really is a 001* pattern...
+        assert labels[shape.anchor : shape.anchor + 3] == (0, 0, 1)
+        assert shape.anchor + 4 <= len(labels)
+        # ...and it is the last one.
+        assert not any(
+            labels[j : j + 3] == (0, 0, 1) and j + 4 <= len(labels)
+            for j in range(shape.anchor + 1, len(labels))
+        )
+        # k accounts for everything after the anchor.
+        assert shape.anchor + shape.k() == len(labels)
+
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=16))
+    @settings(max_examples=100)
+    def test_main_path_detection(self, labels):
+        labels = tuple(labels)
+        assert is_main_path(labels) == (labels[-4:-1] == (0, 0, 1))
+
+
+class TestTreeProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=0, max_size=8),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=80)
+    def test_prefix_closure_invariant(self, raw_paths):
+        tree = ZeroOneTree(map(tuple, raw_paths))
+        for path in tree.paths:
+            assert path[:-1] in tree or path == ()
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=1, max_size=8),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(0, 8),
+    )
+    @settings(max_examples=80)
+    def test_cut_bounds_depth(self, raw_paths, depth):
+        tree = ZeroOneTree(map(tuple, raw_paths))
+        cut = tree.cut(depth)
+        assert cut.depth() <= depth
+        assert cut.paths <= tree.paths
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=1, max_size=6),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60)
+    def test_subtree_roundtrip(self, raw_paths):
+        tree = ZeroOneTree(map(tuple, raw_paths))
+        for child in tree.children(()):
+            sub = tree.subtree((child,))
+            for path in sub.paths:
+                assert (child,) + path in tree

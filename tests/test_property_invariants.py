@@ -1,0 +1,187 @@
+"""Property-based invariants across the core substrate (hypothesis).
+
+These complement the unit suites with randomised laws: structure
+algebra, homomorphism composition/closure, cactus combinatorics and the
+Proposition 1 equivalence between the datalog engine and cactus
+embeddings on random data.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    OneCQ,
+    Structure,
+    certain_answer,
+    compile_programs,
+    evaluate,
+    evaluate_branching,
+    evaluate_exhaustive,
+    find_homomorphism,
+    goal_certain_via_cactuses,
+    is_homomorphism,
+    iter_cactuses,
+    iter_homomorphisms,
+)
+from repro.core.structure import BinaryFact, UnaryFact
+from repro import zoo
+
+
+# ---------------------------------------------------------------------------
+# Random structures
+# ---------------------------------------------------------------------------
+
+LABELS = ("F", "T", "A")
+PREDS = ("R", "S")
+
+
+@st.composite
+def structures(draw, max_nodes=6, max_edges=8):
+    n = draw(st.integers(1, max_nodes))
+    nodes = [f"n{i}" for i in range(n)]
+    unary = draw(
+        st.lists(
+            st.tuples(st.sampled_from(LABELS), st.sampled_from(nodes)),
+            max_size=max_nodes,
+        )
+    )
+    binary = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(PREDS),
+                st.sampled_from(nodes),
+                st.sampled_from(nodes),
+            ),
+            max_size=max_edges,
+        )
+    )
+    return Structure(
+        nodes,
+        (UnaryFact(label, node) for label, node in unary),
+        (BinaryFact(p, s, d) for p, s, d in binary),
+    )
+
+
+class TestStructureAlgebra:
+    @given(structures())
+    @settings(max_examples=60)
+    def test_rename_identity(self, s):
+        assert s.rename({}) == s
+
+    @given(structures())
+    @settings(max_examples=60)
+    def test_union_idempotent(self, s):
+        assert s.union(s) == s
+
+    @given(structures(), structures())
+    @settings(max_examples=60)
+    def test_union_commutative(self, s1, s2):
+        assert s1.union(s2) == s2.union(s1)
+
+    @given(structures())
+    @settings(max_examples=60)
+    def test_restrict_to_all_nodes_is_identity(self, s):
+        assert s.restrict(s.nodes) == s
+
+    @given(structures())
+    @settings(max_examples=60)
+    def test_fresh_copy_is_isomorphic(self, s):
+        copy, mapping = s.with_fresh_nodes("c")
+        assert len(copy) == len(s)
+        assert copy.size() == s.size()
+        assert is_homomorphism(s, copy, mapping)
+
+    @given(structures())
+    @settings(max_examples=60)
+    def test_size_counts_facts(self, s):
+        assert s.size() == len(s.unary_facts) + len(s.binary_facts)
+
+
+class TestHomomorphismLaws:
+    @given(structures())
+    @settings(max_examples=50)
+    def test_identity_hom(self, s):
+        identity = {node: node for node in s.nodes}
+        assert is_homomorphism(s, s, identity)
+
+    @given(structures(), structures())
+    @settings(max_examples=40, deadline=None)
+    def test_found_homs_are_homs(self, source, target):
+        for hom in list(iter_homomorphisms(source, target))[:5]:
+            assert is_homomorphism(source, target, hom)
+
+    @given(structures())
+    @settings(max_examples=40, deadline=None)
+    def test_hom_into_union_superset(self, s):
+        """Adding facts to the target never destroys a homomorphism."""
+        extra = Structure(
+            ["zz"], [UnaryFact("T", "zz")], []
+        )
+        bigger = s.union(extra)
+        hom = find_homomorphism(s, bigger)
+        assert hom is not None
+
+
+class TestCactusCombinatorics:
+    @given(st.integers(0, 2))
+    @settings(max_examples=10, deadline=None)
+    def test_segment_count_matches_buds(self, depth):
+        one_cq = OneCQ.from_structure(zoo.q2())
+        for cactus in iter_cactuses(one_cq, max_depth=depth):
+            # Each budding adds exactly one segment.
+            assert len(cactus.segments) == cactus.shape.segment_count()
+            assert cactus.depth <= depth
+
+    def test_cactus_structures_have_single_f(self):
+        one_cq = OneCQ.from_structure(zoo.q2())
+        for cactus in iter_cactuses(one_cq, max_depth=2):
+            f_nodes = cactus.structure.nodes_with_label(
+                "F"
+            ) - cactus.structure.nodes_with_label("T")
+            assert len(f_nodes) == 1
+            assert cactus.root_focus in f_nodes
+
+
+class TestProposition1:
+    """Datalog closure == cactus embedding, on random instances."""
+
+    @given(structures(max_nodes=5, max_edges=7))
+    @settings(max_examples=25, deadline=None)
+    def test_goal_agreement_q5(self, data):
+        q = zoo.q5()
+        programs = compile_programs(q)
+        datalog_answer = evaluate(programs.pi, data).holds(programs.goal)
+        cactus_answer = goal_certain_via_cactuses(
+            OneCQ.from_structure(q), data, max_depth=len(data)
+        )
+        assert datalog_answer == cactus_answer
+
+    @given(structures(max_nodes=5, max_edges=6))
+    @settings(max_examples=20, deadline=None)
+    def test_delta_equals_pi_on_random_data(self, data):
+        q = zoo.q5()
+        programs = compile_programs(q)
+        datalog_answer = evaluate(programs.pi, data).holds(programs.goal)
+        assert evaluate_branching(q, data).certain == datalog_answer
+
+    @given(structures(max_nodes=4, max_edges=6))
+    @settings(max_examples=15, deadline=None)
+    def test_exhaustive_equals_branching(self, data):
+        q = zoo.q3()
+        assert (
+            evaluate_exhaustive(q, data).certain
+            == evaluate_branching(q, data).certain
+        )
+
+
+class TestMonotonicity:
+    """Certain answers are monotone in the data (d-sirups are positive
+    existential over the completed labellings)."""
+
+    @given(structures(max_nodes=4, max_edges=5), structures(max_nodes=3, max_edges=4))
+    @settings(max_examples=20, deadline=None)
+    def test_certain_answer_monotone(self, small, extra):
+        q = zoo.q5()
+        merged = small.union(extra.rename({n: ("x", n) for n in extra.nodes}))
+        if certain_answer(q, small):
+            assert certain_answer(q, merged)

@@ -1,0 +1,187 @@
+"""The Theorem 3 construction: query shape, trigger semantics, Lemma 4."""
+
+import pytest
+
+from repro.atm.encoding import desired_tree_cut, gamma_depth
+from repro.atm.machine import (
+    iter_computation_trees,
+    toy_accept_machine,
+    toy_alternation_machine,
+    toy_reject_machine,
+)
+from repro.atm.params import EncodingParams
+from repro.atm.reduction import (
+    FRAME_AA,
+    FRAME_AT,
+    FRAME_TA,
+    build_query,
+    formula_incorrectness,
+    gadget_applies_at,
+    gadget_inventory,
+    segment_verdict,
+    skeleton_boundedness_semantics,
+)
+from repro.circuits.library import build_library
+from repro.core.cactus import structurally_focused
+from repro.core.cq import solitary_f_nodes, solitary_t_nodes, twin_nodes
+from repro.atm.encoding import incorrect_nodes, reject_main_nodes
+
+_QUERY_CACHE: dict = {}
+
+
+def build_cached(machine_factory, word="1"):
+    key = (machine_factory.__name__, word)
+    if key not in _QUERY_CACHE:
+        _QUERY_CACHE[key] = build_query(machine_factory(), word)
+    return _QUERY_CACHE[key]
+
+
+class TestGadgetInventory:
+    def test_all_kinds_present(self):
+        machine = toy_reject_machine()
+        params = EncodingParams.from_machine(machine, 2)
+        library = build_library(params, machine, ["1"])
+        gadgets = gadget_inventory(library)
+        kinds = {g.kind for g in gadgets}
+        assert kinds == {"g1", "g2", "g3", "g4", "g5", "g6", "g7"}
+
+    def test_must_branch_has_both_frames(self):
+        machine = toy_reject_machine()
+        params = EncodingParams.from_machine(machine, 2)
+        library = build_library(params, machine, ["1"])
+        gadgets = gadget_inventory(library)
+        g2 = [g for g in gadgets if g.kind == "g2"]
+        assert len(g2) == 2 * len(library.must_branch)
+        assert {g.frame_type for g in g2} == {FRAME_AT, FRAME_TA}
+
+    def test_non_branch_gadgets_are_aa(self):
+        machine = toy_reject_machine()
+        params = EncodingParams.from_machine(machine, 2)
+        library = build_library(params, machine, ["1"])
+        for gadget in gadget_inventory(library):
+            if gadget.kind != "g2":
+                assert gadget.frame_type == FRAME_AA
+
+
+class TestQueryShape:
+    def test_one_cq_census(self):
+        result = build_cached(toy_reject_machine)
+        q = result.query
+        assert len(solitary_f_nodes(q)) == 1
+        assert len(solitary_t_nodes(q)) == 2
+        assert len(twin_nodes(q)) == len(result.gadgets)
+
+    def test_query_is_dag(self):
+        result = build_cached(toy_reject_machine)
+        assert result.query.is_dag()
+
+    def test_query_structurally_focused(self):
+        result = build_cached(toy_reject_machine)
+        assert structurally_focused(result.one_cq)
+
+    def test_size_stats(self):
+        result = build_cached(toy_reject_machine)
+        stats = result.size_stats()
+        assert stats["gadgets"] == len(result.gadgets)
+        assert stats["twins"] == stats["gadgets"]
+        assert stats["solitary_ts"] == 2
+        assert stats["nodes"] > stats["gadgets"]
+
+    def test_each_gadget_has_unique_edge_predicate(self):
+        result = build_cached(toy_reject_machine)
+        preds = {
+            p for p in result.query.binary_predicates if p.startswith("Rg")
+        }
+        assert len(preds) == len(result.gadgets)
+
+    def test_polynomial_growth_in_word(self):
+        small = build_cached(toy_reject_machine, "1").size_stats()
+        large = build_cached(toy_reject_machine, "10").size_stats()
+        assert large["nodes"] >= small["nodes"]
+        # Same cells, one extra input symbol: growth stays modest
+        # (well under quadratic in this regime).
+        assert large["nodes"] <= 4 * small["nodes"]
+
+    def test_connected(self):
+        result = build_cached(toy_reject_machine)
+        assert result.query.is_connected()
+
+
+class TestTriggerSemantics:
+    def setup_tree(self, machine_factory=toy_reject_machine):
+        machine = machine_factory()
+        params = EncodingParams.from_machine(machine, 2)
+        library = build_library(params, machine, ["1"])
+        comp = next(iter_computation_trees(machine, "1", 2, 16))
+        depth = 9 + gamma_depth(params) + 8
+        tree = desired_tree_cut(params, machine, "1", comp, depth)
+        return machine, params, library, tree
+
+    def test_gadget_gating(self):
+        machine, params, library, tree = self.setup_tree()
+        gadgets = gadget_inventory(library)
+        at = next(g for g in gadgets if g.frame_type == FRAME_AT)
+        ta = next(g for g in gadgets if g.frame_type == FRAME_TA)
+        aa = next(g for g in gadgets if g.frame_type == FRAME_AA)
+        # Root branches both ways: only AA gadgets apply.
+        assert gadget_applies_at(aa, tree, ())
+        assert not gadget_applies_at(at, tree, ())
+        assert not gadget_applies_at(ta, tree, ())
+        # A node with only a 0-child is a q^-_AT segment.
+        only_zero = next(
+            n for n in tree.nodes() if tree.children(n) == (0,)
+        )
+        assert gadget_applies_at(at, tree, only_zero)
+        assert not gadget_applies_at(ta, tree, only_zero)
+
+    def test_desired_tree_segments_not_cuttable(self):
+        machine, params, library, tree = self.setup_tree(toy_accept_machine)
+        for node in sorted(tree.nodes()):
+            if len(node) >= 9:
+                continue
+            verdict = segment_verdict(library, machine, ["1"], tree, node)
+            assert not verdict.cuttable, (node, verdict.fired)
+
+    def test_reject_segment_is_cuttable_but_not_incorrect(self):
+        machine, params, library, tree = self.setup_tree(toy_reject_machine)
+        rejecting = reject_main_nodes(params, machine, "1", tree, 9)
+        assert rejecting
+        verdict = segment_verdict(
+            library, machine, ["1"], tree, rejecting[0]
+        )
+        assert verdict.reject and verdict.cuttable and not verdict.incorrect
+
+    def test_formula_incorrectness_matches_reference(self):
+        machine, params, library, tree = self.setup_tree()
+        frontier = 9
+        assert formula_incorrectness(library, machine, ["1"], tree, frontier) == []
+        mutated = tree.remove_subtree((1, 1, 1, 0))
+        assert formula_incorrectness(
+            library, machine, ["1"], mutated, frontier
+        ) == incorrect_nodes(params, machine, "1", mutated, frontier)
+
+
+class TestLemma4Semantics:
+    """The operational boundedness argument on toy machines."""
+
+    def test_rejecting_machine_bounded(self):
+        report = skeleton_boundedness_semantics(toy_reject_machine(), "1")
+        assert report.rejects
+        assert report.cut_bound is not None
+
+    def test_accepting_machine_unbounded(self):
+        report = skeleton_boundedness_semantics(toy_accept_machine(), "1")
+        assert not report.rejects
+        assert report.accepting_clean_depth is not None
+
+    def test_alternation_machine_tracks_input(self):
+        machine = toy_alternation_machine()
+        rejecting = skeleton_boundedness_semantics(machine, "0")
+        assert rejecting.rejects
+        accepting = skeleton_boundedness_semantics(machine, "1")
+        assert not accepting.rejects
+        assert accepting.accepting_clean_depth is not None
+
+    def test_report_describe(self):
+        report = skeleton_boundedness_semantics(toy_reject_machine(), "1")
+        assert "bounded" in report.describe()

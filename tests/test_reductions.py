@@ -1,0 +1,148 @@
+"""Executable hardness reductions (Theorem 7 and Appendix G).
+
+The reduction theorems are verified *semantically*: for sampled graphs,
+the certain answer over the constructed instance equals reachability.
+"""
+
+import pytest
+
+from repro import zoo
+from repro.core import certain_answer
+from repro.ditree import (
+    Digraph,
+    DitreeCQ,
+    grid_dag,
+    pick_reduction_pair,
+    random_dag,
+    random_graph,
+    reachability_instance,
+)
+
+
+class TestDigraph:
+    def test_reachable(self):
+        g = Digraph((0, 1, 2, 3), ((0, 1), (1, 2)))
+        assert g.reachable(0) == {0, 1, 2}
+        assert g.reachable(3) == {3}
+
+    def test_undirected_reachable(self):
+        g = Digraph((0, 1, 2), ((1, 0),))
+        assert g.undirected_reachable(0) == {0, 1}
+
+    def test_is_dag(self):
+        assert Digraph((0, 1), ((0, 1),)).is_dag()
+        assert not Digraph((0, 1), ((0, 1), (1, 0))).is_dag()
+
+    def test_grid_dag(self):
+        g = grid_dag(3, 2)
+        assert len(g.vertices) == 6
+        assert g.is_dag()
+        assert (2, 1) in g.reachable((0, 0))
+
+    def test_random_dag_is_dag(self):
+        assert random_dag(12, 0.3, seed=1).is_dag()
+
+
+class TestReductionPair:
+    def test_comparable_pair_for_q3(self):
+        cq = DitreeCQ.from_structure(zoo.q3())
+        t, f = pick_reduction_pair(cq)
+        assert cq.comparable(t, f)
+
+    def test_q4_has_no_pair(self):
+        with pytest.raises(ValueError):
+            pick_reduction_pair(DitreeCQ.from_structure(zoo.q4()))
+
+    def test_asymmetric_incomparable_pair(self):
+        from repro.core import StructureBuilder
+        from repro.core.structure import F, T
+
+        b = StructureBuilder()
+        b.add_node("x", F)
+        b.add_node("y")
+        b.add_node("m")
+        b.add_node("z", T)
+        b.add_edge("y", "x")
+        b.add_edge("y", "m")
+        b.add_edge("m", "z")
+        cq = DitreeCQ.from_structure(b.build())
+        t, f = pick_reduction_pair(cq)
+        assert not cq.comparable(t, f)
+
+
+class TestTheorem7Reduction:
+    """s ->_G t  iff  certain answer over D_G is 'yes' (Theorem 7)."""
+
+    def _check(self, q, graph, source, target):
+        cq = DitreeCQ.from_structure(q)
+        data = reachability_instance(cq, graph, source, target)
+        expected = target in graph.reachable(source)
+        assert certain_answer(q, data) == expected
+
+    def test_q3_path_reachable(self):
+        g = Digraph((0, 1, 2), ((0, 1), (1, 2)))
+        self._check(zoo.q3(), g, 0, 2)
+
+    def test_q3_path_unreachable(self):
+        g = Digraph((0, 1, 2), ((1, 0), (1, 2)))
+        self._check(zoo.q3(), g, 0, 2)
+
+    def test_q3_disconnected(self):
+        g = Digraph((0, 1, 2, 3), ((0, 1), (2, 3)))
+        self._check(zoo.q3(), g, 0, 3)
+
+    def test_q3_on_small_grid(self):
+        g = grid_dag(2, 2)
+        self._check(zoo.q3(), g, (0, 0), (1, 1))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_q3_random_dags(self, seed):
+        g = random_dag(6, 0.25, seed)
+        self._check(zoo.q3(), g, 0, 5)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_asymmetric_case_ii_random_dags(self, seed):
+        from repro.core import StructureBuilder
+        from repro.core.structure import F, T
+
+        b = StructureBuilder()
+        b.add_node("x", F)
+        b.add_node("y")
+        b.add_node("m")
+        b.add_node("z", T)
+        b.add_edge("y", "x")
+        b.add_edge("y", "m")
+        b.add_edge("m", "z")
+        g = random_dag(5, 0.3, seed)
+        self._check(b.build(), g, 0, 4)
+
+
+class TestAppendixGReduction:
+    """Undirected reachability for the quasi-symmetric q4 (L-hardness)."""
+
+    def _check_undirected(self, graph, source, target):
+        q = zoo.q4()
+        cq = DitreeCQ.from_structure(q)
+        # Appendix G uses the same instance builder; for q4 the pair is
+        # its unique solitary pair.
+        data = reachability_instance(cq, graph, source, target, pair=("z", "x"))
+        expected = target in graph.undirected_reachable(source)
+        assert certain_answer(q, data) == expected
+
+    def test_connected_path(self):
+        g = Digraph((0, 1, 2), ((0, 1), (1, 2)))
+        self._check_undirected(g, 0, 2)
+
+    def test_reverse_edges_still_reachable(self):
+        # Symmetric query: direction of graph edges must not matter.
+        g = Digraph((0, 1, 2), ((1, 0), (2, 1)))
+        self._check_undirected(g, 0, 2)
+
+    def test_disconnected(self):
+        g = Digraph((0, 1, 2, 3), ((0, 1), (2, 3)))
+        self._check_undirected(g, 0, 3)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        g = random_graph(5, 0.3, seed)
+        self._check_undirected(g, 0, 4)

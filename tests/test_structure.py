@@ -1,0 +1,179 @@
+"""Unit tests for the labelled-digraph substrate."""
+
+import pytest
+
+from repro.core import (
+    BinaryFact,
+    Structure,
+    StructureBuilder,
+    UnaryFact,
+    path_structure,
+)
+from repro.core.structure import F, R, S, T
+
+
+def triangle() -> Structure:
+    b = StructureBuilder()
+    b.add_node("a", "T")
+    b.add_node("b")
+    b.add_node("c", "F")
+    b.add_edge("a", "b", R)
+    b.add_edge("b", "c", R)
+    b.add_edge("c", "a", S)
+    return b.build()
+
+
+class TestConstruction:
+    def test_nodes_inferred_from_facts(self):
+        s = Structure((), (UnaryFact("T", "x"),), (BinaryFact(R, "x", "y"),))
+        assert s.nodes == {"x", "y"}
+
+    def test_explicit_isolated_node(self):
+        s = Structure(("lonely",), (), ())
+        assert "lonely" in s.nodes
+        assert s.labels("lonely") == frozenset()
+
+    def test_labels_and_lookup(self):
+        s = triangle()
+        assert s.labels("a") == {"T"}
+        assert s.nodes_with_label("F") == {"c"}
+        assert s.nodes_with_label("missing") == frozenset()
+        assert s.has_label("a", "T")
+        assert not s.has_label("a", "F")
+
+    def test_edges_indexed(self):
+        s = triangle()
+        assert {f.dst for f in s.out_edges("a")} == {"b"}
+        assert {f.src for f in s.in_edges("a")} == {"c"}
+        assert list(s.successors("b")) == ["c"]
+        assert list(s.predecessors("b")) == ["a"]
+
+    def test_degree_and_sizes(self):
+        s = triangle()
+        assert s.degree("a") == 2
+        assert len(s) == 3
+        assert s.size() == 2 + 3
+
+    def test_predicate_inventories(self):
+        s = triangle()
+        assert s.unary_predicates == {"T", "F"}
+        assert s.binary_predicates == {R, S}
+
+    def test_equality_and_hash(self):
+        assert triangle() == triangle()
+        assert hash(triangle()) == hash(triangle())
+        other = triangle().relabel_node("b", add=["T"])
+        assert other != triangle()
+
+    def test_repr_mentions_sizes(self):
+        assert "3" in repr(triangle())
+
+
+class TestDerivedStructures:
+    def test_rename_merges_nodes(self):
+        s = path_structure(["T", "", "F"])
+        merged = s.rename({"v2": "v0"})
+        assert len(merged) == 2
+        assert merged.has_label("v0", "T")
+        assert merged.has_label("v0", "F")
+
+    def test_relabel_node(self):
+        s = triangle()
+        s2 = s.relabel_node("a", remove=["T"], add=["F", "A"])
+        assert s2.labels("a") == {"F", "A"}
+        # original untouched
+        assert s.labels("a") == {"T"}
+
+    def test_union_glues_shared_names(self):
+        p1 = path_structure(["T", ""], prefix="x")
+        p2 = path_structure(["", "F"], prefix="x")
+        u = p1.union(p2)
+        assert len(u) == 2
+        assert u.has_label("x0", "T")
+        assert u.has_label("x1", "F")
+
+    def test_restrict_keeps_induced_edges(self):
+        s = triangle()
+        sub = s.restrict(["a", "b"])
+        assert sub.nodes == {"a", "b"}
+        assert len(sub.binary_facts) == 1
+
+    def test_without_nodes(self):
+        s = triangle()
+        assert s.without_nodes(["c"]).nodes == {"a", "b"}
+
+    def test_with_fresh_nodes_disjoint(self):
+        s = triangle()
+        copy, mapping = s.with_fresh_nodes("c1")
+        assert copy.nodes.isdisjoint(s.nodes)
+        assert copy.size() == s.size()
+        assert mapping["a"] == ("c1", "a")
+
+
+class TestGraphProperties:
+    def test_connected(self):
+        assert triangle().is_connected()
+        two = Structure(("a", "b"), (), ())
+        assert not two.is_connected()
+        assert len(two.weak_components()) == 2
+
+    def test_empty_structure_connected(self):
+        assert Structure().is_connected()
+
+    def test_dag_detection(self):
+        assert path_structure(["", "", ""]).is_dag()
+        assert not triangle().is_dag()
+
+    def test_ditree_detection(self):
+        assert path_structure(["T", "T", "F"]).is_ditree()
+        assert not triangle().is_ditree()
+        b = StructureBuilder()
+        b.add_edge("r", "u")
+        b.add_edge("r", "v")
+        tree = b.build()
+        assert tree.is_ditree()
+        assert tree.ditree_root() == "r"
+
+    def test_non_ditree_root_raises(self):
+        two = Structure(("a", "b"), (), ())
+        with pytest.raises(ValueError):
+            two.ditree_root()
+
+    def test_diamond_is_not_ditree(self):
+        b = StructureBuilder()
+        b.add_edge("r", "u")
+        b.add_edge("r", "v")
+        b.add_edge("u", "w")
+        b.add_edge("v", "w")
+        assert not b.build().is_ditree()
+
+
+class TestBuilderAndPath:
+    def test_fresh_nodes_are_unique(self):
+        b = StructureBuilder()
+        names = {b.fresh_node(hint="g") for _ in range(50)}
+        assert len(names) == 50
+
+    def test_path_structure_labels(self):
+        q = path_structure([("F", "T"), "", "T"])
+        assert q.labels("v0") == {"F", "T"}
+        assert q.labels("v1") == frozenset()
+        assert q.labels("v2") == {"T"}
+
+    def test_path_structure_custom_preds(self):
+        q = path_structure(["T", "T", "F"], preds=[S, R])
+        assert {f.pred for f in q.out_edges("v0")} == {S}
+        assert {f.pred for f in q.out_edges("v1")} == {R}
+
+    def test_path_structure_pred_count_mismatch(self):
+        with pytest.raises(ValueError):
+            path_structure(["T", "F"], preds=[R, R])
+
+    def test_describe_is_stable(self):
+        assert triangle().describe() == triangle().describe()
+        assert "T(a)" in triangle().describe()
+
+    def test_add_structure(self):
+        b = StructureBuilder()
+        b.add_structure(triangle())
+        assert b.build() == triangle()

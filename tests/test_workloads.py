@@ -1,0 +1,70 @@
+"""Workload generators: determinism, validity, and shape guarantees."""
+
+from repro.core import Structure, is_one_cq
+from repro.core.cq import solitary_f_nodes, solitary_t_nodes
+from repro.ditree import DitreeCQ
+from repro.workloads.generators import (
+    iter_lambda_cqs,
+    random_ditree_cq,
+    random_instance,
+    random_lambda_cq,
+    random_path_instance,
+)
+
+
+class TestDeterminism:
+    def test_random_instance_seeded(self):
+        a = random_instance(n=8, edge_count=12, seed=5)
+        b = random_instance(n=8, edge_count=12, seed=5)
+        assert a == b
+        c = random_instance(n=8, edge_count=12, seed=6)
+        assert a != c
+
+    def test_random_ditree_seeded(self):
+        a = random_ditree_cq(n=6, seed=9)
+        b = random_ditree_cq(n=6, seed=9)
+        assert a == b
+
+    def test_lambda_stream_seeded(self):
+        first = list(iter_lambda_cqs(count=5, size=5, seed=3))
+        second = list(iter_lambda_cqs(count=5, size=5, seed=3))
+        assert first == second
+
+
+class TestValidity:
+    def test_random_instances_have_requested_nodes(self):
+        data = random_instance(n=10, edge_count=15, seed=1)
+        assert len(data) >= 10
+
+    def test_path_instances_are_paths(self):
+        data = random_path_instance(n=7, seed=2)
+        assert isinstance(data, Structure)
+        # A path has n-1 binary facts over n nodes.
+        roots = [v for v in data.nodes if not data.in_edges(v)]
+        assert len(roots) >= 1
+
+    def test_generated_ditrees_are_ditrees(self):
+        produced = 0
+        for seed in range(40):
+            q = random_ditree_cq(n=6, seed=seed)
+            if q is None:
+                continue
+            produced += 1
+            assert q.is_ditree()
+        assert produced > 5
+
+    def test_generated_lambda_cqs_are_lambda(self):
+        for q in iter_lambda_cqs(count=10, size=6, seed=4):
+            assert is_one_cq(q)
+            cq = DitreeCQ.from_structure(q)
+            assert cq.is_lambda_cq()
+            assert len(solitary_f_nodes(q)) == 1
+
+    def test_lambda_span_parameter(self):
+        for q in iter_lambda_cqs(count=5, size=7, seed=8, span=2):
+            assert len(solitary_t_nodes(q)) == 2
+
+    def test_invalid_draws_return_none_not_garbage(self):
+        results = [random_lambda_cq(3, seed, span=1) for seed in range(30)]
+        for q in results:
+            assert q is None or is_one_cq(q)
