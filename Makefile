@@ -1,0 +1,23 @@
+# Developer entry points.  PYTHONPATH=src is how the repo is run
+# everywhere (tests, benches, examples); no install step required.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-homengine bench check
+
+## tier-1 test suite (the gate every PR must keep green)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## hom-engine backend comparison (naive vs bitset); writes BENCH_homengine.json
+bench-homengine:
+	$(PYTHON) scripts/bench_homengine.py
+
+## all experiment benchmarks, default engine configuration
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## tier-1 tests plus the engine perf criteria
+check: test
+	$(PYTHON) scripts/bench_homengine.py --check

@@ -38,14 +38,18 @@ from .core import (
     Verdict,
     certain_answer,
     compile_programs,
+    covers_any,
+    evaluate_batch,
     find_homomorphism,
     full_cactus,
+    get_default_backend,
     has_homomorphism,
     initial_cactus,
     is_one_cq,
     iter_cactuses,
     path_structure,
     probe_boundedness,
+    set_default_backend,
     ucq_rewriting,
 )
 
@@ -65,14 +69,18 @@ __all__ = [
     "Verdict",
     "certain_answer",
     "compile_programs",
+    "covers_any",
+    "evaluate_batch",
     "find_homomorphism",
     "full_cactus",
+    "get_default_backend",
     "has_homomorphism",
     "initial_cactus",
     "is_one_cq",
     "iter_cactuses",
     "path_structure",
     "probe_boundedness",
+    "set_default_backend",
     "ucq_rewriting",
     "__version__",
 ]

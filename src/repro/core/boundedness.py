@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 from .cactus import Cactus, iter_cactuses
 from .cq import OneCQ
-from .homomorphism import find_homomorphism
+from .homomorphism import covers_any
 from .structure import A, Node, Structure, T
 
 
@@ -70,14 +70,25 @@ def _covered_by(
     shallow: list[Cactus],
     require_focus: bool,
 ) -> bool:
-    """Does some shallow cactus map homomorphically into ``target``?"""
-    for source in shallow:
-        seed = (
-            {source.root_focus: target.root_focus} if require_focus else None
-        )
-        if find_homomorphism(source.structure, target.structure, seed=seed):
-            return True
-    return False
+    """Does some shallow cactus map homomorphically into ``target``?
+
+    A single batch :func:`~repro.core.homengine.covers_any` call: the
+    target's indexes are shared across the whole batch and every
+    (shallow, deep) pair goes through the hom-cache, so the probe's
+    depth loop never re-answers a pair it has already seen.
+    """
+    return covers_any(
+        target.structure,
+        (
+            (
+                source.structure,
+                {source.root_focus: target.root_focus}
+                if require_focus
+                else None,
+            )
+            for source in shallow
+        ),
+    )
 
 
 def probe_boundedness(
@@ -162,8 +173,8 @@ def sigma_ucq_rewriting(
 
 
 def ucq_certain_answer(ucq: list[Structure], data: Structure) -> bool:
-    """Evaluate a Boolean UCQ by homomorphism checks."""
-    return any(find_homomorphism(cq, data) is not None for cq in ucq)
+    """Evaluate a Boolean UCQ by one batch of homomorphism checks."""
+    return covers_any(data, ucq)
 
 
 def sigma_ucq_certain_answer(
@@ -173,10 +184,9 @@ def sigma_ucq_certain_answer(
     into the data with its root focus on ``node``."""
     if data.has_label(node, T):
         return True
-    for cq, focus in rewriting:
-        if find_homomorphism(cq, data, seed={focus: node}) is not None:
-            return True
-    return False
+    return covers_any(
+        data, ((cq, {focus: node}) for cq, focus in rewriting)
+    )
 
 
 def pi_rewriting_from_sigma(

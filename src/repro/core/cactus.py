@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 from .cq import OneCQ
-from .homomorphism import find_homomorphism, iter_homomorphisms
+from .homomorphism import covers_any, find_homomorphism
 from .structure import A, F, Node, Structure, T, UnaryFact
 
 
@@ -293,9 +293,17 @@ def find_unfocused_witness(
     cactuses = list(iter_cactuses(one_cq, max_depth))
     for source in cactuses:
         for target in cactuses:
-            for hom in iter_homomorphisms(source.structure, target.structure):
-                if hom[source.root_focus] != target.root_focus:
-                    return source, target, hom
+            # Ask the engine directly for a hom moving the root focus by
+            # excluding the target focus from the root's image domain,
+            # instead of enumerating all homs and filtering.
+            allowed = target.structure.nodes - {target.root_focus}
+            hom = find_homomorphism(
+                source.structure,
+                target.structure,
+                node_domains={source.root_focus: frozenset(allowed)},
+            )
+            if hom is not None:
+                return source, target, hom
     return None
 
 
@@ -326,12 +334,12 @@ def goal_certain_via_cactuses(
 
     Sound and complete when the data cannot trigger recursion deeper than
     ``max_depth`` (e.g. |D| bounds the useful depth); used in tests to
-    cross-validate the datalog engine.
+    cross-validate the datalog engine.  The cactuses stream lazily into
+    one :func:`~repro.core.homengine.covers_any` batch over the data.
     """
-    for cactus in iter_cactuses(one_cq, max_depth):
-        if find_homomorphism(cactus.structure, data) is not None:
-            return True
-    return False
+    return covers_any(
+        data, (cactus.structure for cactus in iter_cactuses(one_cq, max_depth))
+    )
 
 
 def sirup_certain_via_cactuses(
@@ -341,12 +349,10 @@ def sirup_certain_via_cactuses(
     the root focus landing on ``a`` (Proposition 1)."""
     if data.has_label(node, T):
         return True
-    for cactus in iter_cactuses(one_cq, max_depth):
-        hom = find_homomorphism(
-            cactus.sigma_structure(),
-            data,
-            seed={cactus.root_focus: node},
-        )
-        if hom is not None:
-            return True
-    return False
+    return covers_any(
+        data,
+        (
+            (cactus.sigma_structure(), {cactus.root_focus: node})
+            for cactus in iter_cactuses(one_cq, max_depth)
+        ),
+    )

@@ -142,6 +142,12 @@ def _fire_rule(
     restriction by checking the match afterwards, which is simple and
     correct; the search itself is already pruned by domains.
     """
+    # A body atom over a predicate absent from the instance can never
+    # match: skip the search entirely (cheap index lookups, no scan).
+    if not rule.body.unary_predicates <= instance.unary_predicates:
+        return
+    if not rule.body.binary_predicates <= instance.binary_predicates:
+        return
     for hom in iter_homomorphisms(rule.body, instance):
         if required_new is not None:
             used_new = any(

@@ -35,6 +35,20 @@ from .sirup import compile_programs
 from .structure import A, F, Node, Structure, T, UnaryFact
 
 
+def maximal_completion(data: Structure) -> Structure:
+    """The completion labelling every A-node with *both* T and F.
+
+    Every completion's facts are a subset of this one's, so a query with
+    no homomorphism into the maximal completion has none into any
+    completion — the quick-reject used by :func:`evaluate_branching`.
+    """
+    unary = set(data.unary_facts)
+    for node in a_nodes(data):
+        unary.add(UnaryFact(T, node))
+        unary.add(UnaryFact(F, node))
+    return Structure(data.nodes, unary, data.binary_facts)
+
+
 @dataclass(frozen=True)
 class DSirupAnswer:
     """Outcome of a certain-answer computation.
@@ -93,8 +107,16 @@ def evaluate_branching(q: Structure, data: Structure) -> DSirupAnswer:
     completion (with remaining A-nodes unlabelled and hence unusable as
     T/F witnesses) already embeds ``q``, the whole subtree is pruned.
     Returns 'yes' iff no completion avoids ``q``.
+
+    Starts with a quick-reject: if ``q`` does not embed into the
+    :func:`maximal_completion`, no completion embeds it and any single
+    completion (we return the all-T one) is a countermodel — one
+    homomorphism check instead of a branch-and-prune search.
     """
     nodes = a_nodes(data)
+    if not has_homomorphism(q, maximal_completion(data)):
+        countermodel = complete(data, {node: T for node in nodes})
+        return DSirupAnswer(False, countermodel, 1)
     checked = 0
 
     def search(index: int, labeling: dict[Node, str]) -> Structure | None:

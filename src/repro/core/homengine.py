@@ -1,0 +1,802 @@
+"""Pluggable homomorphism engine: backends, hom-cache, and batch APIs.
+
+Architecture
+============
+
+Every decision procedure in this library (cactus covering, boundedness
+probing, UCQ rewriting, the Λ-CQ decider, core checks, datalog-bypass
+evaluation) bottoms out in homomorphism search, so the engine is split
+into swappable *backends* behind one call surface:
+
+``naive``
+    The original backtracking search over per-node candidate lists with
+    a static connectivity-aware order.  Kept verbatim (modulo the
+    precomputed per-target-node predicate sets) as the correctness
+    oracle for property-based cross-validation.
+
+``bitset``
+    Integer-interned search over the target's
+    :class:`~repro.core.structure.BitsetIndex`.  Candidate domains are
+    Python ints used as bitsets; initial domains are produced by ANDing
+    label/pred masks, tightened to arc consistency by an AC-3 pass over
+    the source edges, and maintained by forward checking (bitwise AND
+    against precomputed adjacency masks) during a backtracking search
+    with dynamic most-constrained-variable ordering.  Both backends
+    enumerate exactly the same set of homomorphisms.
+
+The default backend is module-level (``bitset``; override with the
+``REPRO_HOM_BACKEND`` environment variable or
+:func:`set_default_backend`) and every entry point takes a per-call
+``backend=`` override.
+
+Cache
+=====
+
+:func:`find_homomorphism` / :func:`has_homomorphism` answers are
+LRU-cached keyed on the *content fingerprints* of source and target
+(:attr:`~repro.core.structure.Structure.fingerprint`) plus the frozen
+seed/restriction/forbid/domain arguments, so repeated checks across
+equal structures — ubiquitous in the Proposition 2 probe's depth loop
+and the Appendix F cuttability fixpoint — are answered once.  Calls
+with a ``node_filter`` callable are never cached (the callable is
+opaque); prefer the declarative ``node_domains`` / ``forbid``
+arguments, which are cacheable and usually faster.  Disable with
+``REPRO_HOM_CACHE=0`` or :func:`configure_cache`.
+
+Batch APIs
+==========
+
+:func:`covers_any` (does any of a batch of sources map into one
+target?) and :func:`evaluate_batch` (one query over many instances)
+expose the batch traffic shape of the consumers, sharing the target's
+lazily-built indexes and the cache across the whole batch.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from .structure import Node, Structure, _canonical_key
+
+Seed = Mapping[Node, Node]
+NodeDomains = Mapping[Node, frozenset[Node]]
+
+BACKENDS = ("naive", "bitset")
+
+_default_backend = os.environ.get("REPRO_HOM_BACKEND", "bitset")
+if _default_backend not in BACKENDS:
+    raise ValueError(
+        f"REPRO_HOM_BACKEND must be one of {BACKENDS}, "
+        f"got {_default_backend!r}"
+    )
+
+
+def get_default_backend() -> str:
+    """The backend used when a call does not pass ``backend=``."""
+    return _default_backend
+
+
+def set_default_backend(backend: str) -> str:
+    """Set the module-level default backend; returns the previous one."""
+    global _default_backend
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected {BACKENDS}")
+    previous = _default_backend
+    _default_backend = backend
+    return previous
+
+
+def _resolve_backend(backend: str | None) -> str:
+    if backend is None:
+        return _default_backend
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected {BACKENDS}")
+    return backend
+
+
+# ----------------------------------------------------------------------
+# LRU hom-cache
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CacheInfo:
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+    enabled: bool
+
+
+_cache: OrderedDict[tuple, tuple | None] = OrderedDict()
+_cache_hits = 0
+_cache_misses = 0
+_cache_maxsize = int(os.environ.get("REPRO_HOM_CACHE_SIZE", "8192"))
+_cache_enabled = os.environ.get("REPRO_HOM_CACHE", "1") not in (
+    "0",
+    "off",
+    "false",
+)
+
+
+def configure_cache(
+    enabled: bool | None = None, maxsize: int | None = None
+) -> None:
+    """Enable/disable the hom-cache or change its capacity."""
+    global _cache_enabled, _cache_maxsize
+    if enabled is not None:
+        _cache_enabled = enabled
+    if maxsize is not None:
+        _cache_maxsize = maxsize
+        while len(_cache) > _cache_maxsize:
+            _cache.popitem(last=False)
+
+
+def clear_hom_cache() -> None:
+    """Drop all cached homomorphism answers and reset the counters."""
+    global _cache_hits, _cache_misses
+    _cache.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
+def hom_cache_info() -> CacheInfo:
+    """Hit/miss counters and occupancy of the hom-cache."""
+    return CacheInfo(
+        _cache_hits, _cache_misses, len(_cache), _cache_maxsize, _cache_enabled
+    )
+
+
+_MISS = object()
+
+
+def _freeze_nodes(nodes: Iterable[Node] | None) -> tuple | None:
+    if nodes is None:
+        return None
+    return tuple(sorted(nodes, key=_canonical_key))
+
+
+def _cache_key(
+    backend: str,
+    source: Structure,
+    target: Structure,
+    seed: Seed | None,
+    restrict_image: frozenset[Node] | None,
+    node_domains: NodeDomains | None,
+    forbid: frozenset[Node] | None,
+) -> tuple:
+    frozen_seed = (
+        None
+        if not seed
+        else tuple(sorted(seed.items(), key=lambda kv: _canonical_key(kv[0])))
+    )
+    frozen_domains = (
+        None
+        if not node_domains
+        else tuple(
+            sorted(
+                (
+                    (node, _freeze_nodes(allowed))
+                    for node, allowed in node_domains.items()
+                ),
+                key=lambda kv: _canonical_key(kv[0]),
+            )
+        )
+    )
+    # The backend is part of the key: a cross-validation call with an
+    # explicit backend= must never be answered from the other backend's
+    # cached result (naive is documented as the correctness oracle).
+    return (
+        backend,
+        source.fingerprint,
+        target.fingerprint,
+        frozen_seed,
+        _freeze_nodes(restrict_image),
+        frozen_domains,
+        _freeze_nodes(forbid),
+    )
+
+
+def _cache_get(key: tuple):
+    global _cache_hits, _cache_misses
+    try:
+        value = _cache[key]
+    except KeyError:
+        _cache_misses += 1
+        return _MISS
+    _cache.move_to_end(key)
+    _cache_hits += 1
+    return value
+
+
+def _cache_put(key: tuple, value: tuple | None) -> None:
+    _cache[key] = value
+    _cache.move_to_end(key)
+    while len(_cache) > _cache_maxsize:
+        _cache.popitem(last=False)
+
+
+# ----------------------------------------------------------------------
+# The naive backend (correctness oracle)
+# ----------------------------------------------------------------------
+
+
+def _naive_initial_domains(
+    source: Structure,
+    target: Structure,
+    seed: Seed,
+    restrict_image: frozenset[Node] | None,
+) -> dict[Node, list[Node]] | None:
+    """Label/degree-filtered candidate sets; ``None`` if some domain is
+    empty.  The per-candidate predicate sets come from the target's
+    lazily-built index, so they are computed once per target structure
+    rather than once per (source-node, candidate) pair."""
+    domains: dict[Node, list[Node]] = {}
+    target_nodes = target.nodes if restrict_image is None else restrict_image
+    for node in source.nodes:
+        if node in seed:
+            image = seed[node]
+            if image not in target.nodes:
+                return None
+            if not source.labels(node) <= target.labels(image):
+                return None
+            domains[node] = [image]
+            continue
+        required = source.labels(node)
+        out_preds = source.out_pred_set(node)
+        in_preds = source.in_pred_set(node)
+        candidates = []
+        for cand in target_nodes:
+            if not required <= target.labels(cand):
+                continue
+            if not out_preds <= target.out_pred_set(cand):
+                continue
+            if not in_preds <= target.in_pred_set(cand):
+                continue
+            candidates.append(cand)
+        if not candidates:
+            return None
+        domains[node] = candidates
+    return domains
+
+
+def _naive_consistent(
+    source: Structure,
+    target: Structure,
+    assignment: dict[Node, Node],
+    node: Node,
+    image: Node,
+) -> bool:
+    """Check all source edges between ``node`` and assigned nodes."""
+    for fact in source.out_edges(node):
+        other = assignment.get(fact.dst)
+        if fact.dst == node:
+            other = image
+        if other is None:
+            continue
+        if not any(
+            e.pred == fact.pred and e.dst == other
+            for e in target.out_edges(image)
+        ):
+            return False
+    for fact in source.in_edges(node):
+        other = assignment.get(fact.src)
+        if fact.src == node:
+            other = image
+        if other is None:
+            continue
+        if not any(
+            e.pred == fact.pred and e.src == other
+            for e in target.in_edges(image)
+        ):
+            return False
+    return True
+
+
+def _naive_order_nodes(
+    source: Structure, domains: dict[Node, list[Node]], seed: Seed
+) -> list[Node]:
+    """Connectivity-aware static order: seeded nodes first, then BFS by
+    ascending domain size, component by component."""
+    order: list[Node] = [n for n in source.nodes if n in seed]
+    placed = set(order)
+    remaining = set(source.nodes) - placed
+
+    def neighbours(node: Node) -> Iterator[Node]:
+        yield from source.successors(node)
+        yield from source.predecessors(node)
+
+    while remaining:
+        frontier = {
+            n for n in remaining if any(m in placed for m in neighbours(n))
+        }
+        if not frontier:
+            frontier = remaining
+        best = min(frontier, key=lambda n: (len(domains[n]), str(n)))
+        order.append(best)
+        placed.add(best)
+        remaining.remove(best)
+    return order
+
+
+def _iter_naive(
+    source: Structure,
+    target: Structure,
+    seed: Seed,
+    restrict_image: frozenset[Node] | None,
+    node_filter: Callable[[Node, Node], bool] | None,
+    node_domains: NodeDomains | None,
+    forbid: frozenset[Node] | None,
+) -> Iterator[dict[Node, Node]]:
+    domains = _naive_initial_domains(source, target, seed, restrict_image)
+    if domains is None:
+        return
+    if node_filter is not None or node_domains or forbid:
+        for node, cands in domains.items():
+            allowed = node_domains.get(node) if node_domains else None
+            filtered = [
+                v
+                for v in cands
+                if (forbid is None or v not in forbid)
+                and (allowed is None or v in allowed)
+                and (node_filter is None or node_filter(node, v))
+            ]
+            if not filtered:
+                return
+            domains[node] = filtered
+    order = _naive_order_nodes(source, domains, seed)
+    assignment: dict[Node, Node] = {}
+
+    def backtrack(index: int) -> Iterator[dict[Node, Node]]:
+        if index == len(order):
+            yield dict(assignment)
+            return
+        node = order[index]
+        for image in domains[node]:
+            if _naive_consistent(source, target, assignment, node, image):
+                assignment[node] = image
+                yield from backtrack(index + 1)
+                del assignment[node]
+
+    yield from backtrack(0)
+
+
+# ----------------------------------------------------------------------
+# The bitset backend
+# ----------------------------------------------------------------------
+
+
+class _SourcePlan:
+    """Compiled source-side search plan, memoized per structure.
+
+    Everything derivable from the source alone — node interning, label
+    and incident-predicate requirements, adjacency lists over source
+    indices — is computed once and stashed on the structure, so repeated
+    searches from the same source (the dominant traffic shape: one CQ or
+    cactus probed against many targets) skip all of it.
+    """
+
+    __slots__ = ("nodes", "n", "labels", "out_preds", "in_preds",
+                 "out_adj", "in_adj", "edges")
+
+    def __init__(self, source: Structure) -> None:
+        self.nodes = source.node_order
+        self.n = len(self.nodes)
+        index = source.node_index
+        self.labels = [tuple(source.labels(x)) for x in self.nodes]
+        self.out_preds = [tuple(source.out_pred_set(x)) for x in self.nodes]
+        self.in_preds = [tuple(source.in_pred_set(x)) for x in self.nodes]
+        self.out_adj: list[list[tuple[str, int]]] = [[] for _ in self.nodes]
+        self.in_adj: list[list[tuple[str, int]]] = [[] for _ in self.nodes]
+        self.edges: list[tuple[int, str, int]] = []
+        for fact in source.binary_facts:
+            s, d = index[fact.src], index[fact.dst]
+            self.out_adj[s].append((fact.pred, d))
+            self.in_adj[d].append((fact.pred, s))
+            self.edges.append((s, fact.pred, d))
+
+
+def _source_plan(source: Structure) -> _SourcePlan:
+    plan = source._engine_plan
+    if plan is None:
+        plan = _SourcePlan(source)
+        source._engine_plan = plan
+    return plan
+
+
+def _iter_bitset(
+    source: Structure,
+    target: Structure,
+    seed: Seed,
+    restrict_image: frozenset[Node] | None,
+    node_filter: Callable[[Node, Node], bool] | None,
+    node_domains: NodeDomains | None,
+    forbid: frozenset[Node] | None,
+) -> Iterator[dict[Node, Node]]:
+    plan = _source_plan(source)
+    n = plan.n
+    if n == 0:
+        yield {}
+        return
+    idx = target.bitset_index
+    target_names = idx.nodes
+    if not target_names:
+        return
+    full = idx.full_mask
+    restrict_mask = (
+        full if restrict_image is None else idx.mask_of(restrict_image)
+    )
+    veto_mask = full
+    if forbid:
+        veto_mask &= full & ~idx.mask_of(forbid)
+
+    label_nodes = idx.label_nodes
+    has_out = idx.has_out
+    has_in = idx.has_in
+    src_nodes = plan.nodes
+
+    # --- initial domains: chained mask intersections -------------------
+    domains: list[int] = [0] * n
+    for i in range(n):
+        x = src_nodes[i]
+        if x in seed:
+            image = seed[x]
+            t = idx.index.get(image)
+            if t is None:
+                return
+            if not source.labels(x) <= target.labels(image):
+                return
+            dom = 1 << t
+        else:
+            dom = restrict_mask
+            for label in plan.labels[i]:
+                dom &= label_nodes.get(label, 0)
+            for p in plan.out_preds[i]:
+                dom &= has_out.get(p, 0)
+            for p in plan.in_preds[i]:
+                dom &= has_in.get(p, 0)
+        dom &= veto_mask
+        if node_domains is not None and x in node_domains:
+            dom &= idx.mask_of(node_domains[x])
+        if node_filter is not None and dom:
+            filtered = 0
+            d = dom
+            while d:
+                bit = d & -d
+                d ^= bit
+                if node_filter(x, target_names[bit.bit_length() - 1]):
+                    filtered |= bit
+            dom = filtered
+        if not dom:
+            return
+        domains[i] = dom
+
+    succ = idx.succ
+    pred = idx.pred
+    edges = plan.edges
+
+    # --- AC-3 pass over the source edges ------------------------------
+    if edges:
+        watchers: dict[int, list[int]] = {}
+        for ei, (xi, _, yi) in enumerate(edges):
+            watchers.setdefault(xi, []).append(ei)
+            if yi != xi:
+                watchers.setdefault(yi, []).append(ei)
+        queue = deque(range(len(edges)))
+        queued = set(queue)
+        while queue:
+            ei = queue.popleft()
+            queued.discard(ei)
+            xi, p, yi = edges[ei]
+            smask = succ.get(p)
+            if smask is None:
+                return  # seeded node with a predicate absent from target
+            changed: list[int] = []
+            if xi == yi:
+                dom = domains[xi]
+                new = 0
+                d = dom
+                while d:
+                    bit = d & -d
+                    d ^= bit
+                    v = bit.bit_length() - 1
+                    if (smask[v] >> v) & 1:
+                        new |= bit
+                if not new:
+                    return
+                if new != dom:
+                    domains[xi] = new
+                    changed.append(xi)
+            else:
+                pmask = pred[p]
+                dx, dy = domains[xi], domains[yi]
+                newx = 0
+                d = dx
+                while d:
+                    bit = d & -d
+                    d ^= bit
+                    if smask[bit.bit_length() - 1] & dy:
+                        newx |= bit
+                if not newx:
+                    return
+                newy = 0
+                d = dy
+                while d:
+                    bit = d & -d
+                    d ^= bit
+                    if pmask[bit.bit_length() - 1] & newx:
+                        newy |= bit
+                if not newy:
+                    return
+                if newx != dx:
+                    domains[xi] = newx
+                    changed.append(xi)
+                if newy != dy:
+                    domains[yi] = newy
+                    changed.append(yi)
+            # Re-enqueue every edge watching a changed node, including
+            # the edge just processed: newx was filtered against the old
+            # dy, so a shrink of dy can leave newx with unsupported
+            # values that only another revision of this edge removes.
+            for z in changed:
+                for ej in watchers.get(z, ()):
+                    if ej not in queued:
+                        queue.append(ej)
+                        queued.add(ej)
+
+    # --- backtracking with MRV and forward checking -------------------
+    out_adj = plan.out_adj
+    in_adj = plan.in_adj
+    assignment: list[int] = [-1] * n
+    all_mask = (1 << n) - 1
+
+    def backtrack(
+        domains: list[int], remaining: int
+    ) -> Iterator[dict[Node, Node]]:
+        if not remaining:
+            yield {
+                src_nodes[i]: target_names[assignment[i]] for i in range(n)
+            }
+            return
+        # Most-constrained variable: smallest domain, lowest index tie-break.
+        best = -1
+        best_count = -1
+        m = remaining
+        while m:
+            bit = m & -m
+            m ^= bit
+            i = bit.bit_length() - 1
+            count = domains[i].bit_count()
+            if best < 0 or count < best_count:
+                best, best_count = i, count
+                if count == 1:
+                    break
+        xi = best
+        rest = remaining & ~(1 << xi)
+        dom = domains[xi]
+        while dom:
+            bit = dom & -dom
+            dom ^= bit
+            v = bit.bit_length() - 1
+            new = domains[:]
+            ok = True
+            for p, yi in out_adj[xi]:
+                if not (rest >> yi) & 1:
+                    continue  # assigned (consistent by construction) or xi
+                nd = new[yi] & succ[p][v]
+                if not nd:
+                    ok = False
+                    break
+                new[yi] = nd
+            if ok:
+                for p, yi in in_adj[xi]:
+                    if not (rest >> yi) & 1:
+                        continue
+                    nd = new[yi] & pred[p][v]
+                    if not nd:
+                        ok = False
+                        break
+                    new[yi] = nd
+            if ok:
+                assignment[xi] = v
+                yield from backtrack(new, rest)
+                assignment[xi] = -1
+
+    yield from backtrack(domains, all_mask)
+
+
+_BACKEND_IMPLS = {"naive": _iter_naive, "bitset": _iter_bitset}
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+
+
+def iter_homomorphisms(
+    source: Structure,
+    target: Structure,
+    seed: Seed | None = None,
+    restrict_image: frozenset[Node] | None = None,
+    node_filter: Callable[[Node, Node], bool] | None = None,
+    *,
+    node_domains: NodeDomains | None = None,
+    forbid: frozenset[Node] | None = None,
+    backend: str | None = None,
+) -> Iterator[dict[Node, Node]]:
+    """Yield all homomorphisms from ``source`` to ``target``.
+
+    ``seed`` fixes images for some source nodes.  ``restrict_image``
+    limits candidate images of non-seeded nodes.  ``node_domains`` maps
+    individual source nodes to their allowed image sets and ``forbid``
+    excludes target nodes globally (both are cache-friendly, declarative
+    alternatives to ``node_filter``).  ``node_filter(x, v)`` may veto
+    mapping source node ``x`` to target node ``v``.  ``backend``
+    overrides the module default (``naive`` or ``bitset``); both
+    backends yield exactly the same set of homomorphisms.
+    """
+    impl = _BACKEND_IMPLS[_resolve_backend(backend)]
+    yield from impl(
+        source,
+        target,
+        dict(seed or {}),
+        restrict_image,
+        node_filter,
+        node_domains,
+        forbid,
+    )
+
+
+def find_homomorphism(
+    source: Structure,
+    target: Structure,
+    seed: Seed | None = None,
+    restrict_image: frozenset[Node] | None = None,
+    node_filter: Callable[[Node, Node], bool] | None = None,
+    *,
+    node_domains: NodeDomains | None = None,
+    forbid: frozenset[Node] | None = None,
+    backend: str | None = None,
+    use_cache: bool | None = None,
+) -> dict[Node, Node] | None:
+    """The first homomorphism found, or ``None`` (LRU-cached).
+
+    Answers are cached across structurally-equal source/target pairs
+    unless a ``node_filter`` callable is given or ``use_cache=False``.
+    """
+    cacheable = (
+        node_filter is None and use_cache is not False and _cache_enabled
+    )
+    if cacheable:
+        key = _cache_key(
+            _resolve_backend(backend),
+            source,
+            target,
+            seed,
+            restrict_image,
+            node_domains,
+            forbid,
+        )
+        hit = _cache_get(key)
+        if hit is not _MISS:
+            return None if hit is None else dict(hit)
+    hom = next(
+        iter_homomorphisms(
+            source,
+            target,
+            seed,
+            restrict_image,
+            node_filter,
+            node_domains=node_domains,
+            forbid=forbid,
+            backend=backend,
+        ),
+        None,
+    )
+    if cacheable:
+        _cache_put(key, None if hom is None else tuple(hom.items()))
+    return hom
+
+
+def has_homomorphism(
+    source: Structure,
+    target: Structure,
+    seed: Seed | None = None,
+    restrict_image: frozenset[Node] | None = None,
+    node_filter: Callable[[Node, Node], bool] | None = None,
+    *,
+    node_domains: NodeDomains | None = None,
+    forbid: frozenset[Node] | None = None,
+    backend: str | None = None,
+    use_cache: bool | None = None,
+) -> bool:
+    """Does any homomorphism exist?  Shares the :func:`find_homomorphism`
+    cache."""
+    return (
+        find_homomorphism(
+            source,
+            target,
+            seed,
+            restrict_image,
+            node_filter,
+            node_domains=node_domains,
+            forbid=forbid,
+            backend=backend,
+            use_cache=use_cache,
+        )
+        is not None
+    )
+
+
+# ----------------------------------------------------------------------
+# Batch APIs
+# ----------------------------------------------------------------------
+
+
+def covers_any(
+    target: Structure,
+    sources: Iterable[Structure | tuple[Structure, Seed | None]],
+    seeds: Sequence[Seed | None] | None = None,
+    *,
+    backend: str | None = None,
+    use_cache: bool | None = None,
+) -> bool:
+    """Does any of ``sources`` map homomorphically into ``target``?
+
+    ``sources`` is an iterable of structures or ``(structure, seed)``
+    pairs; alternatively pass a parallel ``seeds`` sequence.  The target
+    indexes are built once and shared across the batch, sources are
+    consumed lazily, and the scan stops at the first success — this is
+    the inner loop of the Proposition 2 probe (does any shallow cactus
+    cover this deep one?) and of UCQ evaluation.
+    """
+    if seeds is not None:
+        def paired() -> Iterable:
+            for s, seed in zip(sources, seeds, strict=True):
+                if isinstance(s, tuple):
+                    raise ValueError(
+                        "pass seeds either as (structure, seed) pairs or "
+                        "as a parallel seeds= sequence, not both"
+                    )
+                yield s, seed
+
+        pairs: Iterable = paired()
+    else:
+        pairs = (
+            s if isinstance(s, tuple) else (s, None) for s in sources
+        )
+    for structure, seed in pairs:
+        if has_homomorphism(
+            structure,
+            target,
+            seed=seed,
+            backend=backend,
+            use_cache=use_cache,
+        ):
+            return True
+    return False
+
+
+def evaluate_batch(
+    query: Structure,
+    instances: Iterable[Structure],
+    *,
+    backend: str | None = None,
+    use_cache: bool | None = None,
+) -> list[bool]:
+    """Evaluate one Boolean CQ over many data instances.
+
+    The query-side indexes and domains are shared across the batch and
+    each per-instance answer goes through the hom-cache, so repeated
+    instances (common in completion lattices and probe universes) are
+    answered once.
+    """
+    return [
+        has_homomorphism(
+            query, data, backend=backend, use_cache=use_cache
+        )
+        for data in instances
+    ]

@@ -1,198 +1,56 @@
-"""Homomorphism engine for labelled-digraph structures.
+"""Homomorphism API for labelled-digraph structures.
 
 A homomorphism ``h : Q -> D`` maps every node of ``Q`` to a node of ``D``
 so that every unary fact ``L(x)`` of ``Q`` yields ``L(h(x))`` in ``D`` and
 every binary fact ``P(x, y)`` yields ``P(h(x), h(y))``.
 
-The engine is a backtracking search with:
-
-* per-node candidate domains pre-filtered by unary labels and degrees,
-* forward checking against already-assigned neighbours,
-* a connectivity-aware variable order (most-constrained first within the
-  frontier of assigned nodes), which is what makes cactus-sized targets
-  tractable in practice,
-* optional *seeds* (partial maps that must be extended), used for the
-  paper's focused homomorphisms (``h(r) = r``) and for gadget triggering.
+This module is the stable call surface; the search itself lives in
+:mod:`repro.core.homengine`, which provides two pluggable backends —
+``naive`` (the original backtracker, kept as a correctness oracle) and
+``bitset`` (integer-interned domains as Python-int bitsets with AC-3
+preprocessing, forward checking against precomputed adjacency masks, and
+dynamic most-constrained-variable ordering; the default) — plus an LRU
+hom-cache keyed on structure fingerprints and the batch entry points
+:func:`~repro.core.homengine.covers_any` and
+:func:`~repro.core.homengine.evaluate_batch`.
 
 All entry points accept arbitrary :class:`~repro.core.structure.Structure`
 values, so the same engine serves CQ evaluation, cactus-to-cactus maps,
-and the blow-up checks of the Λ-CQ decider.
+and the blow-up checks of the Λ-CQ decider.  They support:
+
+* optional *seeds* (partial maps that must be extended), used for the
+  paper's focused homomorphisms (``h(r) = r``) and gadget triggering,
+* ``restrict_image`` / ``forbid`` / per-node ``node_domains`` image
+  constraints (declarative, cache-friendly), and
+* an opaque ``node_filter(x, v)`` veto callable (never cached).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Mapping
+from typing import Mapping
 
+from .homengine import (
+    Seed,
+    covers_any,
+    evaluate_batch,
+    find_homomorphism,
+    has_homomorphism,
+    iter_homomorphisms,
+)
 from .structure import Node, Structure
 
-Seed = Mapping[Node, Node]
-
-
-def _initial_domains(
-    source: Structure,
-    target: Structure,
-    seed: Seed,
-    restrict_image: frozenset[Node] | None,
-) -> dict[Node, list[Node]] | None:
-    """Label/degree-filtered candidate sets; ``None`` if some domain is empty."""
-    domains: dict[Node, list[Node]] = {}
-    target_nodes = (
-        target.nodes if restrict_image is None else restrict_image
-    )
-    for node in source.nodes:
-        if node in seed:
-            image = seed[node]
-            if image not in target.nodes:
-                return None
-            if not source.labels(node) <= target.labels(image):
-                return None
-            domains[node] = [image]
-            continue
-        required = source.labels(node)
-        out_preds = {f.pred for f in source.out_edges(node)}
-        in_preds = {f.pred for f in source.in_edges(node)}
-        candidates = []
-        for cand in target_nodes:
-            if not required <= target.labels(cand):
-                continue
-            cand_out = {f.pred for f in target.out_edges(cand)}
-            cand_in = {f.pred for f in target.in_edges(cand)}
-            if not out_preds <= cand_out or not in_preds <= cand_in:
-                continue
-            candidates.append(cand)
-        if not candidates:
-            return None
-        domains[node] = candidates
-    return domains
-
-
-def _consistent(
-    source: Structure,
-    target: Structure,
-    assignment: dict[Node, Node],
-    node: Node,
-    image: Node,
-) -> bool:
-    """Check all source edges between ``node`` and assigned nodes."""
-    for fact in source.out_edges(node):
-        other = assignment.get(fact.dst)
-        if fact.dst == node:
-            other = image
-        if other is None:
-            continue
-        if not any(
-            e.pred == fact.pred and e.dst == other
-            for e in target.out_edges(image)
-        ):
-            return False
-    for fact in source.in_edges(node):
-        other = assignment.get(fact.src)
-        if fact.src == node:
-            other = image
-        if other is None:
-            continue
-        if not any(
-            e.pred == fact.pred and e.src == other
-            for e in target.in_edges(image)
-        ):
-            return False
-    return True
-
-
-def _order_nodes(
-    source: Structure, domains: dict[Node, list[Node]], seed: Seed
-) -> list[Node]:
-    """Connectivity-aware static order: seeded nodes first, then BFS by
-    ascending domain size, component by component."""
-    order: list[Node] = [n for n in source.nodes if n in seed]
-    placed = set(order)
-    remaining = set(source.nodes) - placed
-
-    def neighbours(node: Node) -> Iterator[Node]:
-        yield from source.successors(node)
-        yield from source.predecessors(node)
-
-    while remaining:
-        frontier = {
-            n
-            for n in remaining
-            if any(m in placed for m in neighbours(n))
-        }
-        if not frontier:
-            frontier = remaining
-        best = min(frontier, key=lambda n: (len(domains[n]), str(n)))
-        order.append(best)
-        placed.add(best)
-        remaining.remove(best)
-    return order
-
-
-def iter_homomorphisms(
-    source: Structure,
-    target: Structure,
-    seed: Seed | None = None,
-    restrict_image: frozenset[Node] | None = None,
-    node_filter: Callable[[Node, Node], bool] | None = None,
-) -> Iterator[dict[Node, Node]]:
-    """Yield all homomorphisms from ``source`` to ``target``.
-
-    ``seed`` fixes images for some source nodes.  ``restrict_image``
-    limits candidate images of non-seeded nodes.  ``node_filter(x, v)``
-    may veto mapping source node ``x`` to target node ``v``.
-    """
-    seed = dict(seed or {})
-    domains = _initial_domains(source, target, seed, restrict_image)
-    if domains is None:
-        return
-    if node_filter is not None:
-        for node, cands in domains.items():
-            filtered = [v for v in cands if node_filter(node, v)]
-            if not filtered:
-                return
-            domains[node] = filtered
-    order = _order_nodes(source, domains, seed)
-    assignment: dict[Node, Node] = {}
-
-    def backtrack(index: int) -> Iterator[dict[Node, Node]]:
-        if index == len(order):
-            yield dict(assignment)
-            return
-        node = order[index]
-        for image in domains[node]:
-            if _consistent(source, target, assignment, node, image):
-                assignment[node] = image
-                yield from backtrack(index + 1)
-                del assignment[node]
-
-    yield from backtrack(0)
-
-
-def find_homomorphism(
-    source: Structure,
-    target: Structure,
-    seed: Seed | None = None,
-    restrict_image: frozenset[Node] | None = None,
-    node_filter: Callable[[Node, Node], bool] | None = None,
-) -> dict[Node, Node] | None:
-    """The first homomorphism found, or ``None``."""
-    for hom in iter_homomorphisms(
-        source, target, seed, restrict_image, node_filter
-    ):
-        return hom
-    return None
-
-
-def has_homomorphism(
-    source: Structure,
-    target: Structure,
-    seed: Seed | None = None,
-    restrict_image: frozenset[Node] | None = None,
-    node_filter: Callable[[Node, Node], bool] | None = None,
-) -> bool:
-    return (
-        find_homomorphism(source, target, seed, restrict_image, node_filter)
-        is not None
-    )
+__all__ = [
+    "Seed",
+    "compose",
+    "covers_any",
+    "evaluate_batch",
+    "find_homomorphism",
+    "has_homomorphism",
+    "is_core",
+    "is_homomorphism",
+    "iter_homomorphisms",
+    "retract_to_subset",
+]
 
 
 def is_homomorphism(
@@ -208,10 +66,7 @@ def is_homomorphism(
             return False
     for fact in source.binary_facts:
         src, dst = mapping[fact.src], mapping[fact.dst]
-        if not any(
-            e.pred == fact.pred and e.dst == dst
-            for e in target.out_edges(src)
-        ):
+        if dst not in target.out_by_pred(src).get(fact.pred, frozenset()):
             return False
     return True
 
@@ -228,10 +83,37 @@ def is_core(structure: Structure) -> bool:
 
     Equivalently, there is no homomorphism into a proper substructure.
     Used for the minimality condition on CQs in Section 4 of the paper.
+
+    A node ``n`` can only be dropped by a retraction if some *other* node
+    dominates its label and incident-predicate profile (the image of
+    ``n`` must carry all of ``n``'s labels and partake in all of its edge
+    predicates), so nodes with a unique profile are skipped without a
+    search.  The remaining checks run against ``structure`` itself with
+    ``n``'s image forbidden, sharing one set of target indexes across
+    all candidate nodes instead of rebuilding a substructure per node.
     """
-    for node in structure.nodes:
-        candidate = structure.without_nodes([node])
-        if has_homomorphism(structure, candidate):
+    nodes = structure.nodes
+    profiles = {
+        node: (
+            structure.labels(node),
+            structure.out_pred_set(node),
+            structure.in_pred_set(node),
+        )
+        for node in nodes
+    }
+    for node in nodes:
+        labels, out_preds, in_preds = profiles[node]
+        if not any(
+            other != node
+            and labels <= profiles[other][0]
+            and out_preds <= profiles[other][1]
+            and in_preds <= profiles[other][2]
+            for other in nodes
+        ):
+            continue  # unique profile: no endomorphism can drop this node
+        # A hom into structure \ {node} is exactly a self-hom whose image
+        # avoids node (the induced substructure carries the same facts).
+        if has_homomorphism(structure, structure, forbid=frozenset({node})):
             return False
     return True
 
@@ -242,6 +124,10 @@ def retract_to_subset(
     """A homomorphism of ``structure`` into the substructure on ``keep``
     fixing ``keep`` pointwise, if one exists (a retraction witness)."""
     seed = {n: n for n in keep if n in structure.nodes}
+    drop = structure.nodes - keep
+    # Searching structure -> structure with the dropped nodes forbidden
+    # is equivalent to searching into restrict(keep), but reuses the
+    # already-built indexes of ``structure``.
     return find_homomorphism(
-        structure, structure.restrict(keep), seed=seed
+        structure, structure, seed=seed, forbid=frozenset(drop)
     )

@@ -17,11 +17,41 @@ structures whose nodes are read as constants.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Iterator, Mapping
 
 Node = Hashable
+
+
+_ATOMIC_KEY_TYPES = (str, int, float, bool, bytes, complex, type(None))
+
+
+def _canonical_key(node: Node) -> str:
+    """A stable textual key for a node, for fingerprints and sort orders.
+
+    Tuples and frozensets (the composite node names used by cactus and
+    segment gluing) are rendered recursively, with frozenset elements
+    sorted, so that equal nodes always produce equal keys regardless of
+    set iteration order.  Builtin atoms use ``repr`` (injective across
+    those types); any other object is keyed by its type's qualified name
+    plus ``repr``.
+
+    The fingerprint-keyed hom-cache relies on distinct nodes producing
+    distinct keys, so custom node classes must have a ``repr`` that is
+    injective up to ``__eq__`` (dataclass field reprs qualify); a
+    constant or identity-blind ``repr`` on a custom node type can alias
+    cache entries of structurally different structures.
+    """
+    if isinstance(node, tuple):
+        return "(" + "\x1f".join(_canonical_key(x) for x in node) + ")"
+    if isinstance(node, frozenset):
+        return "{" + "\x1f".join(sorted(_canonical_key(x) for x in node)) + "}"
+    if isinstance(node, _ATOMIC_KEY_TYPES):
+        return repr(node)
+    cls = type(node)
+    return f"{cls.__module__}.{cls.__qualname__}\x1d{node!r}"
 
 # Unary predicate names with fixed meaning throughout the library.
 F = "F"
@@ -60,11 +90,80 @@ class BinaryFact:
         )
 
 
+class BitsetIndex:
+    """Integer-interned, bitmask-encoded view of a :class:`Structure`.
+
+    Nodes are interned to the integers ``0 .. n-1`` (in the structure's
+    stable :attr:`Structure.node_order`); every node set is then a Python
+    int used as a bitset.  The homomorphism engine's ``bitset`` backend
+    runs entirely on these masks: candidate-domain filtering is a chain
+    of bitwise ANDs and arc-consistency checks AND a domain against the
+    precomputed adjacency masks of the candidate image.
+    """
+
+    __slots__ = (
+        "nodes",
+        "index",
+        "full_mask",
+        "label_nodes",
+        "succ",
+        "pred",
+        "has_out",
+        "has_in",
+    )
+
+    def __init__(self, structure: "Structure") -> None:
+        self.nodes: tuple[Node, ...] = structure.node_order
+        self.index: dict[Node, int] = {
+            node: i for i, node in enumerate(self.nodes)
+        }
+        n = len(self.nodes)
+        self.full_mask: int = (1 << n) - 1
+        # label -> bitmask of nodes carrying the label
+        self.label_nodes: dict[str, int] = {}
+        for label in structure.unary_predicates:
+            mask = 0
+            for node in structure.nodes_with_label(label):
+                mask |= 1 << self.index[node]
+            self.label_nodes[label] = mask
+        # pred -> per-node-index masks of successors / predecessors,
+        # plus "has at least one out/in edge with pred" node masks.
+        self.succ: dict[str, list[int]] = {}
+        self.pred: dict[str, list[int]] = {}
+        self.has_out: dict[str, int] = {}
+        self.has_in: dict[str, int] = {}
+        for fact in structure.binary_facts:
+            s, d = self.index[fact.src], self.index[fact.dst]
+            if fact.pred not in self.succ:
+                self.succ[fact.pred] = [0] * n
+                self.pred[fact.pred] = [0] * n
+                self.has_out[fact.pred] = 0
+                self.has_in[fact.pred] = 0
+            self.succ[fact.pred][s] |= 1 << d
+            self.pred[fact.pred][d] |= 1 << s
+            self.has_out[fact.pred] |= 1 << s
+            self.has_in[fact.pred] |= 1 << d
+
+    def mask_of(self, nodes: Iterable[Node]) -> int:
+        """The bitmask of the given nodes (foreign nodes are ignored)."""
+        mask = 0
+        index = self.index
+        for node in nodes:
+            i = index.get(node)
+            if i is not None:
+                mask |= 1 << i
+        return mask
+
+
 class Structure:
     """An immutable finite structure over unary and binary predicates.
 
     Provides the indexed views needed by the homomorphism engine:
-    labels per node, outgoing/incoming edges per node, and nodes per label.
+    labels per node, outgoing/incoming edges per node, nodes per label,
+    and — built lazily on first use — an integer interning of the nodes
+    (:attr:`node_order` / :attr:`node_index`), per-``(node, pred)``
+    successor/predecessor frozensets, a :class:`BitsetIndex` of adjacency
+    bitmasks, and a stable content :attr:`fingerprint` for cache keys.
     """
 
     __slots__ = (
@@ -76,6 +175,15 @@ class Structure:
         "_out",
         "_in",
         "_hash",
+        "_node_order",
+        "_node_index",
+        "_out_by_pred",
+        "_in_by_pred",
+        "_bitset_index",
+        "_fingerprint",
+        "_engine_plan",
+        "_unary_preds",
+        "_binary_preds",
     )
 
     def __init__(
@@ -115,6 +223,18 @@ class Structure:
         self._out = {n: tuple(facts) for n, facts in out.items()}
         self._in = {n: tuple(facts) for n, facts in inc.items()}
         self._hash = hash((self._nodes, self._unary, self._binary))
+        # Lazily-built engine indexes (see the properties below).
+        self._node_order: tuple[Node, ...] | None = None
+        self._node_index: dict[Node, int] | None = None
+        self._out_by_pred: dict[Node, dict[str, frozenset[Node]]] | None = None
+        self._in_by_pred: dict[Node, dict[str, frozenset[Node]]] | None = None
+        self._bitset_index: BitsetIndex | None = None
+        self._fingerprint: str | None = None
+        # Opaque per-structure scratch of the homomorphism engine: the
+        # compiled source-side search plan (see homengine._source_plan).
+        self._engine_plan = None
+        self._unary_preds: frozenset[str] | None = None
+        self._binary_preds: frozenset[str] | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -161,11 +281,17 @@ class Structure:
 
     @property
     def unary_predicates(self) -> frozenset[str]:
-        return frozenset(self._nodes_by_label)
+        if self._unary_preds is None:
+            self._unary_preds = frozenset(self._nodes_by_label)
+        return self._unary_preds
 
     @property
     def binary_predicates(self) -> frozenset[str]:
-        return frozenset(fact.pred for fact in self._binary)
+        if self._binary_preds is None:
+            self._binary_preds = frozenset(
+                fact.pred for fact in self._binary
+            )
+        return self._binary_preds
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -191,6 +317,98 @@ class Structure:
             f"Structure(|nodes|={len(self._nodes)}, "
             f"|unary|={len(self._unary)}, |binary|={len(self._binary)})"
         )
+
+    # ------------------------------------------------------------------
+    # Lazily-built engine indexes
+    # ------------------------------------------------------------------
+
+    @property
+    def node_order(self) -> tuple[Node, ...]:
+        """The nodes in a stable interning order (sorted by canonical key).
+
+        Position in this tuple is the node's integer id; see
+        :attr:`node_index` for the inverse map.
+        """
+        if self._node_order is None:
+            self._node_order = tuple(sorted(self._nodes, key=_canonical_key))
+        return self._node_order
+
+    @property
+    def node_index(self) -> Mapping[Node, int]:
+        """The node -> int interning table (inverse of :attr:`node_order`)."""
+        if self._node_index is None:
+            self._node_index = {
+                node: i for i, node in enumerate(self.node_order)
+            }
+        return self._node_index
+
+    def _build_pred_maps(self) -> None:
+        out: dict[Node, dict[str, set[Node]]] = {n: {} for n in self._nodes}
+        inc: dict[Node, dict[str, set[Node]]] = {n: {} for n in self._nodes}
+        for fact in self._binary:
+            out[fact.src].setdefault(fact.pred, set()).add(fact.dst)
+            inc[fact.dst].setdefault(fact.pred, set()).add(fact.src)
+        self._out_by_pred = {
+            n: {p: frozenset(s) for p, s in preds.items()}
+            for n, preds in out.items()
+        }
+        self._in_by_pred = {
+            n: {p: frozenset(s) for p, s in preds.items()}
+            for n, preds in inc.items()
+        }
+
+    def out_by_pred(self, node: Node) -> Mapping[str, frozenset[Node]]:
+        """Per-predicate successor sets of ``node`` (lazily indexed)."""
+        if self._out_by_pred is None:
+            self._build_pred_maps()
+        return self._out_by_pred.get(node, {})
+
+    def in_by_pred(self, node: Node) -> Mapping[str, frozenset[Node]]:
+        """Per-predicate predecessor sets of ``node`` (lazily indexed)."""
+        if self._in_by_pred is None:
+            self._build_pred_maps()
+        return self._in_by_pred.get(node, {})
+
+    def out_pred_set(self, node: Node) -> frozenset[str]:
+        """The predicates of the outgoing edges of ``node``."""
+        return frozenset(self.out_by_pred(node))
+
+    def in_pred_set(self, node: Node) -> frozenset[str]:
+        """The predicates of the incoming edges of ``node``."""
+        return frozenset(self.in_by_pred(node))
+
+    @property
+    def bitset_index(self) -> BitsetIndex:
+        """The interned bitmask view used by the ``bitset`` hom backend."""
+        if self._bitset_index is None:
+            self._bitset_index = BitsetIndex(self)
+        return self._bitset_index
+
+    @property
+    def fingerprint(self) -> str:
+        """A stable content digest, usable as a cross-instance cache key.
+
+        Two structures with equal nodes and facts always produce the same
+        fingerprint, even when built in different orders or as distinct
+        instances; the homomorphism cache relies on this.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            lines = [f"N\x1e{_canonical_key(n)}" for n in self._nodes]
+            lines += [
+                f"U\x1e{f.label}\x1e{_canonical_key(f.node)}"
+                for f in self._unary
+            ]
+            lines += [
+                f"B\x1e{f.pred}\x1e{_canonical_key(f.src)}"
+                f"\x1e{_canonical_key(f.dst)}"
+                for f in self._binary
+            ]
+            for line in sorted(lines):
+                digest.update(line.encode("utf-8", "backslashreplace"))
+                digest.update(b"\n")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Derived structures

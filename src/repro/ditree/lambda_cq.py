@@ -42,7 +42,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
 from ..core.cq import OneCQ
-from ..core.homomorphism import find_homomorphism
+from ..core.homomorphism import find_homomorphism, has_homomorphism
 from ..core.structure import A, F, Node, Structure, T, UnaryFact
 from .structure import DitreeCQ
 
@@ -207,7 +207,7 @@ def compute_black(one_cq: OneCQ, types: list[SegType]) -> set[SegType]:
             continue
         target = type_blowup(one_cq, t)
         for source, _ in root_segments:
-            if find_homomorphism(source, target) is not None:
+            if has_homomorphism(source, target):
                 black.add(t)
                 break
     return black
@@ -379,28 +379,29 @@ def _segment_cover_exists(
 ) -> bool:
     """Does some segment copy (bud set B) map into ``target`` with its
     focus on ``focus_image``, budded leaves on ``approved`` A-nodes and
-    no node on ``forbidden``?"""
+    no node on ``forbidden``?
+
+    The constraints are passed declaratively (``node_domains`` for the
+    budded leaves, ``forbid`` for the parent focus) so the cuttability
+    fixpoint's many repeated checks hit the engine's hom-cache instead
+    of re-running an uncacheable ``node_filter`` search.
+    """
     k = one_cq.span
+    approved_frozen = frozenset(approved)
+    forbid = None if forbidden is None else frozenset({forbidden})
     for budset in _subsets(k):
         source, mapping = segment_structure(
             one_cq, budset, root=root, tag="cover"
         )
-        budded_nodes = {
-            mapping[one_cq.solitary_ts[j]] for j in budset
+        node_domains = {
+            mapping[one_cq.solitary_ts[j]]: approved_frozen for j in budset
         }
-
-        def node_filter(x: Node, v: Node) -> bool:
-            if forbidden is not None and v == forbidden:
-                return False
-            if x in budded_nodes and v not in approved:
-                return False
-            return True
-
         hom = find_homomorphism(
             source,
             target,
             seed={mapping[one_cq.focus]: focus_image},
-            node_filter=node_filter,
+            node_domains=node_domains,
+            forbid=forbid,
         )
         if hom is not None:
             return True
