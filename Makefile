@@ -4,15 +4,29 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-homengine bench check
+.PHONY: test lint bench-homengine bench-cactus bench check ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
 	$(PYTHON) -m pytest -x -q
 
+## ruff lint (config in pyproject.toml); degrades to a syntax check
+## when ruff is not installed (the offline dev container)
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests scripts benchmarks examples; \
+	else \
+		echo "ruff not installed; falling back to a compile check"; \
+		$(PYTHON) -m compileall -q src tests scripts benchmarks examples; \
+	fi
+
 ## hom-engine backend comparison (naive vs bitset); writes BENCH_homengine.json
 bench-homengine:
 	$(PYTHON) scripts/bench_homengine.py
+
+## incremental vs from-scratch cactus construction; writes BENCH_cactus.json
+bench-cactus:
+	$(PYTHON) scripts/bench_cactus.py
 
 ## all experiment benchmarks, default engine configuration
 bench:
@@ -21,3 +35,9 @@ bench:
 ## tier-1 tests plus the engine perf criteria
 check: test
 	$(PYTHON) scripts/bench_homengine.py --check
+	$(PYTHON) scripts/bench_cactus.py --check
+
+## everything the CI workflow runs (tests, lint, perf gates)
+ci: test lint
+	$(PYTHON) scripts/bench_homengine.py --check --output /tmp/BENCH_homengine.json
+	$(PYTHON) scripts/bench_cactus.py --check --output /tmp/BENCH_cactus.json

@@ -9,7 +9,6 @@ and check the verdict distribution is exactly this trichotomy.
 from repro import zoo
 from repro.ditree import DitreeCQ
 from repro.ditree.classify import Complexity, classify_disjoint
-from repro.ditree.structure import is_minimal
 from repro.workloads.generators import random_ditree_cq
 
 

@@ -9,7 +9,6 @@ reduction over random undirected graphs and verify every sample.
 from repro import zoo
 from repro.core import certain_answer
 from repro.ditree import DitreeCQ, random_graph, reachability_instance
-from repro.ditree.structure import DitreeCQ as _DitreeCQ
 
 
 def test_undirected_reachability_equivalence(benchmark, record_rows):

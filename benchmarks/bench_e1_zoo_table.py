@@ -10,7 +10,7 @@ benchmark the classification pass.
 from repro import zoo
 from repro.core import OneCQ
 from repro.ditree import DitreeCQ
-from repro.ditree.classify import Complexity, classify_plain
+from repro.ditree.classify import classify_plain
 from repro.ditree.lambda_cq import decide_lambda
 
 

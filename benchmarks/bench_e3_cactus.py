@@ -9,7 +9,6 @@ from repro import zoo
 from repro.core import (
     OneCQ,
     find_homomorphism,
-    has_homomorphism,
     iter_cactuses,
 )
 

@@ -7,7 +7,7 @@ decidable by our exact machinery, its FO-rewritability.
 """
 
 from repro import zoo
-from repro.core import OneCQ, Verdict, probe_boundedness
+from repro.core import OneCQ, probe_boundedness
 from repro.ditree import DitreeCQ
 from repro.ditree.classify import classify_disjoint, classify_plain
 from repro.ditree.lambda_cq import decide_lambda

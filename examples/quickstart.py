@@ -14,7 +14,6 @@ from repro.core import (
     certain_answer,
     compile_programs,
     evaluate,
-    initial_cactus,
     iter_cactuses,
     probe_boundedness,
     ucq_rewriting,

@@ -36,6 +36,7 @@ from .core import (
     StructureBuilder,
     T,
     Verdict,
+    cactus_factory,
     certain_answer,
     compile_programs,
     covers_any,
@@ -50,6 +51,7 @@ from .core import (
     path_structure,
     probe_boundedness,
     set_default_backend,
+    ucq_certain_answers,
     ucq_rewriting,
 )
 
@@ -67,6 +69,7 @@ __all__ = [
     "StructureBuilder",
     "T",
     "Verdict",
+    "cactus_factory",
     "certain_answer",
     "compile_programs",
     "covers_any",
@@ -81,6 +84,7 @@ __all__ = [
     "path_structure",
     "probe_boundedness",
     "set_default_backend",
+    "ucq_certain_answers",
     "ucq_rewriting",
     "__version__",
 ]

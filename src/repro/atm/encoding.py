@@ -35,7 +35,7 @@ equal to its incoming branch bit.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
 from .machine import ATM, ComputationTree, Configuration, initial_configuration, successors

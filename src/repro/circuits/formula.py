@@ -16,7 +16,7 @@ which variable the leaf is) and per-variable occurrence counts ``k_i``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Sequence
 
 
 class Formula:

@@ -20,17 +20,27 @@ The exact decision procedure for the ditree Λ-CQ fragment lives in
 
 When a probe succeeds, :func:`ucq_rewriting` emits the UCQ
 ``C_1 ∨ .. ∨ C_m`` of all cactuses of depth <= d (the rewriting used in
-the proof of Proposition 2), and :func:`ucq_certain_answer` evaluates it
-by homomorphism checks, bypassing the datalog engine entirely.
+the proof of Proposition 2), :func:`ucq_certain_answer` evaluates it by
+homomorphism checks, bypassing the datalog engine entirely, and
+:func:`ucq_certain_answers` screens a whole *family* of instances in one
+pass (the batch traffic shape of
+:func:`~repro.core.homengine.evaluate_batch`).
+
+All cactus material flows through the pooled incremental
+:class:`~repro.core.cactus.CactusFactory` of the query: the probe's
+depth loop, a later rewriting extraction and the Σ-variant all share
+the same materialised cactuses.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Sequence
 
 from .cactus import Cactus, iter_cactuses
 from .cq import OneCQ
+from .homengine import evaluate_batch
 from .homomorphism import covers_any
 from .structure import A, Node, Structure, T
 
@@ -109,6 +119,10 @@ def probe_boundedness(
     conclusive because covering homs iterate (Example 4).  An
     UNBOUNDED_EVIDENCE verdict means the deepest probed cactuses are not
     covered by anything shallower at all.
+
+    Cactus material streams out of the query's pooled incremental
+    factory, so repeated probes (and a later rewriting extraction)
+    share every materialised cactus.
     """
     cactuses = list(iter_cactuses(one_cq, probe_depth, max_cactuses))
     by_depth: dict[int, list[Cactus]] = {}
@@ -175,6 +189,63 @@ def sigma_ucq_rewriting(
 def ucq_certain_answer(ucq: list[Structure], data: Structure) -> bool:
     """Evaluate a Boolean UCQ by one batch of homomorphism checks."""
     return covers_any(data, ucq)
+
+
+def ucq_certain_answers(
+    ucq: list[Structure], instances: Sequence[Structure]
+) -> list[bool]:
+    """Evaluate a Boolean UCQ over a whole family of data instances.
+
+    The family-probing counterpart of :func:`ucq_certain_answer`, and
+    the in-repo consumer of
+    :func:`~repro.core.homengine.evaluate_batch`: each disjunct sweeps
+    the still-undecided instances in one batch (sharing its compiled
+    source plan and the hom-cache across the family), and instances
+    already answered 'yes' drop out of later sweeps.
+    """
+    results = [False] * len(instances)
+    for disjunct in ucq:
+        pending = [i for i, done in enumerate(results) if not done]
+        if not pending:
+            break
+        answers = evaluate_batch(
+            disjunct, [instances[i] for i in pending]
+        )
+        for i, answer in zip(pending, answers):
+            if answer:
+                results[i] = True
+    return results
+
+
+def probe_family_boundedness(
+    one_cq: OneCQ,
+    instances: Sequence[Structure],
+    depth: int,
+    probe_depth: int | None = None,
+) -> list[bool]:
+    """Certain answers of ``(Π_q, G)`` over an instance family via the
+    depth-``depth`` UCQ rewriting; one factory, one rewriting, one
+    batched evaluation for the whole family.
+
+    The rewriting is only a correct evaluation when the query is
+    bounded with bound ``depth``, so this first runs
+    :func:`probe_boundedness` (to ``probe_depth``, default ``depth +
+    1``) and raises :class:`ValueError` unless the probe certifies a
+    covering depth ``<= depth`` — never silently returning
+    false-negative answers for an unbounded or deeper-bounded query.
+    Callers who have certified boundedness by other means (e.g. the
+    exact Λ-CQ decider) can call :func:`ucq_certain_answers` on
+    :func:`ucq_rewriting` directly.
+    """
+    probe = probe_boundedness(
+        one_cq, probe_depth if probe_depth is not None else depth + 1
+    )
+    if probe.verdict is not Verdict.BOUNDED or (probe.depth or 0) > depth:
+        raise ValueError(
+            f"the depth-{depth} rewriting is not a certified evaluation "
+            f"of (Π_q, G): probe verdict {probe.describe()!r}"
+        )
+    return ucq_certain_answers(ucq_rewriting(one_cq, depth), instances)
 
 
 def sigma_ucq_certain_answer(

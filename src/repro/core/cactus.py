@@ -9,24 +9,43 @@ characterises certain answers (Proposition 1) and boundedness
 A cactus is represented by
 
 * its materialised :class:`~repro.core.structure.Structure` (nodes are
-  ``(segment_id, variable)`` pairs, glued at buds),
+  ``(path, variable)`` pairs, where ``path`` is the tuple of bud indices
+  from the root to the segment, glued at buds),
 * a skeleton: the ditree of segments with bud labels, and
 * per-segment variable maps back into the 1-CQ.
 
 Cactus *shapes* — the skeleton trees annotated with which solitary T
 indices were budded — enumerate ``𝔎_q`` canonically (one cactus per
 shape), so enumeration never produces duplicates.
+
+Construction is *incremental*: a :class:`CactusFactory` (one per 1-CQ,
+pooled module-wide) interns one frozen copy of every segment fact set
+and variable map per skeleton path, memoises every cactus it has ever
+materialised by shape, and builds a depth-``d`` cactus by extending the
+cached depth-``d-1`` prefix with only the new generation of segments —
+a copy-on-write :meth:`~repro.core.structure.Structure.extended` delta
+(drop the budded ``T`` facts, union in the interned leaf segments) that
+also transfers the parent's engine indexes and fingerprint.  Path-based
+node naming makes this sound: a segment keeps the same nodes in every
+cactus that contains it, so a prefix's structure is literally a
+substructure of every extension.  The pre-engine from-scratch builder
+survives as :func:`build_cactus_from_scratch`, the correctness oracle
+cross-validated in the tests and the baseline of
+``scripts/bench_cactus.py``.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Iterator, Mapping
 
 from .cq import OneCQ
 from .homomorphism import covers_any, find_homomorphism
-from .structure import A, F, Node, Structure, T, UnaryFact
+from .structure import A, BinaryFact, F, Node, Structure, T, UnaryFact
 
 
 # ----------------------------------------------------------------------
@@ -40,9 +59,31 @@ class Shape:
 
     ``children`` maps a budded index ``j`` (position in
     ``one_cq.solitary_ts``) to the shape grown at that bud.
+
+    Hash, depth and bud tuple are computed once at construction: shapes
+    are the keys of the factory's cactus cache, so they get hashed (and
+    their depths read) far more often than they are built.
     """
 
     children: tuple[tuple[int, "Shape"], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(self.children))
+        object.__setattr__(
+            self, "_budded", tuple(j for j, _ in self.children)
+        )
+        object.__setattr__(
+            self,
+            "_depth",
+            1 + max(s._depth for _, s in self.children)
+            if self.children
+            else 0,
+        )
+        # Lazily-memoised prune by one generation (see parent_shape).
+        object.__setattr__(self, "_parent_shape", None)
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @classmethod
     def leaf(cls) -> "Shape":
@@ -54,13 +95,11 @@ class Shape:
 
     @property
     def budded(self) -> tuple[int, ...]:
-        return tuple(j for j, _ in self.children)
+        return self._budded
 
     @property
     def depth(self) -> int:
-        if not self.children:
-            return 0
-        return 1 + max(shape.depth for _, shape in self.children)
+        return self._depth
 
     def segment_count(self) -> int:
         return 1 + sum(shape.segment_count() for _, shape in self.children)
@@ -74,11 +113,22 @@ class Shape:
         return "{" + inner + "}"
 
 
+def count_shapes(span: int, max_depth: int) -> int:
+    """``|{shapes of depth <= max_depth}|`` — the tower-of-exponentials
+    recurrence ``g(d) = (1 + g(d-1))**span``, computed without
+    enumerating.  Callers use it to refuse workloads that would never
+    finish (see :func:`repro.core.dsirup.evaluate_via_cactuses`)."""
+    count = 1
+    for _ in range(max_depth):
+        count = (1 + count) ** span
+    return count
+
+
 def iter_shapes(span: int, max_depth: int) -> Iterator[Shape]:
     """All shapes of depth at most ``max_depth`` for a given span.
 
-    The count grows as a tower in ``span``; callers should keep
-    ``max_depth`` small for span >= 2.
+    The count grows as a tower in ``span`` (see :func:`count_shapes`);
+    callers should keep ``max_depth`` small for span >= 2.
     """
     if max_depth < 0:
         return
@@ -122,24 +172,50 @@ class SegmentInfo:
     parent: int | None
     bud_index: int | None  # index into one_cq.solitary_ts, None for root
     depth: int
-    var_map: dict[Node, Node]  # CQ variable -> cactus node
+    # CQ variable -> cactus node.  Factory-built cactuses share one
+    # read-only mapping per skeleton path (a MappingProxyType), so the
+    # table cannot be corrupted through one cactus's SegmentInfo.
+    var_map: Mapping[Node, Node]
     budded: tuple[int, ...]
+    path: tuple[int, ...] = ()  # bud indices from the root to this segment
 
 
 class Cactus:
-    """A materialised cactus ``C ∈ 𝔎_q`` with its skeleton."""
+    """A materialised cactus ``C ∈ 𝔎_q`` with its skeleton.
+
+    Cactuses coming out of a :class:`CactusFactory` are cached and
+    shared between callers; treat them (and their ``segments`` tables)
+    as immutable.
+    """
 
     def __init__(
         self,
         one_cq: OneCQ,
         structure: Structure,
-        segments: dict[int, SegmentInfo],
+        segments,
         shape: Shape,
     ) -> None:
         self.one_cq = one_cq
         self.structure = structure
-        self.segments = segments
         self.shape = shape
+        self._sigma: Structure | None = None
+        # ``segments`` is either the materialised table or a zero-arg
+        # thunk producing it: the skeleton bookkeeping is pure metadata
+        # that enumeration-heavy consumers (probes, rewritings) never
+        # look at, so the factory defers building it.
+        if callable(segments):
+            self._segments = None
+            self._segments_thunk = segments
+        else:
+            self._segments = segments
+            self._segments_thunk = None
+
+    @property
+    def segments(self) -> dict[int, SegmentInfo]:
+        if self._segments is None:
+            self._segments = self._segments_thunk()
+            self._segments_thunk = None
+        return self._segments
 
     @property
     def depth(self) -> int:
@@ -147,8 +223,12 @@ class Cactus:
 
     @property
     def root_focus(self) -> Node:
-        """The unique solitary F node of the cactus (its root-focus r)."""
-        return self.segments[0].var_map[self.one_cq.focus]
+        """The unique solitary F node of the cactus (its root-focus r).
+
+        Path naming makes this a constant: the root segment (path
+        ``()``) maps the focus variable to ``((), focus)``.
+        """
+        return ((), self.one_cq.focus)
 
     def segment_focus(self, seg_id: int) -> Node:
         return self.segments[seg_id].var_map[self.one_cq.focus]
@@ -157,10 +237,17 @@ class Cactus:
         return frozenset(self.segments[seg_id].var_map.values())
 
     def sigma_structure(self) -> Structure:
-        """``C°``: the cactus with the root F label replaced by A."""
-        return self.structure.relabel_node(
-            self.root_focus, remove=[F], add=[A]
-        )
+        """``C°``: the cactus with the root F label replaced by A.
+
+        Computed once per cactus (an incremental relabel of the cached
+        structure) and memoised: the Σ-rewriting evaluators ask for it
+        repeatedly.
+        """
+        if self._sigma is None:
+            self._sigma = self.structure.relabel_node(
+                self.root_focus, remove=[F], add=[A]
+            )
+        return self._sigma
 
     def skeleton_edges(self) -> list[tuple[int, int, int]]:
         """Skeleton as (parent, child, bud_index) triples."""
@@ -184,73 +271,329 @@ class Cactus:
         return f"Cactus({self.describe()})"
 
 
-def build_cactus(one_cq: OneCQ, shape: Shape) -> Cactus:
-    """Materialise the cactus with the given shape.
+def prune_shape(shape: Shape, limit: int) -> Shape:
+    """The shape with every segment deeper than ``limit`` removed.
 
-    Node naming: the root segment's variables become ``(0, v)``; a child
-    segment glues its focus onto the parent's budded T node and names its
-    other variables ``(seg_id, v)``.
+    Returns ``shape`` itself (no allocation) when nothing is deeper
+    than ``limit``, so pruning a depth-``d`` shape by one generation
+    only rebuilds the spine above the deepest segments.
+    """
+    if shape.depth <= limit:
+        return shape
+    if limit <= 0:
+        return Shape.leaf()
+    return Shape.make(
+        {j: prune_shape(c, limit - 1) for j, c in shape.children}
+    )
+
+
+def parent_shape(shape: Shape) -> Shape:
+    """``shape`` with its deepest generation removed, memoised on the
+    shape object itself: the incremental builder asks for the same
+    parent every time a shape is rebuilt (fresh factories included),
+    and the answer is intrinsic to the shape."""
+    cached = shape._parent_shape
+    if cached is None:
+        cached = prune_shape(shape, shape.depth - 1)
+        object.__setattr__(shape, "_parent_shape", cached)
+    return cached
+
+
+Path = tuple  # bud-index path from the root to a segment
+
+
+class CactusFactory:
+    """Incremental, pooled cactus construction for one 1-CQ.
+
+    The factory interns, per skeleton path:
+
+    * the *leaf segment copy* at that path — the frozen node / unary /
+      binary fact sets of ``A(x), q⁻, T(y_1) .. T(y_n)`` renamed into
+      path coordinates (glued by naming: the copy's focus IS the
+      parent's ``y_j`` node), and
+    * the variable map from the 1-CQ into those coordinates,
+
+    and memoises every materialised cactus by shape.  A depth-``d``
+    cactus is built from the cached depth-``d-1`` prune of its shape by
+    one :meth:`~repro.core.structure.Structure.extended` delta: remove
+    the newly-budded ``T`` facts, add the interned fact sets of the new
+    leaf segments.  Nothing a prefix materialised is ever recomputed —
+    not the facts, not the eager structure indexes, not the fingerprint.
+    """
+
+    def __init__(self, one_cq: OneCQ) -> None:
+        self.one_cq = one_cq
+        # Shape -> Cactus, LRU-bounded (REPRO_CACTUS_CACHE_SIZE): an
+        # open-ended probe of a span >= 2 query would otherwise retain
+        # an exponential-in-depth number of materialised cactuses for
+        # the life of the pooled factory.  Evicting a prefix only costs
+        # a rebuild if it is ever extended again.
+        self._cactuses: OrderedDict[Shape, Cactus] = OrderedDict()
+        self._leaf_facts: dict[Path, tuple] = {}
+        self._var_maps: dict[Path, Mapping[Node, Node]] = {}
+        self._segment_copies: dict = {}
+
+    # -- interned per-path segment material ----------------------------
+
+    def var_map(self, path: Path) -> Mapping[Node, Node]:
+        """The shared, read-only variable map of the segment at ``path``."""
+        cached = self._var_maps.get(path)
+        if cached is None:
+            q = self.one_cq.query
+            focus = self.one_cq.focus
+            if path:
+                glue = (path[:-1], self.one_cq.solitary_ts[path[-1]])
+                cached = MappingProxyType(
+                    {v: glue if v == focus else (path, v) for v in q.nodes}
+                )
+            else:
+                cached = MappingProxyType({v: (path, v) for v in q.nodes})
+            self._var_maps[path] = cached
+        return cached
+
+    def leaf_facts(self, path: Path) -> tuple:
+        """Interned ``(nodes, unary, binary)`` of the leaf segment copy
+        at ``path`` (root copy when ``path`` is empty)."""
+        cached = self._leaf_facts.get(path)
+        if cached is None:
+            one_cq = self.one_cq
+            q = one_cq.query
+            var_map = self.var_map(path)
+            unary: set[UnaryFact] = set()
+            for fact in q.unary_facts:
+                if path and fact.node == one_cq.focus and fact.label == F:
+                    continue  # non-root focus: the bud relabels it A
+                unary.add(UnaryFact(fact.label, var_map[fact.node]))
+            if path:
+                unary.add(UnaryFact(A, var_map[one_cq.focus]))
+            binary = frozenset(
+                fact.rename(var_map) for fact in q.binary_facts
+            )
+            cached = (
+                frozenset(var_map.values()),
+                frozenset(unary),
+                binary,
+            )
+            self._leaf_facts[path] = cached
+        return cached
+
+    # -- cactus materialisation ----------------------------------------
+
+    def cactus(self, shape: Shape) -> Cactus:
+        """The (cached) materialised cactus of ``shape``."""
+        cached = self._cactuses.get(shape)
+        if cached is not None:
+            self._cactuses.move_to_end(shape)
+            return cached
+        depth = shape.depth
+        if depth == 0:
+            nodes, unary, binary = self.leaf_facts(())
+            structure = Structure(nodes, unary, binary)
+        else:
+            base = self.cactus(parent_shape(shape))
+            ts = self.one_cq.solitary_ts
+            add_nodes: set[Node] = set()
+            add_unary: set[UnaryFact] = set()
+            add_binary: set[BinaryFact] = set()
+            removed: list[UnaryFact] = []
+            for parent_path, j in self._paths_at_depth(shape, depth):
+                removed.append(UnaryFact(T, (parent_path, ts[j])))
+                nodes, unary, binary = self.leaf_facts(parent_path + (j,))
+                add_nodes |= nodes
+                add_unary |= unary
+                add_binary |= binary
+            structure = base.structure.extended(
+                add_nodes=add_nodes,
+                add_unary=add_unary,
+                add_binary=add_binary,
+                remove_unary=removed,
+            )
+        cactus = Cactus(
+            self.one_cq,
+            structure,
+            lambda shape=shape: self._segment_table(shape),
+            shape,
+        )
+        self._cactuses[shape] = cactus
+        while len(self._cactuses) > _CACTUS_CACHE_SIZE:
+            self._cactuses.popitem(last=False)
+        return cactus
+
+    @staticmethod
+    def _paths_at_depth(
+        shape: Shape, depth: int
+    ) -> Iterator[tuple[Path, int]]:
+        """``(parent_path, bud_index)`` of every segment at ``depth``."""
+        stack: list[tuple[Path, Shape]] = [((), shape)]
+        while stack:
+            path, node = stack.pop()
+            for j, child in node.children:
+                if len(path) + 1 == depth:
+                    yield path, j
+                else:
+                    stack.append((path + (j,), child))
+
+    def _segment_table(self, shape: Shape) -> dict[int, SegmentInfo]:
+        """Skeleton bookkeeping in DFS preorder (root gets id 0)."""
+        segments: dict[int, SegmentInfo] = {}
+        counter = itertools.count()
+
+        def walk(
+            node: Shape, path: Path, parent: int | None, bud: int | None
+        ) -> None:
+            seg_id = next(counter)
+            segments[seg_id] = SegmentInfo(
+                seg_id=seg_id,
+                parent=parent,
+                bud_index=bud,
+                depth=len(path),
+                var_map=self.var_map(path),
+                budded=node.budded,
+                path=path,
+            )
+            for j, child in node.children:
+                walk(child, path + (j,), seg_id, j)
+
+        walk(shape, (), None, None)
+        return segments
+
+    # -- interned segment copies for the Λ-CQ decider ------------------
+
+    def segment_copy(
+        self, budded: frozenset[int], root: bool, tag: object
+    ) -> tuple[Structure, Mapping[Node, Node]]:
+        """An interned standalone segment copy (see
+        :func:`repro.ditree.lambda_cq.segment_structure`): focus
+        labelled F (root) or A, ``y_j`` relabelled A for ``j`` in
+        ``budded``; nodes are ``(tag, v)`` pairs.  The Appendix F
+        fixpoint requests the same handful of copies thousands of
+        times; interning them also lets the hom engine reuse one
+        compiled plan per copy."""
+        key = (frozenset(budded), root, tag)
+        cached = self._segment_copies.get(key)
+        if cached is None:
+            one_cq = self.one_cq
+            q = one_cq.query
+            mapping = {v: (tag, v) for v in q.nodes}
+            unary: set[UnaryFact] = set()
+            for fact in q.unary_facts:
+                if fact.node == one_cq.focus and fact.label == F and not root:
+                    continue
+                if fact.label == T and fact.node in one_cq.solitary_ts:
+                    if one_cq.solitary_ts.index(fact.node) in budded:
+                        continue
+                unary.add(UnaryFact(fact.label, mapping[fact.node]))
+            if not root:
+                unary.add(UnaryFact(A, mapping[one_cq.focus]))
+            for j in budded:
+                unary.add(UnaryFact(A, mapping[one_cq.solitary_ts[j]]))
+            binary = {fact.rename(mapping) for fact in q.binary_facts}
+            cached = (
+                Structure(set(mapping.values()), unary, binary),
+                MappingProxyType(mapping),
+            )
+            self._segment_copies[key] = cached
+        return cached
+
+
+# The module-wide factory pool: every entry point that takes a bare
+# OneCQ (build_cactus, iter_cactuses, the probes and rewritings) shares
+# one factory per query, so cactuses built for a boundedness probe are
+# the same objects a later UCQ rewriting returns.
+_FACTORY_POOL: OrderedDict[OneCQ, CactusFactory] = OrderedDict()
+_FACTORY_POOL_SIZE = int(os.environ.get("REPRO_CACTUS_FACTORIES", "32"))
+_CACTUS_CACHE_SIZE = int(
+    os.environ.get("REPRO_CACTUS_CACHE_SIZE", "20000")
+)
+
+
+def cactus_factory(one_cq: OneCQ) -> CactusFactory:
+    """The pooled :class:`CactusFactory` of ``one_cq`` (LRU, bounded by
+    ``REPRO_CACTUS_FACTORIES``, default 32 queries)."""
+    factory = _FACTORY_POOL.get(one_cq)
+    if factory is None:
+        factory = CactusFactory(one_cq)
+        _FACTORY_POOL[one_cq] = factory
+        while len(_FACTORY_POOL) > _FACTORY_POOL_SIZE:
+            _FACTORY_POOL.popitem(last=False)
+    else:
+        _FACTORY_POOL.move_to_end(one_cq)
+    return factory
+
+
+def clear_cactus_caches() -> None:
+    """Drop every pooled factory (and with them all cached cactuses)."""
+    _FACTORY_POOL.clear()
+
+
+def build_cactus(one_cq: OneCQ, shape: Shape) -> Cactus:
+    """Materialise the cactus with the given shape (pooled, incremental).
+
+    Node naming: the segment reached from the root by following bud
+    indices ``path`` names its variables ``(path, v)``; a child glues
+    its focus onto the parent's budded T node.  Equal shapes return the
+    same cached :class:`Cactus` object.
+    """
+    return cactus_factory(one_cq).cactus(shape)
+
+
+def build_cactus_from_scratch(one_cq: OneCQ, shape: Shape) -> Cactus:
+    """The pre-engine builder: rematerialise every segment and rebuild
+    the structure without any caching or index transfer.
+
+    Produces node-for-node the same cactus as :func:`build_cactus` —
+    the property tests assert equal structures and fingerprints — and
+    serves as the baseline that ``scripts/bench_cactus.py`` measures
+    the incremental engine against.
     """
     q = one_cq.query
     ts = one_cq.solitary_ts
     counter = itertools.count()
     segments: dict[int, SegmentInfo] = {}
     unary: set[UnaryFact] = set()
-    binary = set()
+    binary: set[BinaryFact] = set()
+    nodes: set[Node] = set()
 
     def add_segment(
-        shape: Shape,
-        parent: int | None,
-        glue_node: Node | None,
-        depth: int,
-    ) -> int:
+        node: Shape, path: Path, parent: int | None, bud: int | None
+    ) -> None:
         seg_id = next(counter)
-        var_map: dict[Node, Node] = {}
-        for v in q.nodes:
-            if v == one_cq.focus and glue_node is not None:
-                var_map[v] = glue_node
-            else:
-                var_map[v] = (seg_id, v)
-        budded = shape.budded
-        # Unary facts: focus keeps F at the root, is relabelled A when
-        # glued; budded solitary Ts lose their T (the child adds A).
+        glue = (
+            (path[:-1], ts[path[-1]]) if path else None
+        )
+        var_map: dict[Node, Node] = {
+            v: glue
+            if path and v == one_cq.focus
+            else (path, v)
+            for v in q.nodes
+        }
+        budded = node.budded
         for fact in q.unary_facts:
-            node = var_map[fact.node]
-            if fact.node == one_cq.focus and fact.label == F and parent is not None:
+            if fact.node == one_cq.focus and fact.label == F and path:
                 continue  # non-root focus: label comes from the bud (A)
             if fact.label == T and fact.node in ts:
-                j = ts.index(fact.node)
-                if j in budded:
-                    continue  # budded: T removed, child will glue here
-            unary.add(UnaryFact(fact.label, node))
-        if parent is not None:
-            unary.add(UnaryFact(A, glue_node))
+                if ts.index(fact.node) in budded:
+                    continue  # budded: T removed, child glues here
+            unary.add(UnaryFact(fact.label, var_map[fact.node]))
+        if path:
+            unary.add(UnaryFact(A, glue))
         for fact in q.binary_facts:
             binary.add(fact.rename(var_map))
+        nodes.update(var_map.values())
         segments[seg_id] = SegmentInfo(
             seg_id=seg_id,
             parent=parent,
-            bud_index=None,
-            depth=depth,
+            bud_index=bud,
+            depth=len(path),
             var_map=var_map,
             budded=budded,
+            path=path,
         )
-        for j, child_shape in shape.children:
-            child_glue = var_map[ts[j]]
-            child_id = add_segment(child_shape, seg_id, child_glue, depth + 1)
-            info = segments[child_id]
-            segments[child_id] = SegmentInfo(
-                seg_id=child_id,
-                parent=seg_id,
-                bud_index=j,
-                depth=depth + 1,
-                var_map=info.var_map,
-                budded=info.budded,
-            )
-        return seg_id
+        for j, child in node.children:
+            add_segment(child, path + (j,), seg_id, j)
 
-    add_segment(shape, None, None, 0)
-    structure = Structure((), unary, binary)
+    add_segment(shape, (), None, None)
+    structure = Structure(nodes, unary, binary)
     return Cactus(one_cq, structure, segments, shape)
 
 
@@ -263,11 +606,19 @@ def iter_cactuses(
     one_cq: OneCQ,
     max_depth: int,
     max_count: int | None = None,
+    factory: CactusFactory | None = None,
 ) -> Iterator[Cactus]:
-    """All cactuses of depth at most ``max_depth`` (canonical, no dupes)."""
+    """All cactuses of depth at most ``max_depth`` (canonical, no dupes).
+
+    Streams through the (pooled) incremental factory: enumerating to
+    depth ``d`` materialises every depth ``< d`` cactus along the way,
+    and a later enumeration — same or greater depth, same query —
+    reuses every one of them.
+    """
+    factory = factory or cactus_factory(one_cq)
     produced = 0
     for shape in iter_shapes(one_cq.span, max_depth):
-        yield build_cactus(one_cq, shape)
+        yield factory.cactus(shape)
         produced += 1
         if max_count is not None and produced >= max_count:
             return

@@ -13,7 +13,10 @@ Three evaluation strategies are provided:
   A-node only when the current partial completion admits no forced match,
   with memoisation of refuted labelings via countermodel certificates;
 * :func:`evaluate_via_pi` — for 1-CQs, evaluates the equivalent monadic
-  datalog program ``Π_q`` instead (Section 2 of the paper).
+  datalog program ``Π_q`` instead (Section 2 of the paper);
+* :func:`evaluate_via_cactuses` — for 1-CQs, Proposition 1 directly:
+  stream the incrementally-built cactuses of ``𝔎_q`` against the data
+  until one embeds (the datalog-free evaluation path).
 
 ``evaluate`` picks the fastest sound strategy automatically.
 
@@ -28,7 +31,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterator
 
-from .cq import is_one_cq
+from .cactus import count_shapes, goal_certain_via_cactuses
+from .cq import OneCQ, is_one_cq
 from .datalog import GOAL, goal_holds
 from .homomorphism import has_homomorphism
 from .sirup import compile_programs
@@ -151,14 +155,46 @@ def evaluate_via_pi(q: Structure, data: Structure) -> DSirupAnswer:
     return DSirupAnswer(certain, None, 0)
 
 
+def evaluate_via_cactuses(
+    q: Structure, data: Structure, max_depth: int | None = None
+) -> DSirupAnswer:
+    """Evaluate a 1-CQ d-sirup by Proposition 1: the answer is 'yes'
+    iff some cactus of ``𝔎_q`` maps homomorphically into ``data``.
+
+    ``max_depth`` defaults to the number of A-labelled nodes plus one:
+    ``P``-facts only ever attach to A-nodes, every derivation stage of
+    ``Π_q`` adds at least one new ``P``-fact, so the goal is derivable
+    iff a cactus within that depth embeds — the probe is exact.  The
+    cactuses stream lazily out of the pooled incremental factory with
+    first-success early exit, so 'yes' answers rarely pay for the full
+    enumeration; for instances with many A-nodes and span >= 2 the
+    enumeration explodes, and rather than hang the call refuses
+    up front (use :func:`evaluate_branching` or :func:`evaluate_via_pi`
+    there — ``evaluate(strategy="auto")`` never routes here).
+    """
+    if not is_one_cq(q):
+        raise ValueError("𝔎_q is only defined for 1-CQs")
+    one_cq = OneCQ.from_structure(q)
+    if max_depth is None:
+        max_depth = len(data.nodes_with_label(A)) + 1
+    if count_shapes(one_cq.span, max_depth) > 100_000:
+        raise ValueError(
+            f"𝔎_q up to depth {max_depth} holds over 100000 cactuses "
+            f"(span {one_cq.span}); pass a smaller max_depth or use the "
+            "branching/pi strategies"
+        )
+    certain = goal_certain_via_cactuses(one_cq, data, max_depth)
+    return DSirupAnswer(certain, None, 0)
+
+
 def evaluate(
     q: Structure, data: Structure, strategy: str = "auto"
 ) -> DSirupAnswer:
     """Certain answer to ``(Δ_q, G)`` over ``data``.
 
     ``strategy`` is one of ``auto``, ``exhaustive``, ``branching``,
-    ``pi``.  ``auto`` uses ``Π_q`` for 1-CQs and branch-and-prune
-    otherwise.
+    ``pi``, ``cactus``.  ``auto`` uses ``Π_q`` for 1-CQs and
+    branch-and-prune otherwise.
     """
     if strategy == "exhaustive":
         return evaluate_exhaustive(q, data)
@@ -166,6 +202,8 @@ def evaluate(
         return evaluate_branching(q, data)
     if strategy == "pi":
         return evaluate_via_pi(q, data)
+    if strategy == "cactus":
+        return evaluate_via_cactuses(q, data)
     if strategy != "auto":
         raise ValueError(f"unknown strategy {strategy!r}")
     if is_one_cq(q):

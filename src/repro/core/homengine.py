@@ -398,12 +398,72 @@ class _SourcePlan:
             self.in_adj[d].append((fact.pred, s))
             self.edges.append((s, fact.pred, d))
 
+    @classmethod
+    def extended(
+        cls,
+        base: "_SourcePlan",
+        source: Structure,
+        touched: frozenset[Node],
+        added_binary: tuple,
+    ) -> "_SourcePlan":
+        """Derive the plan of an ``Structure.extended`` result from its
+        base's plan: node ids are a superset (extension appends to the
+        interning order), so only the delta's rows are recomputed."""
+        plan = cls.__new__(cls)
+        plan.nodes = source.node_order
+        plan.n = len(plan.nodes)
+        index = source.node_index
+        pad = plan.n - base.n
+        plan.labels = base.labels + [()] * pad
+        plan.out_preds = base.out_preds + [()] * pad
+        plan.in_preds = base.in_preds + [()] * pad
+        for x in touched:
+            i = index[x]
+            plan.labels[i] = tuple(source.labels(x))
+            plan.out_preds[i] = tuple(source.out_pred_set(x))
+            plan.in_preds[i] = tuple(source.in_pred_set(x))
+        out_adj = base.out_adj + [[] for _ in range(pad)]
+        in_adj = base.in_adj + [[] for _ in range(pad)]
+        edges = base.edges + []
+        fresh_out = set(range(base.n, plan.n))
+        fresh_in = set(fresh_out)
+        for fact in added_binary:
+            s, d = index[fact.src], index[fact.dst]
+            if s not in fresh_out:
+                out_adj[s] = list(out_adj[s])
+                fresh_out.add(s)
+            if d not in fresh_in:
+                in_adj[d] = list(in_adj[d])
+                fresh_in.add(d)
+            out_adj[s].append((fact.pred, d))
+            in_adj[d].append((fact.pred, s))
+            edges.append((s, fact.pred, d))
+        plan.out_adj = out_adj
+        plan.in_adj = in_adj
+        plan.edges = edges
+        return plan
+
 
 def _source_plan(source: Structure) -> _SourcePlan:
     plan = source._engine_plan
     if plan is None:
-        plan = _SourcePlan(source)
+        hint = source._extend_hint
+        if hint is not None:
+            base, touched, added_binary = hint
+            base_plan = base._engine_plan
+            # Only reusable when this structure inherited the base's
+            # interning order (extended() transfers it whenever the base
+            # had one; the base plan forces the base order to exist).
+            if base_plan is not None and source._node_order is not None:
+                plan = _SourcePlan.extended(
+                    base_plan, source, touched, added_binary
+                )
+        if plan is None:
+            plan = _SourcePlan(source)
         source._engine_plan = plan
+        # The hint is consumed either way; dropping it releases the
+        # reference chain to the base structure.
+        source._extend_hint = None
     return plan
 
 

@@ -13,6 +13,14 @@ A :class:`Structure` is immutable once frozen; builders use
 :class:`StructureBuilder`.  Conjunctive queries are structures whose nodes
 are read as existentially quantified variables; data instances are
 structures whose nodes are read as constants.
+
+Derived structures that only *add* material (and possibly drop unary
+labels) can be produced through :meth:`Structure.extended`, which copies
+the base structure's eager indexes at C speed, appends to its interning
+order, extends its :class:`BitsetIndex` and per-predicate neighbour maps
+in place of a rebuild, and updates the content fingerprint by a multiset
+delta instead of rehashing every fact — the substrate of the incremental
+cactus construction engine in :mod:`repro.core.cactus`.
 """
 
 from __future__ import annotations
@@ -53,6 +61,38 @@ def _canonical_key(node: Node) -> str:
     cls = type(node)
     return f"{cls.__module__}.{cls.__qualname__}\x1d{node!r}"
 
+# The content fingerprint is a *multiset hash*: every fact (and node)
+# renders to a canonical line, every line hashes to a 128-bit integer,
+# and the fingerprint is their sum modulo 2**128.  Addition is
+# commutative, so equal fact sets fingerprint equally regardless of
+# build order — and a derived structure's fingerprint is the base's plus
+# the added lines minus the removed ones, which is what lets
+# :meth:`Structure.extended` maintain fingerprints incrementally.
+_FP_MASK = (1 << 128) - 1
+
+
+def _line_hash(line: str) -> int:
+    digest = hashlib.blake2b(
+        line.encode("utf-8", "backslashreplace"), digest_size=16
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _node_line(node: Node) -> str:
+    return f"N\x1e{_canonical_key(node)}"
+
+
+def _unary_line(fact: "UnaryFact") -> str:
+    return f"U\x1e{fact.label}\x1e{_canonical_key(fact.node)}"
+
+
+def _binary_line(fact: "BinaryFact") -> str:
+    return (
+        f"B\x1e{fact.pred}\x1e{_canonical_key(fact.src)}"
+        f"\x1e{_canonical_key(fact.dst)}"
+    )
+
+
 # Unary predicate names with fixed meaning throughout the library.
 F = "F"
 T = "T"
@@ -88,6 +128,18 @@ class BinaryFact:
             mapping.get(self.src, self.src),
             mapping.get(self.dst, self.dst),
         )
+
+
+def _group_by_pred(
+    facts: tuple["BinaryFact", ...], outgoing: bool
+) -> dict[str, frozenset[Node]]:
+    """Per-predicate endpoint sets of one node's edge tuple."""
+    grouped: dict[str, set[Node]] = {}
+    for fact in facts:
+        grouped.setdefault(fact.pred, set()).add(
+            fact.dst if outgoing else fact.src
+        )
+    return {p: frozenset(s) for p, s in grouped.items()}
 
 
 class BitsetIndex:
@@ -154,6 +206,76 @@ class BitsetIndex:
                 mask |= 1 << i
         return mask
 
+    @classmethod
+    def extended(
+        cls,
+        base: "BitsetIndex",
+        structure: "Structure",
+        added_unary: Iterable["UnaryFact"],
+        removed_unary: Iterable["UnaryFact"],
+        added_binary: Iterable["BinaryFact"],
+    ) -> "BitsetIndex":
+        """The index of a structure derived from ``base``'s structure.
+
+        Requires ``structure.node_order`` to extend the base order (new
+        nodes appended), which :meth:`Structure.extended` guarantees:
+        every existing node keeps its bit position, so the base masks
+        stay valid and only the delta's bits are edited.
+        """
+        idx = cls.__new__(cls)
+        idx.nodes = structure.node_order
+        index = dict(base.index)
+        for i in range(len(base.nodes), len(idx.nodes)):
+            index[idx.nodes[i]] = i
+        idx.index = index
+        n = len(idx.nodes)
+        idx.full_mask = (1 << n) - 1
+        label_nodes = dict(base.label_nodes)
+        for fact in removed_unary:
+            label_nodes[fact.label] &= ~(1 << index[fact.node])
+        for fact in added_unary:
+            label_nodes[fact.label] = label_nodes.get(fact.label, 0) | (
+                1 << index[fact.node]
+            )
+        # A fresh build only has keys for labels that still occur.
+        idx.label_nodes = {
+            label: mask for label, mask in label_nodes.items() if mask
+        }
+        has_out = dict(base.has_out)
+        has_in = dict(base.has_in)
+        pad = n - len(base.nodes)
+        touched = {fact.pred for fact in added_binary}
+        succ: dict[str, list[int]] = {}
+        pred: dict[str, list[int]] = {}
+        for p in base.succ:
+            if pad:
+                succ[p] = base.succ[p] + [0] * pad
+                pred[p] = base.pred[p] + [0] * pad
+            elif p in touched:
+                succ[p] = list(base.succ[p])
+                pred[p] = list(base.pred[p])
+            else:
+                # Untouched mask lists are shared with the base (they
+                # are never mutated again).
+                succ[p] = base.succ[p]
+                pred[p] = base.pred[p]
+        for fact in added_binary:
+            s, d = index[fact.src], index[fact.dst]
+            if fact.pred not in succ:
+                succ[fact.pred] = [0] * n
+                pred[fact.pred] = [0] * n
+                has_out[fact.pred] = 0
+                has_in[fact.pred] = 0
+            succ[fact.pred][s] |= 1 << d
+            pred[fact.pred][d] |= 1 << s
+            has_out[fact.pred] |= 1 << s
+            has_in[fact.pred] |= 1 << d
+        idx.succ = succ
+        idx.pred = pred
+        idx.has_out = has_out
+        idx.has_in = has_in
+        return idx
+
 
 class Structure:
     """An immutable finite structure over unary and binary predicates.
@@ -181,7 +303,10 @@ class Structure:
         "_in_by_pred",
         "_bitset_index",
         "_fingerprint",
+        "_fingerprint_int",
         "_engine_plan",
+        "_extend_hint",
+        "_delta",
         "_unary_preds",
         "_binary_preds",
     )
@@ -203,26 +328,17 @@ class Structure:
         self._nodes = frozenset(explicit)
         self._unary = unary
         self._binary = binary
-
-        labels_by_node: dict[Node, set[str]] = {n: set() for n in self._nodes}
-        nodes_by_label: dict[str, set[Node]] = {}
-        for fact in unary:
-            labels_by_node[fact.node].add(fact.label)
-            nodes_by_label.setdefault(fact.label, set()).add(fact.node)
-        out: dict[Node, list[BinaryFact]] = {n: [] for n in self._nodes}
-        inc: dict[Node, list[BinaryFact]] = {n: [] for n in self._nodes}
-        for fact in binary:
-            out[fact.src].append(fact)
-            inc[fact.dst].append(fact)
-        self._labels_by_node = {
-            n: frozenset(ls) for n, ls in labels_by_node.items()
-        }
-        self._nodes_by_label = {
-            label: frozenset(ns) for label, ns in nodes_by_label.items()
-        }
-        self._out = {n: tuple(facts) for n, facts in out.items()}
-        self._in = {n: tuple(facts) for n, facts in inc.items()}
-        self._hash = hash((self._nodes, self._unary, self._binary))
+        # Everything below the frozen fact sets — the label / adjacency
+        # maps, the hash, the engine indexes — is built lazily on first
+        # use (and, for extended() results, from the base's maps plus
+        # the delta), so constructing a structure costs only the
+        # frozensets themselves.
+        self._labels_by_node = None
+        self._nodes_by_label = None
+        self._out = None
+        self._in = None
+        self._hash = None
+        self._delta = None
         # Lazily-built engine indexes (see the properties below).
         self._node_order: tuple[Node, ...] | None = None
         self._node_index: dict[Node, int] | None = None
@@ -230,15 +346,78 @@ class Structure:
         self._in_by_pred: dict[Node, dict[str, frozenset[Node]]] | None = None
         self._bitset_index: BitsetIndex | None = None
         self._fingerprint: str | None = None
+        self._fingerprint_int: int | None = None
         # Opaque per-structure scratch of the homomorphism engine: the
         # compiled source-side search plan (see homengine._source_plan).
         self._engine_plan = None
+        # Set by extended(): (base, touched_nodes, added_binary), letting
+        # the engine derive this structure's plan from the base's.
+        self._extend_hint = None
         self._unary_preds: frozenset[str] | None = None
         self._binary_preds: frozenset[str] | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
+
+    def _ensure_maps(self) -> None:
+        """Build the label / adjacency maps on first use.
+
+        A structure produced by :meth:`extended` whose base has built
+        maps copies them (C-speed dict copies) and applies only the
+        delta; everything else scans its own fact sets once.
+        """
+        if self._labels_by_node is not None:
+            return
+        delta = self._delta
+        if delta is not None and delta[0]._labels_by_node is not None:
+            base, added_u, removed_u, added_b, new_nodes = delta
+            labels_by_node = dict(base._labels_by_node)
+            nodes_by_label = dict(base._nodes_by_label)
+            out = dict(base._out)
+            inc = dict(base._in)
+            for n in new_nodes:
+                labels_by_node[n] = frozenset()
+                out[n] = ()
+                inc[n] = ()
+            for f in removed_u:
+                labels_by_node[f.node] = labels_by_node[f.node] - {f.label}
+                nodes_by_label[f.label] = nodes_by_label[f.label] - {f.node}
+            for f in added_u:
+                labels_by_node[f.node] = labels_by_node[f.node] | {f.label}
+                nodes_by_label[f.label] = (
+                    nodes_by_label.get(f.label, frozenset()) | {f.node}
+                )
+            for f in added_b:
+                out[f.src] = out[f.src] + (f,)
+                inc[f.dst] = inc[f.dst] + (f,)
+            self._labels_by_node = labels_by_node
+            self._nodes_by_label = nodes_by_label
+            self._out = out
+            self._in = inc
+            # Release the derivation chain: keeping the delta would pin
+            # every ancestor structure for this structure's lifetime.
+            # The pred maps, if asked for later, rebuild from own facts.
+            self._delta = None
+            return
+        labels: dict[Node, set[str]] = {n: set() for n in self._nodes}
+        by_label: dict[str, set[Node]] = {}
+        for fact in self._unary:
+            labels[fact.node].add(fact.label)
+            by_label.setdefault(fact.label, set()).add(fact.node)
+        out_lists: dict[Node, list[BinaryFact]] = {n: [] for n in self._nodes}
+        in_lists: dict[Node, list[BinaryFact]] = {n: [] for n in self._nodes}
+        for fact in self._binary:
+            out_lists[fact.src].append(fact)
+            in_lists[fact.dst].append(fact)
+        self._labels_by_node = {
+            n: frozenset(ls) for n, ls in labels.items()
+        }
+        self._nodes_by_label = {
+            label: frozenset(ns) for label, ns in by_label.items()
+        }
+        self._out = {n: tuple(facts) for n, facts in out_lists.items()}
+        self._in = {n: tuple(facts) for n, facts in in_lists.items()}
 
     @property
     def nodes(self) -> frozenset[Node]:
@@ -254,18 +433,26 @@ class Structure:
 
     def labels(self, node: Node) -> frozenset[str]:
         """All unary labels on ``node``."""
+        if self._labels_by_node is None:
+            self._ensure_maps()
         return self._labels_by_node.get(node, frozenset())
 
     def has_label(self, node: Node, label: str) -> bool:
         return label in self.labels(node)
 
     def nodes_with_label(self, label: str) -> frozenset[Node]:
+        if self._nodes_by_label is None:
+            self._ensure_maps()
         return self._nodes_by_label.get(label, frozenset())
 
     def out_edges(self, node: Node) -> tuple[BinaryFact, ...]:
+        if self._out is None:
+            self._ensure_maps()
         return self._out.get(node, ())
 
     def in_edges(self, node: Node) -> tuple[BinaryFact, ...]:
+        if self._in is None:
+            self._ensure_maps()
         return self._in.get(node, ())
 
     def successors(self, node: Node) -> Iterator[Node]:
@@ -282,7 +469,9 @@ class Structure:
     @property
     def unary_predicates(self) -> frozenset[str]:
         if self._unary_preds is None:
-            self._unary_preds = frozenset(self._nodes_by_label)
+            self._unary_preds = frozenset(
+                fact.label for fact in self._unary
+            )
         return self._unary_preds
 
     @property
@@ -310,6 +499,8 @@ class Structure:
         )
 
     def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._nodes, self._unary, self._binary))
         return self._hash
 
     def __repr__(self) -> str:
@@ -324,9 +515,12 @@ class Structure:
 
     @property
     def node_order(self) -> tuple[Node, ...]:
-        """The nodes in a stable interning order (sorted by canonical key).
+        """The nodes in a stable, per-instance interning order.
 
-        Position in this tuple is the node's integer id; see
+        Freshly-built structures sort by canonical key; structures from
+        :meth:`extended` keep the base's order and append the new nodes,
+        so existing integer ids (and therefore bitset positions) survive
+        extension.  Position in this tuple is the node's integer id; see
         :attr:`node_index` for the inverse map.
         """
         if self._node_order is None:
@@ -343,6 +537,22 @@ class Structure:
         return self._node_index
 
     def _build_pred_maps(self) -> None:
+        delta = self._delta
+        if delta is not None and delta[0]._out_by_pred is not None:
+            base, _added_u, _removed_u, added_b, new_nodes = delta
+            out_bp = dict(base._out_by_pred)
+            in_bp = dict(base._in_by_pred)
+            for n in new_nodes:
+                out_bp[n] = {}
+                in_bp[n] = {}
+            for n in {f.src for f in added_b}:
+                out_bp[n] = _group_by_pred(self.out_edges(n), True)
+            for n in {f.dst for f in added_b}:
+                in_bp[n] = _group_by_pred(self.in_edges(n), False)
+            self._out_by_pred = out_bp
+            self._in_by_pred = in_bp
+            self._delta = None  # consumed: release the derivation chain
+            return
         out: dict[Node, dict[str, set[Node]]] = {n: {} for n in self._nodes}
         inc: dict[Node, dict[str, set[Node]]] = {n: {} for n in self._nodes}
         for fact in self._binary:
@@ -385,34 +595,151 @@ class Structure:
         return self._bitset_index
 
     @property
+    def _fp_int(self) -> int:
+        """The 128-bit multiset fingerprint (see module header)."""
+        if self._fingerprint_int is None:
+            total = 0
+            for n in self._nodes:
+                total += _line_hash(_node_line(n))
+            for f in self._unary:
+                total += _line_hash(_unary_line(f))
+            for f in self._binary:
+                total += _line_hash(_binary_line(f))
+            self._fingerprint_int = total & _FP_MASK
+        return self._fingerprint_int
+
+    @property
     def fingerprint(self) -> str:
         """A stable content digest, usable as a cross-instance cache key.
 
         Two structures with equal nodes and facts always produce the same
-        fingerprint, even when built in different orders or as distinct
-        instances; the homomorphism cache relies on this.
+        fingerprint, even when built in different orders, as distinct
+        instances, or through :meth:`extended` (which maintains the
+        digest by a delta); the homomorphism cache relies on this.
         """
         if self._fingerprint is None:
-            digest = hashlib.blake2b(digest_size=16)
-            lines = [f"N\x1e{_canonical_key(n)}" for n in self._nodes]
-            lines += [
-                f"U\x1e{f.label}\x1e{_canonical_key(f.node)}"
-                for f in self._unary
-            ]
-            lines += [
-                f"B\x1e{f.pred}\x1e{_canonical_key(f.src)}"
-                f"\x1e{_canonical_key(f.dst)}"
-                for f in self._binary
-            ]
-            for line in sorted(lines):
-                digest.update(line.encode("utf-8", "backslashreplace"))
-                digest.update(b"\n")
-            self._fingerprint = digest.hexdigest()
+            self._fingerprint = format(self._fp_int, "032x")
         return self._fingerprint
 
     # ------------------------------------------------------------------
     # Derived structures
     # ------------------------------------------------------------------
+
+    def extended(
+        self,
+        add_nodes: Iterable[Node] = (),
+        add_unary: Iterable[UnaryFact] = (),
+        add_binary: Iterable[BinaryFact] = (),
+        remove_unary: Iterable[UnaryFact] = (),
+    ) -> "Structure":
+        """A derived structure: this one plus a delta, sharing index work.
+
+        The result equals ``Structure(nodes | add_nodes, (unary -
+        remove_unary) | add_unary, binary | add_binary)`` — node for
+        node, fact for fact, fingerprint for fingerprint — but is built
+        by copying this structure's eager indexes and applying only the
+        delta, appending to the interning order, extending the
+        :class:`BitsetIndex` and per-predicate maps when already built,
+        and updating the multiset fingerprint by the delta's line
+        hashes.  Nodes are never removed (dropping a unary fact keeps
+        its node), and binary facts are add-only; use the from-scratch
+        constructors for anything else.  This is the fast path under
+        incremental cactus budding, ``union`` and ``relabel_node``.
+        """
+        add_unary = frozenset(add_unary)
+        add_binary = frozenset(add_binary)
+        remove_unary = frozenset(remove_unary)
+        # Normalise through the (small) delta side: every set operation
+        # below iterates the delta, not the base, except the final
+        # unions producing the new fact sets.
+        removed_u = (remove_unary & self._unary) - add_unary
+        surviving = self._unary - removed_u if removed_u else self._unary
+        added_u = add_unary - surviving
+        new_unary = surviving | added_u if added_u else surviving
+        added_b = add_binary - self._binary
+        new_binary = self._binary | added_b if added_b else self._binary
+        explicit = set(add_nodes)
+        for f in added_u:
+            explicit.add(f.node)
+        for f in added_b:
+            explicit.add(f.src)
+            explicit.add(f.dst)
+        new_nodes_set = explicit - self._nodes
+        if not (new_nodes_set or removed_u or added_u or added_b):
+            return self
+
+        s = Structure.__new__(Structure)
+        s._nodes = (
+            self._nodes | new_nodes_set if new_nodes_set else self._nodes
+        )
+        s._unary = new_unary
+        s._binary = new_binary
+        s._hash = None
+
+        touched: set[Node] = set(new_nodes_set)
+        for f in removed_u:
+            touched.add(f.node)
+        for f in added_u:
+            touched.add(f.node)
+        for f in added_b:
+            touched.add(f.src)
+            touched.add(f.dst)
+
+        # The label / adjacency maps stay lazy: _ensure_maps copies the
+        # base's and applies this delta if (and when) anyone asks.
+        s._labels_by_node = None
+        s._nodes_by_label = None
+        s._out = None
+        s._in = None
+        s._delta = (self, added_u, removed_u, added_b, new_nodes_set)
+
+        # Interning order: keep the base's ids, append the new nodes.
+        if self._node_order is not None:
+            s._node_order = self._node_order + tuple(
+                sorted(new_nodes_set, key=_canonical_key)
+            )
+        else:
+            s._node_order = None
+        s._node_index = None
+
+        # Per-predicate neighbour maps: lazy, delta-aware (see
+        # _build_pred_maps).
+        s._out_by_pred = None
+        s._in_by_pred = None
+
+        if self._bitset_index is not None and s._node_order is not None:
+            s._bitset_index = BitsetIndex.extended(
+                self._bitset_index, s, added_u, removed_u, added_b
+            )
+        else:
+            s._bitset_index = None
+
+        if self._fingerprint_int is not None:
+            delta = 0
+            for n in new_nodes_set:
+                delta += _line_hash(_node_line(n))
+            for f in added_u:
+                delta += _line_hash(_unary_line(f))
+            for f in added_b:
+                delta += _line_hash(_binary_line(f))
+            for f in removed_u:
+                delta -= _line_hash(_unary_line(f))
+            s._fingerprint_int = (self._fingerprint_int + delta) & _FP_MASK
+        else:
+            s._fingerprint_int = None
+        s._fingerprint = None
+
+        s._engine_plan = None
+        # The hint is only usable by the engine when the interning order
+        # was inherited (a later full re-sort would break the id prefix).
+        s._extend_hint = (
+            (self, frozenset(touched), tuple(added_b))
+            if s._node_order is not None
+            else None
+        )
+        s._unary_preds = None
+        s._binary_preds = None
+        return s
 
     def rename(self, mapping: Mapping[Node, Node]) -> "Structure":
         """A copy with nodes renamed; identity outside ``mapping``.
@@ -434,24 +761,31 @@ class Structure:
     ) -> "Structure":
         """A copy with some unary labels on ``node`` removed/added."""
         remove = set(remove)
-        unary = {
-            f
-            for f in self._unary
-            if not (f.node == node and f.label in remove)
-        }
-        unary.update(UnaryFact(label, node) for label in add)
-        return Structure(self._nodes, unary, self._binary)
+        return self.extended(
+            add_unary=[UnaryFact(label, node) for label in add],
+            remove_unary=[
+                UnaryFact(label, node)
+                for label in self.labels(node)
+                if label in remove
+            ],
+        )
 
     def union(self, other: "Structure") -> "Structure":
         """Disjoint-or-not union: facts of both structures together.
 
         Nodes with equal names are identified, which is how gluing is
         expressed throughout the library (rename first for disjointness).
+        The larger side's indexes are extended by the smaller side's
+        facts instead of rebuilding from scratch.
         """
-        return Structure(
-            self._nodes | other._nodes,
-            self._unary | other._unary,
-            self._binary | other._binary,
+        big, small = (
+            (self, other) if len(self._nodes) >= len(other._nodes) else
+            (other, self)
+        )
+        return big.extended(
+            add_nodes=small._nodes,
+            add_unary=small._unary,
+            add_binary=small._binary,
         )
 
     def restrict(self, keep: Iterable[Node]) -> "Structure":
@@ -538,19 +872,19 @@ class Structure:
         """
         if not self._nodes:
             return False
-        roots = [n for n in self._nodes if not self._in.get(n)]
+        roots = [n for n in self._nodes if not self.in_edges(n)]
         if len(roots) != 1:
             return False
         for node in self._nodes:
             if node == roots[0]:
                 continue
-            if len(self._in.get(node, ())) != 1:
+            if len(self.in_edges(node)) != 1:
                 return False
         return self.is_connected()
 
     def ditree_root(self) -> Node:
         """The unique in-degree-0 node of a ditree (raises otherwise)."""
-        roots = [n for n in self._nodes if not self._in.get(n)]
+        roots = [n for n in self._nodes if not self.in_edges(n)]
         if len(roots) != 1:
             raise ValueError("structure is not a rooted ditree")
         return roots[0]

@@ -92,6 +92,9 @@ def decide_boundedness(
             exact=True,
             lambda_decision=decision,
         )
+    # The probe draws its cactuses from the query's pooled incremental
+    # factory, shared with whatever the caller does next (rewriting
+    # extraction, re-probing deeper).
     probe = probe_boundedness(one_cq, probe_depth)
     if probe.verdict is Verdict.BOUNDED:
         bounded: bool | None = True

@@ -41,9 +41,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
+from ..core.cactus import cactus_factory
 from ..core.cq import OneCQ
 from ..core.homomorphism import find_homomorphism, has_homomorphism
-from ..core.structure import A, F, Node, Structure, T, UnaryFact
+from ..core.structure import Node, Structure, UnaryFact
 from .structure import DitreeCQ
 
 BudSet = frozenset[int]
@@ -107,27 +108,22 @@ def successors(t: SegType, j: int, k: int) -> list[SegType]:
 
 def segment_structure(
     one_cq: OneCQ, budded: BudSet, root: bool, tag: object
-) -> tuple[Structure, dict[Node, Node]]:
+) -> tuple[Structure, Mapping[Node, Node]]:
     """One segment copy of ``q``: focus labelled F (root) or A
     (non-root); ``y_j`` labelled A for ``j ∈ budded`` and T otherwise.
-    Returns the structure and the variable map ``q-var -> node``."""
-    q = one_cq.query
-    mapping = {v: (tag, v) for v in q.nodes}
-    unary: set[UnaryFact] = set()
-    for fact in q.unary_facts:
-        if fact.node == one_cq.focus and fact.label == F and not root:
-            continue
-        if fact.label == T and fact.node in one_cq.solitary_ts:
-            j = one_cq.solitary_ts.index(fact.node)
-            if j in budded:
-                continue
-        unary.add(UnaryFact(fact.label, mapping[fact.node]))
-    if not root:
-        unary.add(UnaryFact(A, mapping[one_cq.focus]))
-    for j in budded:
-        unary.add(UnaryFact(A, mapping[one_cq.solitary_ts[j]]))
-    binary = {fact.rename(mapping) for fact in q.binary_facts}
-    return Structure(set(mapping.values()), unary, binary), mapping
+    Returns the structure and the variable map ``q-var -> node``.
+
+    Copies are interned per ``(budded, root, tag)`` on the query's
+    pooled :class:`~repro.core.cactus.CactusFactory`: the Appendix F
+    cuttability fixpoint and the root check request the same handful of
+    copies over and over, and sharing one frozen :class:`Structure` per
+    copy also lets the hom engine keep one compiled search plan per
+    copy for the whole decision procedure.  Treat the returned
+    structure and mapping as immutable.
+    """
+    return cactus_factory(one_cq).segment_copy(
+        frozenset(budded), root, tag
+    )
 
 
 def root_segment(one_cq: OneCQ, budded: BudSet) -> tuple[Structure, Node]:

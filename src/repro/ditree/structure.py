@@ -19,7 +19,6 @@ These notions drive the classifiers of Theorems 7, 9 and 11.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 from ..core.cq import solitary_f_nodes, solitary_t_nodes, twin_nodes

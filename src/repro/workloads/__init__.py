@@ -1,6 +1,7 @@
 """Reproducible workload generators for tests and benchmarks."""
 
 from .generators import (
+    instance_family,
     iter_lambda_cqs,
     random_ditree_cq,
     random_instance,
@@ -9,6 +10,7 @@ from .generators import (
 )
 
 __all__ = [
+    "instance_family",
     "iter_lambda_cqs",
     "random_ditree_cq",
     "random_instance",

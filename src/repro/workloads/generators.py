@@ -42,6 +42,26 @@ def random_instance(
     return b.build()
 
 
+def instance_family(
+    count: int,
+    n: int,
+    edge_count: int,
+    seed: int,
+    label_weights: dict[str, int] | None = None,
+    preds: tuple[str, ...] = ("R",),
+) -> list[Structure]:
+    """A reproducible family of random instances — the batch-evaluation
+    workload shape consumed by
+    :func:`repro.core.boundedness.ucq_certain_answers` (one query
+    screened over many instances)."""
+    return [
+        random_instance(
+            n, edge_count, seed * 60013 + i, label_weights, preds
+        )
+        for i in range(count)
+    ]
+
+
 def random_path_instance(n: int, seed: int, a_fraction: float = 0.4) -> Structure:
     """A path-shaped instance with F at the left end, T at the right and
     a random mixture of A/blank labels inside — the shape that exercises

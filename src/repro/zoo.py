@@ -27,7 +27,6 @@ from .core.cactus import build_cactus, chain_shape
 from .core.cq import OneCQ
 from .core.structure import (
     F,
-    Node,
     R,
     S,
     Structure,

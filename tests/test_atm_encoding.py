@@ -31,7 +31,6 @@ from repro.atm.encoding import (
 from repro.atm.machine import (
     iter_computation_trees,
     toy_accept_machine,
-    toy_alternation_machine,
     toy_reject_machine,
 )
 from repro.atm.params import EncodingParams, encode_configuration

@@ -13,7 +13,6 @@ from repro.atm.encoding import (
     desired_tree_cut,
     gamma_depth,
     incorrect_nodes,
-    read_config_bits,
     read_full_configuration,
 )
 from repro.atm.machine import (

@@ -12,7 +12,7 @@ from repro.core import (
     ucq_certain_answer,
     ucq_rewriting,
 )
-from repro.core.cactus import build_cactus, chain_shape, full_cactus
+from repro.core.cactus import build_cactus, chain_shape
 from repro.core.structure import StructureBuilder
 
 

@@ -1,6 +1,5 @@
 """Tests for shapes, cactus construction and Proposition 1."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

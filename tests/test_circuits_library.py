@@ -1,7 +1,6 @@
 """The Sec. 3.4 formulas, cross-validated against the reference
 correctness predicates of :mod:`repro.atm.encoding` on real encodings."""
 
-import pytest
 
 from repro.atm.encoding import (
     CHAIN_PREFIX,
@@ -11,7 +10,6 @@ from repro.atm.encoding import (
     gamma_depth,
     gamma_paths,
     ideal_tree_cut,
-    incorrect_nodes,
     is_good,
     is_properly_branching,
     read_config_bits,
@@ -26,7 +24,7 @@ from repro.atm.machine import (
 )
 from repro.atm.params import EncodingParams, encode_configuration
 from repro.circuits.formula import formula_size
-from repro.circuits.gather import fires_at, gather_inputs, satisfying_inputs
+from repro.circuits.gather import fires_at, satisfying_inputs
 from repro.circuits.library import (
     build_library,
     cell_formula,
@@ -34,9 +32,7 @@ from repro.circuits.library import (
     head_formula,
     init_formula,
     must_branch_formula,
-    no_branch_one_formula,
     no_branch_pair_formula,
-    no_branch_zero_formula,
     reject_formula,
     same_cell_formula,
     state_formula,

@@ -11,9 +11,7 @@ from repro.core import (
     evaluate_bounded,
     goal_holds,
     make_rule,
-    path_structure,
 )
-from repro.core.datalog import Rule
 from repro.core.structure import R, Structure, UnaryFact
 
 

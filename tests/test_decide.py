@@ -6,7 +6,6 @@ from repro import zoo
 from repro.core import OneCQ, StructureBuilder
 from repro.core.structure import F, T
 from repro.decide import (
-    BoundednessDecision,
     Method,
     decide_boundedness,
     is_d_sirup_fo_rewritable,

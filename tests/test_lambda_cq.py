@@ -9,7 +9,6 @@ from repro.core import OneCQ, StructureBuilder, Verdict, probe_boundedness
 from repro.core.cq import solitary_f_nodes, solitary_t_nodes
 from repro.ditree import DitreeCQ
 from repro.ditree.lambda_cq import (
-    GEdge,
     SegType,
     all_edges,
     all_types,

@@ -6,7 +6,6 @@ and check they agree with the datalog engine on random data.
 """
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro import zoo
 from repro.core import OneCQ, compile_programs, evaluate

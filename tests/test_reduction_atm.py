@@ -1,6 +1,5 @@
 """The Theorem 3 construction: query shape, trigger semantics, Lemma 4."""
 
-import pytest
 
 from repro.atm.encoding import desired_tree_cut, gamma_depth
 from repro.atm.machine import (
