@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench-homengine bench-cactus bench check ci
+.PHONY: test lint bench-homengine bench-cactus bench-batch bench check ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -28,6 +28,10 @@ bench-homengine:
 bench-cactus:
 	$(PYTHON) scripts/bench_cactus.py
 
+## matrix backend + sharded batch runtime; writes BENCH_batch.json
+bench-batch:
+	$(PYTHON) scripts/bench_batch.py
+
 ## all experiment benchmarks, default engine configuration
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -36,8 +40,10 @@ bench:
 check: test
 	$(PYTHON) scripts/bench_homengine.py --check
 	$(PYTHON) scripts/bench_cactus.py --check
+	$(PYTHON) scripts/bench_batch.py --check
 
 ## everything the CI workflow runs (tests, lint, perf gates)
 ci: test lint
 	$(PYTHON) scripts/bench_homengine.py --check --output /tmp/BENCH_homengine.json
 	$(PYTHON) scripts/bench_cactus.py --check --output /tmp/BENCH_cactus.json
+	$(PYTHON) scripts/bench_batch.py --check --output /tmp/BENCH_batch.json

@@ -13,11 +13,17 @@ from repro.core import (
     OneCQ,
     certain_answer,
     compile_programs,
+    configure_pool,
     evaluate,
     iter_cactuses,
+    matrix_backend_available,
+    parallel_evaluate_batch,
     probe_boundedness,
+    shutdown_pool,
+    ucq_certain_answers,
     ucq_rewriting,
 )
+from repro.workloads import instance_family
 
 
 def main() -> None:
@@ -68,6 +74,34 @@ def main() -> None:
     print()
     print(f"UCQ rewriting of (Pi_q5, G): {len(rewriting)} disjuncts, "
           f"sizes {[r.size() for r in rewriting]}")
+
+    # ------------------------------------------------------------------
+    # 6. Engine knobs: hom backends and the sharded batch runtime.
+    #
+    #    Backends: "naive" (oracle), "bitset" (default), "matrix"
+    #    (numpy boolean-matrix semiring, best on large edge-rich
+    #    targets; falls back to the bitset search when numpy is
+    #    missing).  Select per call with backend=..., per process with
+    #    set_default_backend(...) or REPRO_HOM_BACKEND.
+    #
+    #    Batch traffic can shard across a bounded process pool:
+    #    REPRO_HOM_WORKERS (or configure_pool) sets the worker count,
+    #    REPRO_HOM_PARALLEL_MIN the batch size below which everything
+    #    stays on the serial fast path.  ucq_certain_answers and the
+    #    boundedness probe route through it automatically;
+    #    parallel_evaluate_batch / parallel_covers_any /
+    #    parallel_screen are the direct entry points.
+    # ------------------------------------------------------------------
+    print()
+    print(f"matrix backend available: {matrix_backend_available()}")
+    family = instance_family(count=32, n=20, edge_count=40, seed=1)
+    configure_pool(workers=2, min_batch=16)
+    answers = parallel_evaluate_batch(rewriting[0], family)
+    screened = ucq_certain_answers(rewriting, family)
+    shutdown_pool()
+    print(f"family of {len(family)} instances: "
+          f"{sum(answers)} match disjunct 0, "
+          f"{sum(screened)} satisfy the full UCQ")
 
 
 if __name__ == "__main__":

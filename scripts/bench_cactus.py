@@ -41,6 +41,7 @@ from repro.core import OneCQ, StructureBuilder, path_structure  # noqa: E402
 from repro.core.cactus import (  # noqa: E402
     CactusFactory,
     build_cactus_from_scratch,
+    clear_structure_intern,
     iter_shapes,
 )
 
@@ -96,7 +97,13 @@ WORKLOADS = [
 
 
 def run_incremental(one_cq: OneCQ, shapes: list) -> None:
-    """Cold-factory construction through the incremental engine."""
+    """Cold-factory construction through the incremental engine.
+
+    The cross-factory structure intern is cleared first: a fresh
+    factory would otherwise adopt the previous round's structures
+    wholesale and this would measure cache hits, not construction.
+    """
+    clear_structure_intern()
     factory = CactusFactory(one_cq)
     for shape in shapes:
         factory.cactus(shape)

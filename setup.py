@@ -1,5 +1,14 @@
-"""Legacy setup shim: lets ``pip install -e .`` work offline (no wheel)."""
+"""Legacy setup shim: lets ``pip install -e .`` work offline (no wheel).
+
+The ``matrix`` extra pulls in numpy for the dense boolean-matrix-
+semiring hom backend; the library runs fully without it (the backend
+falls back to the pure-python int-bitset search).
+"""
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "matrix": ["numpy>=1.24"],
+    },
+)

@@ -30,6 +30,12 @@ All cactus material flows through the pooled incremental
 :class:`~repro.core.cactus.CactusFactory` of the query: the probe's
 depth loop, a later rewriting extraction and the Σ-variant all share
 the same materialised cactuses.
+
+The batch traffic of this module routes through the shard executor of
+:mod:`repro.core.runtime`: large batches (a deep probe's cactus layers,
+a big :func:`ucq_certain_answers` instance family) are chunked across
+the bounded process pool (``REPRO_HOM_WORKERS``), while small batches
+keep the serial fast path with its shared hom-cache.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from .cactus import Cactus, iter_cactuses
 from .cq import OneCQ
 from .homengine import evaluate_batch
 from .homomorphism import covers_any
+from .runtime import parallel_covers_any, parallel_ucq_answers
 from .structure import A, Node, Structure, T
 
 
@@ -82,14 +89,17 @@ def _covered_by(
 ) -> bool:
     """Does some shallow cactus map homomorphically into ``target``?
 
-    A single batch :func:`~repro.core.homengine.covers_any` call: the
-    target's indexes are shared across the whole batch and every
-    (shallow, deep) pair goes through the hom-cache, so the probe's
-    depth loop never re-answers a pair it has already seen.
+    A single batch :func:`~repro.core.runtime.parallel_covers_any`
+    call.  Small shallow sets take the serial path — the target's
+    indexes are shared across the whole batch and every (shallow, deep)
+    pair goes through the hom-cache, so the probe's depth loop never
+    re-answers a pair it has already seen — while the exponentially
+    large layers of a deep span->=2 probe shard across the process
+    pool.
     """
-    return covers_any(
+    return parallel_covers_any(
         target.structure,
-        (
+        [
             (
                 source.structure,
                 {source.root_focus: target.root_focus}
@@ -97,7 +107,7 @@ def _covered_by(
                 else None,
             )
             for source in shallow
-        ),
+        ],
     )
 
 
@@ -196,13 +206,22 @@ def ucq_certain_answers(
 ) -> list[bool]:
     """Evaluate a Boolean UCQ over a whole family of data instances.
 
-    The family-probing counterpart of :func:`ucq_certain_answer`, and
-    the in-repo consumer of
-    :func:`~repro.core.homengine.evaluate_batch`: each disjunct sweeps
-    the still-undecided instances in one batch (sharing its compiled
-    source plan and the hom-cache across the family), and instances
-    already answered 'yes' drop out of later sweeps.
+    The family-probing counterpart of :func:`ucq_certain_answer`.
+    Large families of a multi-disjunct UCQ shard across the process
+    pool through :func:`~repro.core.runtime.parallel_ucq_answers`:
+    each worker rebuilds its instance chunk once and sweeps the whole
+    UCQ against it with per-instance early exit, so the wire/rebuild
+    cost is amortised over all disjuncts.  Small families — and
+    single-disjunct rewritings, where there is nothing to amortise —
+    keep the serial path: each disjunct sweeps the still-undecided
+    instances in one :func:`~repro.core.homengine.evaluate_batch`
+    (sharing its compiled source plan and the hom-cache), and
+    instances already answered 'yes' drop out of later sweeps.
     """
+    if len(ucq) >= 2:
+        sharded = parallel_ucq_answers(ucq, instances)
+        if sharded is not None:
+            return sharded
     results = [False] * len(instances)
     for disjunct in ucq:
         pending = [i for i, done in enumerate(results) if not done]

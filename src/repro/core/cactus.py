@@ -28,7 +28,12 @@ a copy-on-write :meth:`~repro.core.structure.Structure.extended` delta
 also transfers the parent's engine indexes and fingerprint.  Path-based
 node naming makes this sound: a segment keeps the same nodes in every
 cactus that contains it, so a prefix's structure is literally a
-substructure of every extension.  The pre-engine from-scratch builder
+substructure of every extension.  The same delta derives ``C°``
+(:meth:`Cactus.sigma_structure`) from the parent's ``C°``, and a
+module-level intern table shares one structure object per (query
+content, shape) *across* factory instances, so a fresh factory for a
+content-equal query reuses every structure — and every built index —
+an earlier factory materialised.  The pre-engine from-scratch builder
 survives as :func:`build_cactus_from_scratch`, the correctness oracle
 cross-validated in the tests and the baseline of
 ``scripts/bench_cactus.py``.
@@ -45,7 +50,16 @@ from typing import Iterator, Mapping
 
 from .cq import OneCQ
 from .homomorphism import covers_any, find_homomorphism
-from .structure import A, BinaryFact, F, Node, Structure, T, UnaryFact
+from .structure import (
+    A,
+    BinaryFact,
+    F,
+    Node,
+    Structure,
+    T,
+    UnaryFact,
+    _canonical_key,
+)
 
 
 # ----------------------------------------------------------------------
@@ -194,11 +208,17 @@ class Cactus:
         structure: Structure,
         segments,
         shape: Shape,
+        sigma_delta: tuple | None = None,
     ) -> None:
         self.one_cq = one_cq
         self.structure = structure
         self.shape = shape
         self._sigma: Structure | None = None
+        # Set by the incremental factory: (parent cactus, add_nodes,
+        # add_unary, add_binary, removed_unary) — the same delta that
+        # grew this cactus's structure from its depth-pruned parent,
+        # letting sigma_structure() derive C° from the parent's C°.
+        self._sigma_delta = sigma_delta
         # ``segments`` is either the materialised table or a zero-arg
         # thunk producing it: the skeleton bookkeeping is pure metadata
         # that enumeration-heavy consumers (probes, rewritings) never
@@ -239,14 +259,34 @@ class Cactus:
     def sigma_structure(self) -> Structure:
         """``C°``: the cactus with the root F label replaced by A.
 
-        Computed once per cactus (an incremental relabel of the cached
-        structure) and memoised: the Σ-rewriting evaluators ask for it
-        repeatedly.
+        Memoised, and — for factory-built cactuses — derived from the
+        *parent* cactus's ``C°`` by replaying the same
+        :meth:`~repro.core.structure.Structure.extended` delta that
+        grew this cactus from its depth-pruned parent (sound because
+        the delta never touches the root focus's F/A labels: budded
+        nodes are solitary Ts, never the solitary F).  The sigma family
+        therefore shares index work generation to generation exactly
+        like the cactus family itself, instead of one relabel per
+        cactus.  Cactuses without a recorded delta (depth 0, the
+        from-scratch oracle, intern hits) fall back to the relabel.
         """
         if self._sigma is None:
-            self._sigma = self.structure.relabel_node(
-                self.root_focus, remove=[F], add=[A]
-            )
+            delta = self._sigma_delta
+            if delta is not None:
+                base, add_nodes, add_unary, add_binary, removed = delta
+                self._sigma = base.sigma_structure().extended(
+                    add_nodes=add_nodes,
+                    add_unary=add_unary,
+                    add_binary=add_binary,
+                    remove_unary=removed,
+                )
+                # Release the parent-chain reference: keeping it would
+                # pin every ancestor cactus for this object's lifetime.
+                self._sigma_delta = None
+            else:
+                self._sigma = self.structure.relabel_node(
+                    self.root_focus, remove=[F], add=[A]
+                )
         return self._sigma
 
     def skeleton_edges(self) -> list[tuple[int, int, int]]:
@@ -302,6 +342,46 @@ def parent_shape(shape: Shape) -> Shape:
 Path = tuple  # bud-index path from the root to a segment
 
 
+# ----------------------------------------------------------------------
+# Cross-factory structure interning
+# ----------------------------------------------------------------------
+#
+# Cactus structures are fully determined by the 1-CQ's *content* (query
+# fingerprint, focus, solitary-T order) and the shape: path-based node
+# naming uses only variable names and bud indices.  Distinct factory
+# instances for content-equal queries — fresh factories in benchmarks,
+# pool-evicted-and-recreated factories, hand-built ones — therefore
+# rematerialise byte-identical structures.  This module-level LRU
+# interns one Structure per (query content, shape), so a second factory
+# reuses the first one's object together with every index it has built.
+
+_STRUCTURE_INTERN: OrderedDict[tuple, Structure] = OrderedDict()
+_STRUCTURE_INTERN_SIZE = int(
+    os.environ.get("REPRO_CACTUS_INTERN_SIZE", "4096")
+)
+
+
+def _interned_structure(factory_key: tuple, shape: Shape) -> Structure | None:
+    cached = _STRUCTURE_INTERN.get((factory_key, shape))
+    if cached is not None:
+        _STRUCTURE_INTERN.move_to_end((factory_key, shape))
+    return cached
+
+
+def _intern_structure(
+    factory_key: tuple, shape: Shape, structure: Structure
+) -> None:
+    _STRUCTURE_INTERN[(factory_key, shape)] = structure
+    while len(_STRUCTURE_INTERN) > _STRUCTURE_INTERN_SIZE:
+        _STRUCTURE_INTERN.popitem(last=False)
+
+
+def clear_structure_intern() -> None:
+    """Drop the cross-factory interned cactus structures (benchmarks
+    call this to measure genuinely cold construction)."""
+    _STRUCTURE_INTERN.clear()
+
+
 class CactusFactory:
     """Incremental, pooled cactus construction for one 1-CQ.
 
@@ -332,6 +412,20 @@ class CactusFactory:
         self._leaf_facts: dict[Path, tuple] = {}
         self._var_maps: dict[Path, Mapping[Node, Node]] = {}
         self._segment_copies: dict = {}
+        self._intern_key: tuple | None = None
+
+    @property
+    def intern_key(self) -> tuple:
+        """The content key this factory interns structures under: the
+        query's fingerprint plus the focus and solitary-T order (two
+        OneCQs with this key equal build identical cactus structures)."""
+        if self._intern_key is None:
+            self._intern_key = (
+                self.one_cq.query.fingerprint,
+                _canonical_key(self.one_cq.focus),
+                tuple(_canonical_key(t) for t in self.one_cq.solitary_ts),
+            )
+        return self._intern_key
 
     # -- interned per-path segment material ----------------------------
 
@@ -386,33 +480,45 @@ class CactusFactory:
             self._cactuses.move_to_end(shape)
             return cached
         depth = shape.depth
-        if depth == 0:
-            nodes, unary, binary = self.leaf_facts(())
-            structure = Structure(nodes, unary, binary)
-        else:
-            base = self.cactus(parent_shape(shape))
-            ts = self.one_cq.solitary_ts
-            add_nodes: set[Node] = set()
-            add_unary: set[UnaryFact] = set()
-            add_binary: set[BinaryFact] = set()
-            removed: list[UnaryFact] = []
-            for parent_path, j in self._paths_at_depth(shape, depth):
-                removed.append(UnaryFact(T, (parent_path, ts[j])))
-                nodes, unary, binary = self.leaf_facts(parent_path + (j,))
-                add_nodes |= nodes
-                add_unary |= unary
-                add_binary |= binary
-            structure = base.structure.extended(
-                add_nodes=add_nodes,
-                add_unary=add_unary,
-                add_binary=add_binary,
-                remove_unary=removed,
-            )
+        sigma_delta: tuple | None = None
+        structure = _interned_structure(self.intern_key, shape)
+        if structure is None:
+            if depth == 0:
+                nodes, unary, binary = self.leaf_facts(())
+                structure = Structure(nodes, unary, binary)
+            else:
+                base = self.cactus(parent_shape(shape))
+                ts = self.one_cq.solitary_ts
+                add_nodes: set[Node] = set()
+                add_unary: set[UnaryFact] = set()
+                add_binary: set[BinaryFact] = set()
+                removed: list[UnaryFact] = []
+                for parent_path, j in self._paths_at_depth(shape, depth):
+                    removed.append(UnaryFact(T, (parent_path, ts[j])))
+                    nodes, unary, binary = self.leaf_facts(parent_path + (j,))
+                    add_nodes |= nodes
+                    add_unary |= unary
+                    add_binary |= binary
+                structure = base.structure.extended(
+                    add_nodes=add_nodes,
+                    add_unary=add_unary,
+                    add_binary=add_binary,
+                    remove_unary=removed,
+                )
+                sigma_delta = (
+                    base,
+                    frozenset(add_nodes),
+                    frozenset(add_unary),
+                    frozenset(add_binary),
+                    tuple(removed),
+                )
+            _intern_structure(self.intern_key, shape, structure)
         cactus = Cactus(
             self.one_cq,
             structure,
             lambda shape=shape: self._segment_table(shape),
             shape,
+            sigma_delta=sigma_delta,
         )
         self._cactuses[shape] = cactus
         while len(self._cactuses) > _CACTUS_CACHE_SIZE:
@@ -522,8 +628,10 @@ def cactus_factory(one_cq: OneCQ) -> CactusFactory:
 
 
 def clear_cactus_caches() -> None:
-    """Drop every pooled factory (and with them all cached cactuses)."""
+    """Drop every pooled factory (and with them all cached cactuses)
+    and the cross-factory structure intern table."""
     _FACTORY_POOL.clear()
+    clear_structure_intern()
 
 
 def build_cactus(one_cq: OneCQ, shape: Shape) -> Cactus:

@@ -21,10 +21,22 @@ into swappable *backends* behind one call surface:
     label/pred masks, tightened to arc consistency by an AC-3 pass over
     the source edges, and maintained by forward checking (bitwise AND
     against precomputed adjacency masks) during a backtracking search
-    with dynamic most-constrained-variable ordering.  Both backends
-    enumerate exactly the same set of homomorphisms.
+    with dynamic most-constrained-variable ordering.
 
-The default backend is module-level (``bitset``; override with the
+``matrix``
+    The same search over the target's dense
+    :class:`~repro.core.structure.MatrixIndex`: candidate domains are
+    numpy boolean vectors, the AC-3 support computation is one
+    boolean-semiring matrix-vector product (``adj[p] @ domain``) per
+    revision instead of a per-candidate Python loop, and forward
+    checking ANDs precomputed adjacency rows.  Pays off on large,
+    edge-rich targets (hundreds of nodes); on small structures the
+    ``bitset`` backend wins.  numpy is an *optional* extra: without it
+    the ``matrix`` backend transparently falls back to the pure-python
+    int-bitset search (identical answers, no hard dependency).
+
+All backends enumerate exactly the same set of homomorphisms.  The
+default backend is module-level (``bitset``; override with the
 ``REPRO_HOM_BACKEND`` environment variable or
 :func:`set_default_backend`) and every entry point takes a per-call
 ``backend=`` override.
@@ -37,7 +49,10 @@ LRU-cached keyed on the *content fingerprints* of source and target
 (:attr:`~repro.core.structure.Structure.fingerprint`) plus the frozen
 seed/restriction/forbid/domain arguments, so repeated checks across
 equal structures — ubiquitous in the Proposition 2 probe's depth loop
-and the Appendix F cuttability fixpoint — are answered once.  Calls
+and the Appendix F cuttability fixpoint — are answered once.
+:func:`count_homomorphisms` answers (enumeration sizes) share the same
+LRU under a distinct key tag, and a counting pass also seeds the
+find/has entry for the same arguments with its first witness.  Calls
 with a ``node_filter`` callable are never cached (the callable is
 opaque); prefer the declarative ``node_domains`` / ``forbid``
 arguments, which are cacheable and usually faster.  Disable with
@@ -59,12 +74,18 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
-from .structure import Node, Structure, _canonical_key
+from .structure import Node, Structure, _canonical_key, numpy_or_none
 
 Seed = Mapping[Node, Node]
 NodeDomains = Mapping[Node, frozenset[Node]]
 
-BACKENDS = ("naive", "bitset")
+BACKENDS = ("naive", "bitset", "matrix")
+
+
+def matrix_backend_available() -> bool:
+    """True when numpy is installed, i.e. the ``matrix`` backend runs
+    its dense path rather than the pure-python bitset fallback."""
+    return numpy_or_none() is not None
 
 _default_backend = os.environ.get("REPRO_HOM_BACKEND", "bitset")
 if _default_backend not in BACKENDS:
@@ -668,7 +689,216 @@ def _iter_bitset(
     yield from backtrack(domains, all_mask)
 
 
-_BACKEND_IMPLS = {"naive": _iter_naive, "bitset": _iter_bitset}
+# ----------------------------------------------------------------------
+# The matrix backend (boolean matrix semiring, numpy)
+# ----------------------------------------------------------------------
+
+
+def _iter_matrix(
+    source: Structure,
+    target: Structure,
+    seed: Seed,
+    restrict_image: frozenset[Node] | None,
+    node_filter: Callable[[Node, Node], bool] | None,
+    node_domains: NodeDomains | None,
+    forbid: frozenset[Node] | None,
+) -> Iterator[dict[Node, Node]]:
+    np = numpy_or_none()
+    if np is None:
+        # Pure-python int-bitset fallback: numpy stays an optional
+        # extra, and backend="matrix" keeps yielding identical answers.
+        yield from _iter_bitset(
+            source, target, seed, restrict_image,
+            node_filter, node_domains, forbid,
+        )
+        return
+    plan = _source_plan(source)
+    n = plan.n
+    if n == 0:
+        yield {}
+        return
+    midx = target.matrix_index
+    target_names = midx.nodes
+    m = midx.n
+    if m == 0:
+        return
+    restrict_vec = (
+        midx.full if restrict_image is None else midx.mask_of(restrict_image)
+    )
+    veto = ~midx.mask_of(forbid) if forbid else None
+
+    label_nodes = midx.label_nodes
+    has_out = midx.has_out
+    has_in = midx.has_in
+    src_nodes = plan.nodes
+    index = midx.index
+
+    # --- initial domains: chained vector intersections -----------------
+    # A list of per-variable boolean vectors (not one 2D block): the
+    # backtracker saves and restores rows by rebinding list slots, which
+    # keeps the displaced row objects intact.
+    domains: list = [None] * n
+    for i in range(n):
+        x = src_nodes[i]
+        if x in seed:
+            image = seed[x]
+            t = index.get(image)
+            if t is None:
+                return
+            if not source.labels(x) <= target.labels(image):
+                return
+            dom = np.zeros(m, dtype=bool)
+            dom[t] = True
+        else:
+            dom = restrict_vec.copy()
+            for label in plan.labels[i]:
+                vec = label_nodes.get(label)
+                if vec is None:
+                    return
+                dom &= vec
+            for p in plan.out_preds[i]:
+                vec = has_out.get(p)
+                if vec is None:
+                    return
+                dom &= vec
+            for p in plan.in_preds[i]:
+                vec = has_in.get(p)
+                if vec is None:
+                    return
+                dom &= vec
+        if veto is not None:
+            dom &= veto
+        if node_domains is not None and x in node_domains:
+            dom &= midx.mask_of(node_domains[x])
+        if node_filter is not None:
+            for v in np.flatnonzero(dom):
+                if not node_filter(x, target_names[v]):
+                    dom[v] = False
+        if not dom.any():
+            return
+        domains[i] = dom
+
+    adj = midx.adj
+    adj_t = midx.adj_t
+    edges = plan.edges
+
+    # --- AC-3 pass: support via boolean-semiring matvec ----------------
+    if edges:
+        watchers: dict[int, list[int]] = {}
+        for ei, (xi, _, yi) in enumerate(edges):
+            watchers.setdefault(xi, []).append(ei)
+            if yi != xi:
+                watchers.setdefault(yi, []).append(ei)
+        queue = deque(range(len(edges)))
+        queued = set(queue)
+        while queue:
+            ei = queue.popleft()
+            queued.discard(ei)
+            xi, p, yi = edges[ei]
+            mat = adj.get(p)
+            if mat is None:
+                return  # seeded node with a predicate absent from target
+            changed: list[int] = []
+            if xi == yi:
+                new = domains[xi] & mat.diagonal()
+                if not new.any():
+                    return
+                if (new != domains[xi]).any():
+                    domains[xi] = new
+                    changed.append(xi)
+            else:
+                dx, dy = domains[xi], domains[yi]
+                # v survives in dx iff some w in dy has an edge v -p-> w:
+                # exactly the boolean matrix-semiring product adj[p] @ dy.
+                newx = dx & (mat @ dy)
+                if not newx.any():
+                    return
+                newy = dy & (adj_t[p] @ newx)
+                if not newy.any():
+                    return
+                if (newx != dx).any():
+                    domains[xi] = newx
+                    changed.append(xi)
+                if (newy != dy).any():
+                    domains[yi] = newy
+                    changed.append(yi)
+            # Same re-enqueue discipline as the bitset backend: a shrink
+            # of dy can leave newx with values only another revision of
+            # this very edge removes.
+            for z in changed:
+                for ej in watchers.get(z, ()):
+                    if ej not in queued:
+                        queue.append(ej)
+                        queued.add(ej)
+
+    # --- backtracking with MRV and forward checking -------------------
+    out_adj = plan.out_adj
+    in_adj = plan.in_adj
+    assignment: list[int] = [-1] * n
+
+    def backtrack(remaining: tuple[int, ...]):
+        if not remaining:
+            yield {
+                src_nodes[i]: target_names[assignment[i]] for i in range(n)
+            }
+            return
+        # Most-constrained variable: smallest domain, lowest index tie-break.
+        best = -1
+        best_count = -1
+        for i in remaining:
+            count = int(domains[i].sum())
+            if best < 0 or count < best_count:
+                best, best_count = i, count
+                if count == 1:
+                    break
+        xi = best
+        rest = tuple(i for i in remaining if i != xi)
+        rest_set = set(rest)
+        for v in np.flatnonzero(domains[xi]):
+            v = int(v)
+            # Forward checking replaces only the neighbour rows it
+            # tightens; the displaced row objects are kept and restored
+            # on backtrack (restoring in reverse handles a neighbour
+            # reached through several edges), so the whole n x m matrix
+            # is never copied per candidate.
+            saved: list = []  # (yi, displaced row) in tighten order
+            ok = True
+            for p, yi in out_adj[xi]:
+                if yi not in rest_set:
+                    continue  # assigned (consistent by construction) or xi
+                row = domains[yi]
+                nd = row & adj[p][v]
+                if not nd.any():
+                    ok = False
+                    break
+                saved.append((yi, row))
+                domains[yi] = nd
+            if ok:
+                for p, yi in in_adj[xi]:
+                    if yi not in rest_set:
+                        continue
+                    row = domains[yi]
+                    nd = row & adj_t[p][v]
+                    if not nd.any():
+                        ok = False
+                        break
+                    saved.append((yi, row))
+                    domains[yi] = nd
+            if ok:
+                assignment[xi] = v
+                yield from backtrack(rest)
+                assignment[xi] = -1
+            for yi, row in reversed(saved):
+                domains[yi] = row
+
+    yield from backtrack(tuple(range(n)))
+
+
+_BACKEND_IMPLS = {
+    "naive": _iter_naive,
+    "bitset": _iter_bitset,
+    "matrix": _iter_matrix,
+}
 
 
 # ----------------------------------------------------------------------
@@ -695,8 +925,8 @@ def iter_homomorphisms(
     excludes target nodes globally (both are cache-friendly, declarative
     alternatives to ``node_filter``).  ``node_filter(x, v)`` may veto
     mapping source node ``x`` to target node ``v``.  ``backend``
-    overrides the module default (``naive`` or ``bitset``); both
-    backends yield exactly the same set of homomorphisms.
+    overrides the module default (``naive``, ``bitset`` or ``matrix``);
+    all backends yield exactly the same set of homomorphisms.
     """
     impl = _BACKEND_IMPLS[_resolve_backend(backend)]
     yield from impl(
@@ -761,6 +991,66 @@ def find_homomorphism(
     return hom
 
 
+def count_homomorphisms(
+    source: Structure,
+    target: Structure,
+    seed: Seed | None = None,
+    restrict_image: frozenset[Node] | None = None,
+    node_filter: Callable[[Node, Node], bool] | None = None,
+    *,
+    node_domains: NodeDomains | None = None,
+    forbid: frozenset[Node] | None = None,
+    backend: str | None = None,
+    use_cache: bool | None = None,
+) -> int:
+    """The number of homomorphisms from ``source`` to ``target``.
+
+    Enumeration sizes are LRU-cached alongside the find/has answers
+    (under a distinct key tag, so a cached witness never masquerades as
+    a count), and a counting pass seeds the :func:`find_homomorphism`
+    entry for the same arguments with its first witness — counting then
+    asking for a witness costs one search, not two.  ``node_filter``
+    callables bypass the cache, as everywhere else.
+    """
+    cacheable = (
+        node_filter is None and use_cache is not False and _cache_enabled
+    )
+    resolved = _resolve_backend(backend)
+    if cacheable:
+        key = ("count",) + _cache_key(
+            resolved, source, target, seed, restrict_image,
+            node_domains, forbid,
+        )
+        hit = _cache_get(key)
+        if hit is not _MISS:
+            return hit
+    first: dict[Node, Node] | None = None
+    count = 0
+    for hom in iter_homomorphisms(
+        source,
+        target,
+        seed,
+        restrict_image,
+        node_filter,
+        node_domains=node_domains,
+        forbid=forbid,
+        backend=backend,
+    ):
+        if first is None:
+            first = hom
+        count += 1
+    if cacheable:
+        _cache_put(key, count)
+        find_key = _cache_key(
+            resolved, source, target, seed, restrict_image,
+            node_domains, forbid,
+        )
+        _cache_put(
+            find_key, None if first is None else tuple(first.items())
+        )
+    return count
+
+
 def has_homomorphism(
     source: Structure,
     target: Structure,
@@ -796,6 +1086,31 @@ def has_homomorphism(
 # ----------------------------------------------------------------------
 
 
+def _source_seed_pairs(
+    sources: Iterable[Structure | tuple[Structure, Seed | None]],
+    seeds: Sequence[Seed | None] | None,
+) -> Iterable[tuple[Structure, Seed | None]]:
+    """Normalise the batch source/seed conventions to lazy pairs.
+
+    Shared by :func:`covers_any` and the runtime's sharded counterpart,
+    so the accepted forms (bare structures, ``(structure, seed)``
+    pairs, a parallel ``seeds=`` sequence — never both) cannot drift
+    apart.  Mismatched ``seeds`` lengths raise via the strict zip.
+    """
+    if seeds is not None:
+        def paired() -> Iterable:
+            for s, seed in zip(sources, seeds, strict=True):
+                if isinstance(s, tuple):
+                    raise ValueError(
+                        "pass seeds either as (structure, seed) pairs or "
+                        "as a parallel seeds= sequence, not both"
+                    )
+                yield s, seed
+
+        return paired()
+    return (s if isinstance(s, tuple) else (s, None) for s in sources)
+
+
 def covers_any(
     target: Structure,
     sources: Iterable[Structure | tuple[Structure, Seed | None]],
@@ -813,22 +1128,7 @@ def covers_any(
     the inner loop of the Proposition 2 probe (does any shallow cactus
     cover this deep one?) and of UCQ evaluation.
     """
-    if seeds is not None:
-        def paired() -> Iterable:
-            for s, seed in zip(sources, seeds, strict=True):
-                if isinstance(s, tuple):
-                    raise ValueError(
-                        "pass seeds either as (structure, seed) pairs or "
-                        "as a parallel seeds= sequence, not both"
-                    )
-                yield s, seed
-
-        pairs: Iterable = paired()
-    else:
-        pairs = (
-            s if isinstance(s, tuple) else (s, None) for s in sources
-        )
-    for structure, seed in pairs:
+    for structure, seed in _source_seed_pairs(sources, seeds):
         if has_homomorphism(
             structure,
             target,

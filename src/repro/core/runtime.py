@@ -1,0 +1,552 @@
+"""Sharded parallel batch evaluation: wire format + bounded process pool.
+
+The batch entry points of :mod:`repro.core.homengine` —
+:func:`~repro.core.homengine.covers_any` (many sources, one target) and
+:func:`~repro.core.homengine.evaluate_batch` (one query, many targets)
+— are embarrassingly parallel across their batch axis.  This module
+adds the process-pool story the engine was designed around:
+
+Wire format
+===========
+
+:func:`to_wire` flattens a :class:`~repro.core.structure.Structure` to
+a compact picklable triple ``(node_order, unary, binary)`` with facts
+referring to nodes by their interning index; :func:`from_wire` rebuilds
+the structure *preserving the interning order* and leaves every index
+lazy, so a worker only pays for the indexes its chunk actually touches.
+Shipping the wire form instead of pickling structures directly avoids
+serialising the lazily-built engine indexes (bitset masks, dense
+matrices, compiled source plans), which can dwarf the facts themselves.
+
+Pool
+====
+
+A single module-level :class:`~concurrent.futures.ProcessPoolExecutor`,
+created lazily and bounded by ``REPRO_HOM_WORKERS`` (default: the
+machine's CPU count; ``<= 1`` disables parallelism entirely).
+:func:`configure_pool` changes the worker count or the
+``min_batch`` threshold at runtime; :func:`shutdown_pool` releases the
+workers.  Pool creation failure (sandboxes without process support)
+permanently degrades to the serial path — never an error.
+
+Sharded entry points
+====================
+
+:func:`parallel_evaluate_batch` and :func:`parallel_covers_any` mirror
+their serial counterparts exactly.  Batches smaller than ``min_batch``
+(``REPRO_HOM_PARALLEL_MIN``, default 24) — and all batches when the
+pool is disabled or unavailable — take today's serial fast path,
+sharing the in-process hom-cache; large batches are chunked across the
+workers.  ``covers_any`` keeps its early-exit semantics: the scan
+returns as soon as any chunk reports a hit and cancels chunks that
+have not started.
+
+:func:`parallel_screen` is the many-queries x one-family shape (zoo
+bulk classification, UCQ disjunct sweeps, E1-style tables): the family
+is wired once, each worker rebuilds its chunk once, and every query is
+answered against the rebuilt chunk — amortising the per-instance
+serialisation and index-rebuild cost across the whole query pool,
+which is what makes sharding profitable even when a single query's
+search time is comparable to the rebuild.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from . import homengine
+from .structure import BinaryFact, Node, Structure, UnaryFact
+
+Wire = tuple  # (node_order, unary, binary) — see to_wire
+
+__all__ = [
+    "PoolInfo",
+    "configure_pool",
+    "from_wire",
+    "parallel_covers_any",
+    "parallel_evaluate_batch",
+    "parallel_screen",
+    "parallel_ucq_answers",
+    "pool_info",
+    "shutdown_pool",
+    "to_wire",
+]
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+
+
+def to_wire(structure: Structure) -> Wire:
+    """A compact picklable form of ``structure``.
+
+    ``(node_order, unary, binary)`` with ``unary`` a tuple of
+    ``(label, node_index)`` pairs and ``binary`` a tuple of
+    ``(pred, src_index, dst_index)`` triples.  Node names themselves
+    appear once (in ``node_order``), so composite cactus node names are
+    not repeated per fact, and the receiving side rebuilds the same
+    interning order — fingerprints and bitset positions survive the
+    round trip.  Fact order is whatever the frozensets iterate (the
+    receiving side rebuilds sets, and sorting here would put an
+    ``O(E log E)`` toll on the parent's shard-dispatch hot path).
+    """
+    index = structure.node_index
+    unary = tuple(
+        (f.label, index[f.node]) for f in structure.unary_facts
+    )
+    binary = tuple(
+        (f.pred, index[f.src], index[f.dst])
+        for f in structure.binary_facts
+    )
+    return (structure.node_order, unary, binary)
+
+
+def from_wire(wire: Wire) -> Structure:
+    """Rebuild a :class:`Structure` from :func:`to_wire` output.
+
+    The wire's node order becomes the structure's interning order;
+    everything else (label maps, adjacency, bitset/matrix indexes,
+    fingerprint) stays lazy and is rebuilt in the receiving process on
+    first use.
+    """
+    order, unary, binary = wire
+    order = tuple(order)
+    s = Structure(
+        order,
+        (UnaryFact(label, order[i]) for label, i in unary),
+        (BinaryFact(pred, order[si], order[di]) for pred, si, di in binary),
+    )
+    s._node_order = order
+    return s
+
+
+def _freeze_seed(seed) -> tuple | None:
+    if not seed:
+        return None
+    return tuple(seed.items())
+
+
+# ----------------------------------------------------------------------
+# Worker entry points (must be importable top-level functions)
+# ----------------------------------------------------------------------
+
+
+def _worker_evaluate_chunk(
+    query_wire: Wire, instance_wires: list[Wire], backend: str | None
+) -> list[bool]:
+    query = from_wire(query_wire)
+    return homengine.evaluate_batch(
+        query, (from_wire(w) for w in instance_wires), backend=backend
+    )
+
+
+def _worker_ucq_chunk(
+    disjunct_wires: list[Wire],
+    instance_wires: list[Wire],
+    backend: str | None,
+) -> list[bool]:
+    disjuncts = [from_wire(w) for w in disjunct_wires]
+    answers: list[bool] = []
+    for wire in instance_wires:
+        instance = from_wire(wire)
+        answers.append(
+            any(
+                homengine.has_homomorphism(d, instance, backend=backend)
+                for d in disjuncts
+            )
+        )
+    return answers
+
+
+def _worker_screen_chunk(
+    query_wires: list[Wire],
+    instance_wires: list[Wire],
+    backend: str | None,
+) -> list[list[bool]]:
+    queries = [from_wire(w) for w in query_wires]
+    instances = [from_wire(w) for w in instance_wires]
+    return [
+        homengine.evaluate_batch(q, instances, backend=backend)
+        for q in queries
+    ]
+
+
+def _worker_covers_chunk(
+    target_wire: Wire,
+    pairs: list[tuple[Wire, tuple | None]],
+    backend: str | None,
+) -> bool:
+    target = from_wire(target_wire)
+    for source_wire, seed_items in pairs:
+        if homengine.has_homomorphism(
+            from_wire(source_wire),
+            target,
+            seed=dict(seed_items) if seed_items else None,
+            backend=backend,
+        ):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Pool management
+# ----------------------------------------------------------------------
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+_workers = _env_int("REPRO_HOM_WORKERS", os.cpu_count() or 1)
+_min_batch = _env_int("REPRO_HOM_PARALLEL_MIN", 24)
+_pool: ProcessPoolExecutor | None = None
+_pool_size = 0  # max_workers the live pool was created with
+_pool_broken = False
+_pool_failures = 0  # consecutive batch failures since the last configure
+_MAX_POOL_FAILURES = 2
+
+
+@dataclass(frozen=True)
+class PoolInfo:
+    """Configuration and liveness of the shard executor."""
+
+    workers: int
+    min_batch: int
+    running: bool
+    broken: bool
+
+
+def pool_info() -> PoolInfo:
+    return PoolInfo(_workers, _min_batch, _pool is not None, _pool_broken)
+
+
+def configure_pool(
+    workers: int | None = None, min_batch: int | None = None
+) -> None:
+    """Change the worker count and/or the serial-fallback threshold.
+
+    ``workers <= 1`` disables parallelism.  An existing pool is shut
+    down when the worker count changes (the next large batch respawns
+    one); a previously failed spawn is retried after reconfiguration.
+    """
+    global _workers, _min_batch, _pool_broken, _pool_failures
+    if workers is not None and workers != _workers:
+        shutdown_pool()
+        _workers = workers
+    if min_batch is not None:
+        _min_batch = min_batch
+    # Any reconfiguration retries a previously failed spawn or a pool
+    # taken out of service by repeated worker failures — the operator
+    # asking for a (re)configuration is the signal to try again.
+    _pool_broken = False
+    _pool_failures = 0
+
+
+def shutdown_pool() -> None:
+    """Stop the worker processes (they respawn lazily when next needed)."""
+    global _pool
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+
+
+def _get_pool() -> ProcessPoolExecutor | None:
+    """The shared executor, or ``None`` when parallelism is unavailable.
+
+    Always sized by the *configured* worker count: a per-call
+    ``workers=`` override gates the serial/parallel decision and caps
+    the chunk fan-out, but never creates or resizes the shared pool
+    (call :func:`configure_pool` for that).
+    """
+    global _pool, _pool_broken, _pool_size
+    if _workers <= 1 or _pool_broken:
+        return None
+    if _pool is None:
+        try:
+            _pool = ProcessPoolExecutor(max_workers=_workers)
+            _pool_size = _workers
+        except (OSError, ValueError):  # no process support in this sandbox
+            _pool_broken = True
+            return None
+    return _pool
+
+
+def _chunk(items: Sequence, parts: int) -> list[list]:
+    """Split ``items`` into at most ``parts`` contiguous, near-equal runs."""
+    parts = max(1, min(parts, len(items)))
+    size, extra = divmod(len(items), parts)
+    chunks = []
+    start = 0
+    for i in range(parts):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(list(items[start:end]))
+        start = end
+    return chunks
+
+
+def _shard_chunks(items: Sequence, eff_workers: int, threshold: int):
+    """Gate the parallel path and split ``items`` into worker chunks.
+
+    The one place the serial-fallback policy lives: small batch,
+    single-worker override, or no usable pool all return
+    ``(None, None)`` — the caller then takes its serial path.
+    """
+    if eff_workers <= 1 or len(items) < threshold:
+        return None, None
+    pool = _get_pool()
+    if pool is None:
+        return None, None
+    return pool, _chunk(items, min(eff_workers, _pool_size) * 2)
+
+
+def _sharded_ordered(items, eff_workers, threshold, worker, make_args):
+    """Run ``worker`` over chunks of ``items``, collecting in order.
+
+    The shared scaffolding of the order-preserving entry points:
+    gate/chunk via :func:`_shard_chunks`, submit one task per chunk
+    (``make_args(chunk)`` builds the argument tuple, and is only
+    called on the parallel path, so shared wire forms are not built
+    for serial batches), and return the per-chunk results in input
+    order — or ``None`` for the serial path, including when a worker
+    failed mid-run (after :func:`_mark_pool_failed` bookkeeping).
+    """
+    global _pool_failures
+    pool, chunks = _shard_chunks(items, eff_workers, threshold)
+    if pool is None:
+        return None
+    try:
+        futures = [
+            pool.submit(worker, *make_args(chunk)) for chunk in chunks
+        ]
+        results = [future.result() for future in futures]
+    except Exception:
+        _mark_pool_failed()
+        return None
+    _pool_failures = 0  # a healthy round clears the failure streak
+    return results
+
+
+# ----------------------------------------------------------------------
+# Sharded batch entry points
+# ----------------------------------------------------------------------
+
+
+def parallel_evaluate_batch(
+    query: Structure,
+    instances: Iterable[Structure],
+    *,
+    backend: str | None = None,
+    workers: int | None = None,
+    min_batch: int | None = None,
+) -> list[bool]:
+    """:func:`~repro.core.homengine.evaluate_batch`, sharded.
+
+    Small batches (fewer than ``min_batch`` instances), a single-worker
+    configuration, and pool-less sandboxes all take the serial path —
+    byte-for-byte today's behaviour, hom-cache included.  Large batches
+    are split into two chunks per worker (for load balancing) and
+    evaluated in worker processes that rebuild the structures from the
+    wire format; result order matches the input order.  A per-call
+    ``workers=`` override gates the serial/parallel decision and caps
+    this call's chunk fan-out; the shared pool itself is sized by
+    :func:`configure_pool` / ``REPRO_HOM_WORKERS``.
+    """
+    instances = list(instances)
+    shared: dict = {}
+
+    def make_args(chunk):
+        if "query" not in shared:
+            shared["query"] = to_wire(query)
+        return (shared["query"], [to_wire(s) for s in chunk], backend)
+
+    chunk_results = _sharded_ordered(
+        instances,
+        _workers if workers is None else workers,
+        _min_batch if min_batch is None else min_batch,
+        _worker_evaluate_chunk,
+        make_args,
+    )
+    if chunk_results is None:
+        # Serial fast path — also the recovery route when a worker
+        # failed mid-run (a broken pool must never take the answer
+        # down with it).
+        return homengine.evaluate_batch(query, instances, backend=backend)
+    return [answer for chunk in chunk_results for answer in chunk]
+
+
+def parallel_screen(
+    queries: Sequence[Structure],
+    instances: Iterable[Structure],
+    *,
+    backend: str | None = None,
+    workers: int | None = None,
+    min_batch: int | None = None,
+) -> list[list[bool]]:
+    """Evaluate a pool of Boolean CQs over one instance family, sharded.
+
+    Returns one answer vector per query, ``result[qi][di]`` being the
+    answer of ``queries[qi]`` on the ``di``-th instance — exactly
+    ``[evaluate_batch(q, instances) for q in queries]``, which is also
+    the serial fallback.  The parallel path shards by *instances*: the
+    family is wired once, each worker rebuilds its chunk once and
+    answers every query against it, so the per-instance serialisation
+    and index-rebuild cost is amortised over the whole query pool.
+    This is the bulk-classification traffic shape (a zoo of queries
+    screened over one :func:`~repro.workloads.generators.instance_family`).
+    """
+    queries = list(queries)
+    instances = list(instances)
+    if not queries:
+        return []
+    shared: dict = {}
+
+    def make_args(chunk):
+        if "queries" not in shared:
+            shared["queries"] = [to_wire(q) for q in queries]
+        return (shared["queries"], [to_wire(s) for s in chunk], backend)
+
+    chunk_results = _sharded_ordered(
+        instances,
+        _workers if workers is None else workers,
+        _min_batch if min_batch is None else min_batch,
+        _worker_screen_chunk,
+        make_args,
+    )
+    if chunk_results is None:
+        return [
+            homengine.evaluate_batch(q, instances, backend=backend)
+            for q in queries
+        ]
+    results: list[list[bool]] = [[] for _ in queries]
+    for chunk_answers in chunk_results:
+        for qi, answers in enumerate(chunk_answers):
+            results[qi].extend(answers)
+    return results
+
+
+def parallel_ucq_answers(
+    disjuncts: Sequence[Structure],
+    instances: Iterable[Structure],
+    *,
+    backend: str | None = None,
+    workers: int | None = None,
+    min_batch: int | None = None,
+) -> list[bool] | None:
+    """Certain answers of a Boolean UCQ over a family, sharded.
+
+    ``result[i]`` is true iff *some* disjunct maps into the ``i``-th
+    instance.  Shards by instances: each worker rebuilds its chunk once
+    and sweeps the whole UCQ against it with per-instance early exit,
+    so the per-instance wire/rebuild cost is amortised over all
+    disjuncts (the reason this beats one
+    :func:`parallel_evaluate_batch` call per disjunct, which would
+    re-ship the family every sweep).  Returns ``None`` when the batch
+    is below ``min_batch`` or the pool is unavailable — the caller
+    should then take its serial path
+    (:func:`repro.core.boundedness.ucq_certain_answers` keeps the
+    pending-filtered sweep with the shared hom-cache).
+    """
+    disjuncts = list(disjuncts)
+    instances = list(instances)
+    if not disjuncts or not instances:
+        return None
+    shared: dict = {}
+
+    def make_args(chunk):
+        if "disjuncts" not in shared:
+            shared["disjuncts"] = [to_wire(d) for d in disjuncts]
+        return (shared["disjuncts"], [to_wire(s) for s in chunk], backend)
+
+    chunk_results = _sharded_ordered(
+        instances,
+        _workers if workers is None else workers,
+        _min_batch if min_batch is None else min_batch,
+        _worker_ucq_chunk,
+        make_args,
+    )
+    if chunk_results is None:
+        return None
+    return [answer for chunk in chunk_results for answer in chunk]
+
+
+def parallel_covers_any(
+    target: Structure,
+    sources: Iterable[Structure | tuple[Structure, homengine.Seed | None]],
+    seeds: Sequence[homengine.Seed | None] | None = None,
+    *,
+    backend: str | None = None,
+    workers: int | None = None,
+    min_batch: int | None = None,
+) -> bool:
+    """:func:`~repro.core.homengine.covers_any`, sharded.
+
+    Accepts the same source/seed conventions as the serial API.  Small
+    batches stay serial (lazy consumption, early exit, shared cache);
+    large batches ship one chunk of (source, seed) pairs per worker and
+    return as soon as any chunk reports a hit, cancelling chunks that
+    have not started.
+    """
+    global _pool_failures
+    pairs = list(homengine._source_seed_pairs(sources, seeds))
+    pool, chunks = _shard_chunks(
+        pairs,
+        _workers if workers is None else workers,
+        _min_batch if min_batch is None else min_batch,
+    )
+    if pool is None:
+        return homengine.covers_any(target, pairs, backend=backend)
+    target_wire = to_wire(target)
+    try:
+        pending = {
+            pool.submit(
+                _worker_covers_chunk,
+                target_wire,
+                [
+                    (to_wire(s), _freeze_seed(seed))
+                    for s, seed in chunk
+                ],
+                backend,
+            )
+            for chunk in chunks
+        }
+        # Early exit: return on the first chunk that reports a hit and
+        # cancel chunks that have not started (this wait loop is why
+        # covers_any does not share _sharded_ordered's collection).
+        covered = False
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            if any(f.result() for f in done):
+                for f in pending:
+                    f.cancel()
+                covered = True
+                break
+    except Exception:
+        _mark_pool_failed()
+        return homengine.covers_any(target, pairs, backend=backend)
+    _pool_failures = 0
+    return covered
+
+
+def _mark_pool_failed() -> None:
+    """Drop a pool that raised; the next large batch respawns a fresh
+    one — but a deterministic failure (e.g. a node type whose module
+    workers cannot import) must not pay spawn + wire + serial-recompute
+    on every call, so repeated failures take the pool out of service
+    until the next :func:`configure_pool`."""
+    global _pool, _pool_broken, _pool_failures
+    if _pool is not None:
+        try:
+            _pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        _pool = None
+    _pool_failures += 1
+    if _pool_failures >= _MAX_POOL_FAILURES:
+        _pool_broken = True

@@ -33,6 +33,26 @@ from typing import Hashable, Iterable, Iterator, Mapping
 Node = Hashable
 
 
+# numpy is an optional extra (``pip install .[matrix]``): the dense
+# MatrixIndex and the hom engine's ``matrix`` backend use it when
+# present and fall back to the Python-int bitset machinery otherwise.
+_numpy_module = None
+_numpy_checked = False
+
+
+def numpy_or_none():
+    """The numpy module, or ``None`` when the extra is not installed."""
+    global _numpy_module, _numpy_checked
+    if not _numpy_checked:
+        _numpy_checked = True
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _numpy_module = numpy
+    return _numpy_module
+
+
 _ATOMIC_KEY_TYPES = (str, int, float, bool, bytes, complex, type(None))
 
 
@@ -277,6 +297,77 @@ class BitsetIndex:
         return idx
 
 
+class MatrixIndex:
+    """Dense boolean-matrix view of a :class:`Structure` (numpy only).
+
+    Nodes are interned to ``0 .. n-1`` in :attr:`Structure.node_order`;
+    every node set becomes a boolean vector and every binary predicate a
+    dense ``n x n`` boolean adjacency matrix (``adj[p][u, w]`` iff the
+    fact ``p(u, w)`` holds).  The homomorphism engine's ``matrix``
+    backend runs arc consistency as boolean-semiring matrix-vector
+    products (``adj[p] @ domain`` — numpy evaluates boolean ``dot`` in
+    the OR-AND semiring) and forward checking as row ANDs, replacing the
+    per-candidate Python loops of the ``bitset`` backend with one
+    vectorized operation per revision.  Dense matrices pay off on large,
+    edge-rich targets; the ``bitset`` index remains the right view for
+    small structures.
+    """
+
+    __slots__ = (
+        "nodes",
+        "index",
+        "n",
+        "full",
+        "label_nodes",
+        "adj",
+        "adj_t",
+        "has_out",
+        "has_in",
+    )
+
+    def __init__(self, structure: "Structure") -> None:
+        np = numpy_or_none()
+        if np is None:  # pragma: no cover - exercised on numpy-free builds
+            raise RuntimeError(
+                "MatrixIndex requires numpy (install the 'matrix' extra); "
+                "use Structure.bitset_index / the 'bitset' backend instead"
+            )
+        self.nodes: tuple[Node, ...] = structure.node_order
+        self.index: Mapping[Node, int] = structure.node_index
+        n = len(self.nodes)
+        self.n = n
+        self.full = np.ones(n, dtype=bool)
+        self.label_nodes: dict[str, object] = {}
+        for label in structure.unary_predicates:
+            vec = np.zeros(n, dtype=bool)
+            for node in structure.nodes_with_label(label):
+                vec[self.index[node]] = True
+            self.label_nodes[label] = vec
+        self.adj: dict[str, object] = {}
+        self.adj_t: dict[str, object] = {}
+        for fact in structure.binary_facts:
+            mat = self.adj.get(fact.pred)
+            if mat is None:
+                mat = np.zeros((n, n), dtype=bool)
+                self.adj[fact.pred] = mat
+            mat[self.index[fact.src], self.index[fact.dst]] = True
+        for pred, mat in self.adj.items():
+            self.adj_t[pred] = np.ascontiguousarray(mat.T)
+        self.has_out = {p: m.any(axis=1) for p, m in self.adj.items()}
+        self.has_in = {p: m.any(axis=0) for p, m in self.adj.items()}
+
+    def mask_of(self, nodes: Iterable[Node]):
+        """The boolean vector of the given nodes (foreign nodes ignored)."""
+        np = numpy_or_none()
+        vec = np.zeros(self.n, dtype=bool)
+        index = self.index
+        for node in nodes:
+            i = index.get(node)
+            if i is not None:
+                vec[i] = True
+        return vec
+
+
 class Structure:
     """An immutable finite structure over unary and binary predicates.
 
@@ -302,6 +393,7 @@ class Structure:
         "_out_by_pred",
         "_in_by_pred",
         "_bitset_index",
+        "_matrix_index",
         "_fingerprint",
         "_fingerprint_int",
         "_engine_plan",
@@ -345,6 +437,7 @@ class Structure:
         self._out_by_pred: dict[Node, dict[str, frozenset[Node]]] | None = None
         self._in_by_pred: dict[Node, dict[str, frozenset[Node]]] | None = None
         self._bitset_index: BitsetIndex | None = None
+        self._matrix_index: MatrixIndex | None = None
         self._fingerprint: str | None = None
         self._fingerprint_int: int | None = None
         # Opaque per-structure scratch of the homomorphism engine: the
@@ -595,6 +688,16 @@ class Structure:
         return self._bitset_index
 
     @property
+    def matrix_index(self) -> MatrixIndex:
+        """The dense boolean-matrix view used by the ``matrix`` hom
+        backend (lazily built; raises :class:`RuntimeError` when numpy is
+        not installed — callers should check
+        :func:`repro.core.homengine.matrix_backend_available` first)."""
+        if self._matrix_index is None:
+            self._matrix_index = MatrixIndex(self)
+        return self._matrix_index
+
+    @property
     def _fp_int(self) -> int:
         """The 128-bit multiset fingerprint (see module header)."""
         if self._fingerprint_int is None:
@@ -713,6 +816,9 @@ class Structure:
             )
         else:
             s._bitset_index = None
+        # Dense matrices don't extend cheaply (a pad reallocates every
+        # predicate's n x n block); derived structures rebuild on demand.
+        s._matrix_index = None
 
         if self._fingerprint_int is not None:
             delta = 0

@@ -1,6 +1,7 @@
 """Reproducible workload generators for tests and benchmarks."""
 
 from .generators import (
+    block_dag_instance,
     instance_family,
     iter_lambda_cqs,
     random_ditree_cq,
@@ -10,6 +11,7 @@ from .generators import (
 )
 
 __all__ = [
+    "block_dag_instance",
     "instance_family",
     "iter_lambda_cqs",
     "random_ditree_cq",

@@ -62,6 +62,34 @@ def instance_family(
     ]
 
 
+def block_dag_instance(n: int, block: int, seed: int) -> Structure:
+    """A DAG of disjoint ``block``-node chains with random forward
+    shortcuts inside each block.
+
+    Its longest directed walk has ``block - 1`` edges, so an unlabelled
+    path query longer than that is unsatisfiable — but refuting it
+    takes a full arc-consistency pass over near-full domains (no labels
+    to prune on).  This is the adversarial counterpart of
+    :func:`random_instance` for benchmarking the hom engine's
+    propagation machinery (``scripts/bench_batch.py``) and for building
+    ``covers_any`` batches that can never early-exit.
+    """
+    rng = random.Random(seed)
+    b = StructureBuilder()
+    for i in range(n):
+        b.add_node(i)
+    if block < 2:
+        return b.build()  # walk length 0: an edge-free instance
+    for start in range(0, n - block + 1, block):
+        for i in range(block - 1):
+            b.add_edge(start + i, start + i + 1)
+        for _ in range(block):
+            lo = rng.randrange(block - 1)
+            hi = rng.randrange(lo + 1, block)
+            b.add_edge(start + lo, start + hi)
+    return b.build()
+
+
 def random_path_instance(n: int, seed: int, a_fraction: float = 0.4) -> Structure:
     """A path-shaped instance with F at the left end, T at the right and
     a random mixture of A/blank labels inside — the shape that exercises

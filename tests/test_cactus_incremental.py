@@ -311,6 +311,116 @@ class TestFactoryCaching:
 
 
 # ----------------------------------------------------------------------
+# Incremental sigma structures and cross-factory interning
+# ----------------------------------------------------------------------
+
+
+class TestIncrementalSigma:
+    @given(st.integers(0, 500), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_sigma_matches_relabel_oracle(self, seed, data):
+        one_cq = random.Random(seed).choice([q_tf(), q_ttf(), q_gadget()])
+        shape = data.draw(shape_strategy(one_cq.span, 3))
+        cactus = build_cactus(one_cq, shape)
+        sigma = cactus.sigma_structure()
+        oracle = build_cactus_from_scratch(one_cq, shape)
+        reference = oracle.structure.relabel_node(
+            oracle.root_focus, remove=["F"], add=[A]
+        )
+        assert sigma == reference
+        assert sigma.fingerprint == reference.fingerprint
+
+    def test_sigma_deep_chain_shares_prefix_facts(self):
+        clear_cactus_caches()
+        one_cq = q_tf()
+        shallow = build_cactus(one_cq, chain_shape([0, 0]))
+        deep = build_cactus(one_cq, chain_shape([0, 0, 0]))
+        # The sigma family is built by the same delta as the cactus
+        # family, so a prefix's sigma facts survive verbatim.
+        assert (
+            shallow.sigma_structure().binary_facts
+            <= deep.sigma_structure().binary_facts
+        )
+
+    def test_sigma_on_scratch_cactus_still_works(self):
+        oracle = build_cactus_from_scratch(q_ttf(), full_shape(2, 2))
+        sigma = oracle.sigma_structure()
+        assert sigma.has_label(oracle.root_focus, A)
+        assert not sigma.has_label(oracle.root_focus, "F")
+
+
+class TestStructureIntern:
+    def test_fresh_factories_share_structures(self):
+        from repro.core.cactus import CactusFactory, iter_shapes
+
+        clear_cactus_caches()
+        one_cq = q_ttf()
+        shapes = list(iter_shapes(one_cq.span, 2))
+        f1 = CactusFactory(one_cq)
+        f2 = CactusFactory(one_cq)
+        for shape in shapes:
+            assert f1.cactus(shape).structure is f2.cactus(shape).structure
+
+    def test_content_equal_queries_share(self):
+        from repro.core.cactus import CactusFactory
+
+        clear_cactus_caches()
+        # Distinct but content-equal OneCQ values intern under one key.
+        a = OneCQ.from_structure(path_structure(["T", "T", "F"]))
+        b = OneCQ.from_structure(path_structure(["T", "T", "F"]))
+        assert a.query is not b.query
+        shape = full_shape(a.span, 2)
+        assert (
+            CactusFactory(a).cactus(shape).structure
+            is CactusFactory(b).cactus(shape).structure
+        )
+
+    def test_different_queries_do_not_share(self):
+        from repro.core.cactus import CactusFactory
+
+        clear_cactus_caches()
+        a, b = q_tf(), q_ttf()
+        sa = CactusFactory(a).cactus(chain_shape([0])).structure
+        sb = CactusFactory(b).cactus(chain_shape([0])).structure
+        assert sa != sb
+
+    def test_clear_structure_intern(self):
+        from repro.core.cactus import CactusFactory, clear_structure_intern
+
+        clear_cactus_caches()
+        one_cq = q_tf()
+        shape = chain_shape([0])
+        first = CactusFactory(one_cq).cactus(shape).structure
+        clear_structure_intern()
+        second = CactusFactory(one_cq).cactus(shape).structure
+        assert first is not second
+        assert first == second
+        assert first.fingerprint == second.fingerprint
+
+    def test_interned_cactuses_match_oracle(self):
+        from repro.core.cactus import CactusFactory, iter_shapes
+
+        clear_cactus_caches()
+        one_cq = q_gadget()
+        shapes = list(iter_shapes(one_cq.span, 2))
+        CactusFactory(one_cq)  # warm nothing
+        warm = CactusFactory(one_cq)
+        for shape in shapes:
+            warm.cactus(shape)
+        hits = CactusFactory(one_cq)  # every shape now interns
+        for shape in shapes:
+            cactus = hits.cactus(shape)
+            ref = build_cactus_from_scratch(one_cq, shape)
+            assert cactus.structure == ref.structure
+            assert (
+                cactus.structure.fingerprint == ref.structure.fingerprint
+            )
+            # sigma falls back to the relabel on intern hits and stays
+            # correct.
+            assert cactus.sigma_structure() == ref.sigma_structure()
+
+
+# ----------------------------------------------------------------------
 # Rewired consumers
 # ----------------------------------------------------------------------
 
