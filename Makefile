@@ -11,13 +11,27 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 ## ruff lint (config in pyproject.toml); degrades to a syntax check
-## when ruff is not installed (the offline dev container)
-lint:
+## when ruff is not installed (the offline dev container).  Also
+## enforces the configuration architecture: os.environ may only be
+## read in core/config.py (EngineConfig.from_env is the single
+## env-var ingestion point).
+lint: lint-env-gate
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests scripts benchmarks examples; \
 	else \
 		echo "ruff not installed; falling back to a compile check"; \
 		$(PYTHON) -m compileall -q src tests scripts benchmarks examples; \
+	fi
+
+.PHONY: lint-env-gate
+lint-env-gate:
+	@hits=$$(grep -rnE "os\.environ|os\.getenv|from os import.*environ|getenv" src/repro --include='*.py' | grep -v "^src/repro/core/config\.py:"); \
+	if [ -n "$$hits" ]; then \
+		echo "env gate: environment read outside core/config.py:"; \
+		echo "$$hits"; \
+		exit 1; \
+	else \
+		echo "env gate: ok (environment reads confined to core/config.py)"; \
 	fi
 
 ## hom-engine backend comparison (naive vs bitset); writes BENCH_homengine.json

@@ -8,7 +8,7 @@ one, and the central question is whether that recursion can be unfolded
 to bounded depth (FO-rewritability).
 """
 
-from repro import zoo
+from repro import EngineConfig, Session, zoo
 from repro.core import (
     OneCQ,
     certain_answer,
@@ -102,6 +102,53 @@ def main() -> None:
     print(f"family of {len(family)} instances: "
           f"{sum(answers)} match disjunct 0, "
           f"{sum(screened)} satisfy the full UCQ")
+
+    # ------------------------------------------------------------------
+    # 7. Sessions: one typed configuration + execution context.
+    #
+    #    Everything above ran in the *default session*, configured from
+    #    the REPRO_* environment on first use — which is why the free
+    #    functions keep working exactly as before.  For anything beyond
+    #    one-off calls, build an explicit Session: it owns a frozen
+    #    EngineConfig plus all mutable engine state (hom backend +
+    #    hom-cache, cactus factory pool + structure intern, process
+    #    pool), so two differently-configured evaluations can live side
+    #    by side in one process without sharing anything.
+    #
+    #    Migration from the free functions is mechanical:
+    #        certain_answer(q, d)        -> session.certain_answer(q, d)
+    #        evaluate(q, d, strategy)    -> session.evaluate(q, d, strategy)
+    #        decide_boundedness(q)       -> session.decide_boundedness(q)
+    #        probe_boundedness(cq, d)    -> session.probe_boundedness(cq, d)
+    #        ucq_certain_answers(u, f)   -> session.ucq_certain_answers(u, f)
+    #        parallel_screen(qs, f)      -> session.screen(qs, f)
+    #        set_default_backend(b)      -> EngineConfig(backend=b)
+    #        configure_cache(...)        -> EngineConfig(hom_cache...=...)
+    #        configure_pool(w, m)        -> EngineConfig(workers=w,
+    #                                                    parallel_min=m)
+    #    Precedence everywhere is env < config < per-call kwarg, and
+    #    EngineConfig.from_env() is the only place REPRO_* is read.
+    #
+    #    backend="auto" resolves per call: matrix for large edge-rich
+    #    targets, bitset otherwise (calibrated from BENCH_batch.json).
+    # ------------------------------------------------------------------
+    print()
+    oracle = Session(EngineConfig(backend="naive", hom_cache=False))
+    with Session(EngineConfig(backend="auto", workers=2,
+                              parallel_min=16)) as fast:
+        q5 = OneCQ.from_structure(zoo.q5())
+        rewriting = fast.ucq_rewriting(q5, depth=1)
+        agree = fast.ucq_certain_answers(rewriting, family) == \
+            oracle.ucq_certain_answers(rewriting, family)
+        print(f"sessions (auto vs naive oracle) agree on q5's UCQ: {agree}")
+
+        # Streaming screen: shard results arrive in completion order,
+        # so a long screen surfaces its first answers early.
+        total = 0
+        for shard in fast.screen(rewriting, family, stream=True):
+            total += sum(any(col) for col in zip(*shard.answers))
+        print(f"streamed screen: {total} instances satisfy some disjunct")
+    oracle.close()
 
 
 if __name__ == "__main__":

@@ -51,10 +51,15 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-# Measure the engine, not the cache: the parent process and every
-# forked worker run with the hom-cache disabled, so repeated rounds
-# are never answered from the LRU.
+# Measure the engine, not the caches: the parent process and every
+# forked worker run with the hom-cache and the worker-side structure
+# cache disabled, so repeated rounds are never answered from an LRU.
+# Setting the environment (rather than configure_cache on the parent
+# session) is deliberate — workers build their default session from
+# the inherited environment, and EngineConfig.from_env reads it at
+# first engine use, i.e. after these lines.
 os.environ["REPRO_HOM_CACHE"] = "0"
+os.environ["REPRO_HOM_WORKER_CACHE"] = "0"
 
 from repro.core.homengine import (  # noqa: E402
     covers_any,

@@ -40,10 +40,11 @@ from repro import zoo  # noqa: E402
 from repro.core import OneCQ, StructureBuilder, path_structure  # noqa: E402
 from repro.core.cactus import (  # noqa: E402
     CactusFactory,
+    CactusState,
     build_cactus_from_scratch,
-    clear_structure_intern,
     iter_shapes,
 )
+from repro.core.config import EngineConfig  # noqa: E402
 
 MIN_GEOMEAN_SPEEDUP = 2.0
 
@@ -99,12 +100,15 @@ WORKLOADS = [
 def run_incremental(one_cq: OneCQ, shapes: list) -> None:
     """Cold-factory construction through the incremental engine.
 
-    The cross-factory structure intern is cleared first: a fresh
-    factory would otherwise adopt the previous round's structures
-    wholesale and this would measure cache hits, not construction.
+    The factory gets a private, empty :class:`CactusState` per round:
+    a factory on shared session state would adopt the previous round's
+    interned structures wholesale and this would measure cache hits,
+    not construction.  The state is built from the environment so the
+    ``REPRO_CACTUS_*`` knobs still shape the measured configuration.
     """
-    clear_structure_intern()
-    factory = CactusFactory(one_cq)
+    factory = CactusFactory(
+        one_cq, state=CactusState(EngineConfig.from_env())
+    )
     for shape in shapes:
         factory.cactus(shape)
 

@@ -48,6 +48,9 @@ def run_backend(backend: str, json_path: Path, extra_args: list[str]) -> None:
     env["REPRO_HOM_BACKEND"] = backend
     # Measure the engine, not the cache: repeated benchmark rounds would
     # otherwise be answered from the LRU and flatten every comparison.
+    # The child process ingests these through EngineConfig.from_env()
+    # when its default session is first used — the single env-var entry
+    # point since the Session refactor.
     env["REPRO_HOM_CACHE"] = "0"
     cmd = [
         sys.executable,

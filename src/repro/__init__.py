@@ -17,6 +17,18 @@ Quick start::
     from repro import zoo, certain_answer
     print(certain_answer(zoo.q2(), zoo.d2()))   # True (Example 2)
 
+For anything beyond one-off calls, build an explicit execution
+context — a :class:`~repro.session.Session` owning a frozen
+:class:`~repro.core.config.EngineConfig` (backend, caches, process
+pool)::
+
+    from repro import EngineConfig, Session
+    with Session(EngineConfig(backend="auto", workers=8)) as s:
+        print(s.certain_answer(zoo.q2(), zoo.d2()))
+
+The free functions above remain supported shims over the default
+session (configured from the ``REPRO_*`` environment on first use).
+
 Subpackages (imported on demand): :mod:`repro.core` (structures,
 datalog, cactuses, boundedness), :mod:`repro.ditree` (Section 4
 classifiers and the Lambda-CQ decider), :mod:`repro.circuits` and
@@ -26,6 +38,7 @@ classifiers and the Lambda-CQ decider), :mod:`repro.circuits` and
 
 from .core import (
     A,
+    EngineConfig,
     F,
     OneCQ,
     Program,
@@ -54,17 +67,25 @@ from .core import (
     ucq_certain_answers,
     ucq_rewriting,
 )
+from .session import (
+    Session,
+    default_session,
+    reset_default_session,
+    set_default_session,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "A",
+    "EngineConfig",
     "F",
     "OneCQ",
     "Program",
     "R",
     "Rule",
     "S",
+    "Session",
     "Structure",
     "StructureBuilder",
     "T",
@@ -73,6 +94,7 @@ __all__ = [
     "certain_answer",
     "compile_programs",
     "covers_any",
+    "default_session",
     "evaluate_batch",
     "find_homomorphism",
     "full_cactus",
@@ -83,7 +105,9 @@ __all__ = [
     "iter_cactuses",
     "path_structure",
     "probe_boundedness",
+    "reset_default_session",
     "set_default_backend",
+    "set_default_session",
     "ucq_certain_answers",
     "ucq_rewriting",
     "__version__",

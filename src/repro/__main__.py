@@ -9,9 +9,17 @@ Commands
     read from a file of ``label(node)`` / ``pred(src, dst)`` lines.
 ``demo``
     Run the Theorem 3 pipeline on the toy alternating Turing machines.
+``config``
+    Print the resolved :class:`~repro.core.config.EngineConfig` — the
+    environment, the global flags, and the defaults merged in
+    precedence order (env < flag).
 
-The CLI is a thin veneer over the public API; anything serious should
-import :mod:`repro` directly.
+Global flags (before the command) configure the session every command
+runs in: ``--backend`` picks the hom backend (``naive`` / ``bitset`` /
+``matrix`` / ``auto``), ``--workers`` sizes the shard executor and
+``--no-cache`` disables the hom-cache.  The CLI is a thin veneer over
+the public :class:`~repro.session.Session` API; anything serious
+should import :mod:`repro` directly.
 """
 
 from __future__ import annotations
@@ -20,8 +28,9 @@ import argparse
 import sys
 
 from . import zoo
+from .core.config import BACKEND_CHOICES, EngineConfig
 from .core.structure import Structure, StructureBuilder
-from .decide import decide_boundedness
+from .session import Session
 
 
 def _parse_cq_file(path: str) -> Structure:
@@ -46,7 +55,20 @@ def _parse_cq_file(path: str) -> Structure:
     return builder.build()
 
 
-def _cmd_zoo(_args: argparse.Namespace) -> int:
+def _session_from_args(args: argparse.Namespace) -> Session:
+    """The session every command runs in: environment first, explicit
+    global flags on top (the documented env < config precedence)."""
+    overrides: dict = {}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.no_cache:
+        overrides["hom_cache"] = False
+    return Session(EngineConfig.from_env(**overrides))
+
+
+def _cmd_zoo(_session: Session, _args: argparse.Namespace) -> int:
     from .core.cq import solitary_f_nodes, solitary_t_nodes, twin_nodes
 
     for entry in zoo.zoo_table():
@@ -59,17 +81,17 @@ def _cmd_zoo(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_decide(args: argparse.Namespace) -> int:
+def _cmd_decide(session: Session, args: argparse.Namespace) -> int:
     if hasattr(zoo, args.query):
         q = getattr(zoo, args.query)()
     else:
         q = _parse_cq_file(args.query)
-    decision = decide_boundedness(q, probe_depth=args.probe_depth)
+    decision = session.decide_boundedness(q, probe_depth=args.probe_depth)
     print(decision.describe())
     return 0
 
 
-def _cmd_demo(_args: argparse.Namespace) -> int:
+def _cmd_demo(_session: Session, _args: argparse.Namespace) -> int:
     from .atm.machine import toy_alternation_machine
     from .atm.reduction import build_query, skeleton_boundedness_semantics
 
@@ -83,10 +105,28 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_config(session: Session, _args: argparse.Namespace) -> int:
+    print(session.config.describe())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Deciding Boundedness of Monadic Sirups (PODS 2021)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default=None,
+        help="hom-search backend for this run (overrides REPRO_HOM_BACKEND)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="shard-executor worker count (overrides REPRO_HOM_WORKERS; "
+        "<= 1 disables parallelism)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the homomorphism cache for this run",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -103,9 +143,19 @@ def main(argv: list[str] | None = None) -> int:
 
     commands.add_parser("demo", help="run the Theorem 3 toy pipeline")
 
+    commands.add_parser(
+        "config", help="print the resolved engine configuration"
+    )
+
     args = parser.parse_args(argv)
-    handlers = {"zoo": _cmd_zoo, "decide": _cmd_decide, "demo": _cmd_demo}
-    return handlers[args.command](args)
+    handlers = {
+        "zoo": _cmd_zoo,
+        "decide": _cmd_decide,
+        "demo": _cmd_demo,
+        "config": _cmd_config,
+    }
+    with _session_from_args(args) as session:
+        return handlers[args.command](session, args)
 
 
 if __name__ == "__main__":

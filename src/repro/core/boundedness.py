@@ -86,6 +86,7 @@ def _covered_by(
     target: Cactus,
     shallow: list[Cactus],
     require_focus: bool,
+    session=None,
 ) -> bool:
     """Does some shallow cactus map homomorphically into ``target``?
 
@@ -108,6 +109,7 @@ def _covered_by(
             )
             for source in shallow
         ],
+        session=session,
     )
 
 
@@ -116,6 +118,7 @@ def probe_boundedness(
     probe_depth: int,
     require_focus: bool = False,
     max_cactuses: int | None = None,
+    session=None,
 ) -> ProbeResult:
     """Depth-bounded test of Proposition 2's condition (c).
 
@@ -134,7 +137,9 @@ def probe_boundedness(
     factory, so repeated probes (and a later rewriting extraction)
     share every materialised cactus.
     """
-    cactuses = list(iter_cactuses(one_cq, probe_depth, max_cactuses))
+    cactuses = list(
+        iter_cactuses(one_cq, probe_depth, max_cactuses, session=session)
+    )
     by_depth: dict[int, list[Cactus]] = {}
     for cactus in cactuses:
         by_depth.setdefault(cactus.depth, []).append(cactus)
@@ -149,7 +154,9 @@ def probe_boundedness(
             return ProbeResult(
                 Verdict.BOUNDED, max_seen, probe_depth, len(cactuses), ()
             )
-        if all(_covered_by(c, shallow, require_focus) for c in deep):
+        if all(
+            _covered_by(c, shallow, require_focus, session) for c in deep
+        ):
             return ProbeResult(
                 Verdict.BOUNDED, d, probe_depth, len(cactuses), ()
             )
@@ -161,7 +168,7 @@ def probe_boundedness(
     uncovered = tuple(
         c.shape.describe()
         for c in deepest
-        if not _covered_by(c, shallow, require_focus)
+        if not _covered_by(c, shallow, require_focus, session)
     )
     if uncovered:
         return ProbeResult(
@@ -176,33 +183,37 @@ def probe_boundedness(
     )
 
 
-def ucq_rewriting(one_cq: OneCQ, depth: int) -> list[Structure]:
+def ucq_rewriting(one_cq: OneCQ, depth: int, session=None) -> list[Structure]:
     """The UCQ ``C_1 ∨ .. ∨ C_m`` of all cactuses of depth <= ``depth``.
 
     Evaluating this UCQ over a data instance computes the certain answer
     to ``(Π_q, G)`` whenever the query is bounded with bound ``depth``.
     """
-    return [c.structure for c in iter_cactuses(one_cq, depth)]
+    return [
+        c.structure for c in iter_cactuses(one_cq, depth, session=session)
+    ]
 
 
 def sigma_ucq_rewriting(
-    one_cq: OneCQ, depth: int
+    one_cq: OneCQ, depth: int, session=None
 ) -> list[tuple[Structure, Node]]:
     """The Σ-rewriting: pairs (C°, root focus) plus the implicit ``T(x)``
     disjunct handled by :func:`sigma_ucq_certain_answer`."""
     return [
         (c.sigma_structure(), c.root_focus)
-        for c in iter_cactuses(one_cq, depth)
+        for c in iter_cactuses(one_cq, depth, session=session)
     ]
 
 
-def ucq_certain_answer(ucq: list[Structure], data: Structure) -> bool:
+def ucq_certain_answer(
+    ucq: list[Structure], data: Structure, session=None
+) -> bool:
     """Evaluate a Boolean UCQ by one batch of homomorphism checks."""
-    return covers_any(data, ucq)
+    return covers_any(data, ucq, session=session)
 
 
 def ucq_certain_answers(
-    ucq: list[Structure], instances: Sequence[Structure]
+    ucq: list[Structure], instances: Sequence[Structure], session=None
 ) -> list[bool]:
     """Evaluate a Boolean UCQ over a whole family of data instances.
 
@@ -219,7 +230,7 @@ def ucq_certain_answers(
     instances already answered 'yes' drop out of later sweeps.
     """
     if len(ucq) >= 2:
-        sharded = parallel_ucq_answers(ucq, instances)
+        sharded = parallel_ucq_answers(ucq, instances, session=session)
         if sharded is not None:
             return sharded
     results = [False] * len(instances)
@@ -228,7 +239,7 @@ def ucq_certain_answers(
         if not pending:
             break
         answers = evaluate_batch(
-            disjunct, [instances[i] for i in pending]
+            disjunct, [instances[i] for i in pending], session=session
         )
         for i, answer in zip(pending, answers):
             if answer:
@@ -241,6 +252,7 @@ def probe_family_boundedness(
     instances: Sequence[Structure],
     depth: int,
     probe_depth: int | None = None,
+    session=None,
 ) -> list[bool]:
     """Certain answers of ``(Π_q, G)`` over an instance family via the
     depth-``depth`` UCQ rewriting; one factory, one rewriting, one
@@ -257,25 +269,34 @@ def probe_family_boundedness(
     :func:`ucq_rewriting` directly.
     """
     probe = probe_boundedness(
-        one_cq, probe_depth if probe_depth is not None else depth + 1
+        one_cq,
+        probe_depth if probe_depth is not None else depth + 1,
+        session=session,
     )
     if probe.verdict is not Verdict.BOUNDED or (probe.depth or 0) > depth:
         raise ValueError(
             f"the depth-{depth} rewriting is not a certified evaluation "
             f"of (Π_q, G): probe verdict {probe.describe()!r}"
         )
-    return ucq_certain_answers(ucq_rewriting(one_cq, depth), instances)
+    return ucq_certain_answers(
+        ucq_rewriting(one_cq, depth, session=session), instances, session
+    )
 
 
 def sigma_ucq_certain_answer(
-    rewriting: list[tuple[Structure, Node]], data: Structure, node: Node
+    rewriting: list[tuple[Structure, Node]],
+    data: Structure,
+    node: Node,
+    session=None,
 ) -> bool:
     """Evaluate the Σ-rewriting at ``node``: ``T(node)`` or some C° maps
     into the data with its root focus on ``node``."""
     if data.has_label(node, T):
         return True
     return covers_any(
-        data, ((cq, {focus: node}) for cq, focus in rewriting)
+        data,
+        ((cq, {focus: node}) for cq, focus in rewriting),
+        session=session,
     )
 
 

@@ -19,7 +19,8 @@ indices were budded — enumerate ``𝔎_q`` canonically (one cactus per
 shape), so enumeration never produces duplicates.
 
 Construction is *incremental*: a :class:`CactusFactory` (one per 1-CQ,
-pooled module-wide) interns one frozen copy of every segment fact set
+pooled per session in a :class:`CactusState`) interns one frozen copy
+of every segment fact set
 and variable map per skeleton path, memoises every cactus it has ever
 materialised by shape, and builds a depth-``d`` cactus by extending the
 cached depth-``d-1`` prefix with only the new generation of segments —
@@ -30,7 +31,7 @@ node naming makes this sound: a segment keeps the same nodes in every
 cactus that contains it, so a prefix's structure is literally a
 substructure of every extension.  The same delta derives ``C°``
 (:meth:`Cactus.sigma_structure`) from the parent's ``C°``, and a
-module-level intern table shares one structure object per (query
+per-session intern table shares one structure object per (query
 content, shape) *across* factory instances, so a fresh factory for a
 content-equal query reuses every structure — and every built index —
 an earlier factory materialised.  The pre-engine from-scratch builder
@@ -42,12 +43,12 @@ cross-validated in the tests and the baseline of
 from __future__ import annotations
 
 import itertools
-import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Iterator, Mapping
 
+from .config import EngineConfig
 from .cq import OneCQ
 from .homomorphism import covers_any, find_homomorphism
 from .structure import (
@@ -343,7 +344,7 @@ Path = tuple  # bud-index path from the root to a segment
 
 
 # ----------------------------------------------------------------------
-# Cross-factory structure interning
+# Per-session cactus state: factory pool + cross-factory intern table
 # ----------------------------------------------------------------------
 #
 # Cactus structures are fully determined by the 1-CQ's *content* (query
@@ -351,35 +352,72 @@ Path = tuple  # bud-index path from the root to a segment
 # naming uses only variable names and bud indices.  Distinct factory
 # instances for content-equal queries — fresh factories in benchmarks,
 # pool-evicted-and-recreated factories, hand-built ones — therefore
-# rematerialise byte-identical structures.  This module-level LRU
-# interns one Structure per (query content, shape), so a second factory
-# reuses the first one's object together with every index it has built.
-
-_STRUCTURE_INTERN: OrderedDict[tuple, Structure] = OrderedDict()
-_STRUCTURE_INTERN_SIZE = int(
-    os.environ.get("REPRO_CACTUS_INTERN_SIZE", "4096")
-)
+# rematerialise byte-identical structures.  Each session's
+# :class:`CactusState` holds an LRU interning one Structure per (query
+# content, shape), so a second factory reuses the first one's object
+# together with every index it has built — plus the pool of factories
+# themselves, so cactuses built for a boundedness probe are the same
+# objects a later UCQ rewriting returns.
 
 
-def _interned_structure(factory_key: tuple, shape: Shape) -> Structure | None:
-    cached = _STRUCTURE_INTERN.get((factory_key, shape))
-    if cached is not None:
-        _STRUCTURE_INTERN.move_to_end((factory_key, shape))
-    return cached
+class CactusState:
+    """The mutable cactus-construction state of one session."""
+
+    def __init__(self, config: EngineConfig) -> None:
+        self.factory_pool_size = config.factory_pool_size
+        self.cactus_cache_size = config.cactus_cache_size
+        self.intern_size = config.structure_intern_size
+        self._factories: OrderedDict[OneCQ, CactusFactory] = OrderedDict()
+        self._intern: OrderedDict[tuple, Structure] = OrderedDict()
+
+    def factory(self, one_cq: OneCQ) -> "CactusFactory":
+        """The pooled factory of ``one_cq`` (LRU-bounded)."""
+        factory = self._factories.get(one_cq)
+        if factory is None:
+            factory = CactusFactory(one_cq, state=self)
+            self._factories[one_cq] = factory
+            while len(self._factories) > self.factory_pool_size:
+                self._factories.popitem(last=False)
+        else:
+            self._factories.move_to_end(one_cq)
+        return factory
+
+    def interned_structure(
+        self, factory_key: tuple, shape: Shape
+    ) -> Structure | None:
+        cached = self._intern.get((factory_key, shape))
+        if cached is not None:
+            self._intern.move_to_end((factory_key, shape))
+        return cached
+
+    def intern_structure(
+        self, factory_key: tuple, shape: Shape, structure: Structure
+    ) -> None:
+        self._intern[(factory_key, shape)] = structure
+        while len(self._intern) > self.intern_size:
+            self._intern.popitem(last=False)
+
+    def clear_intern(self) -> None:
+        self._intern.clear()
+
+    def clear(self) -> None:
+        self._factories.clear()
+        self._intern.clear()
 
 
-def _intern_structure(
-    factory_key: tuple, shape: Shape, structure: Structure
-) -> None:
-    _STRUCTURE_INTERN[(factory_key, shape)] = structure
-    while len(_STRUCTURE_INTERN) > _STRUCTURE_INTERN_SIZE:
-        _STRUCTURE_INTERN.popitem(last=False)
+def _state(session) -> CactusState:
+    """The :class:`CactusState` of ``session`` (default if ``None``)."""
+    if session is not None:
+        return session.cactus
+    from ..session import default_session
+
+    return default_session().cactus
 
 
-def clear_structure_intern() -> None:
-    """Drop the cross-factory interned cactus structures (benchmarks
-    call this to measure genuinely cold construction)."""
-    _STRUCTURE_INTERN.clear()
+def clear_structure_intern(session=None) -> None:
+    """Drop the (default) session's interned cactus structures
+    (benchmarks call this to measure genuinely cold construction)."""
+    _state(session).clear_intern()
 
 
 class CactusFactory:
@@ -401,18 +439,29 @@ class CactusFactory:
     not the facts, not the eager structure indexes, not the fingerprint.
     """
 
-    def __init__(self, one_cq: OneCQ) -> None:
+    def __init__(
+        self, one_cq: OneCQ, state: CactusState | None = None
+    ) -> None:
         self.one_cq = one_cq
-        # Shape -> Cactus, LRU-bounded (REPRO_CACTUS_CACHE_SIZE): an
-        # open-ended probe of a span >= 2 query would otherwise retain
-        # an exponential-in-depth number of materialised cactuses for
-        # the life of the pooled factory.  Evicting a prefix only costs
-        # a rebuild if it is ever extended again.
+        # The owning session's cactus state (intern table + LRU bounds);
+        # a factory built bare binds the default session's on first use.
+        self._state = state
+        # Shape -> Cactus, LRU-bounded (EngineConfig.cactus_cache_size):
+        # an open-ended probe of a span >= 2 query would otherwise
+        # retain an exponential-in-depth number of materialised
+        # cactuses for the life of the pooled factory.  Evicting a
+        # prefix only costs a rebuild if it is ever extended again.
         self._cactuses: OrderedDict[Shape, Cactus] = OrderedDict()
         self._leaf_facts: dict[Path, tuple] = {}
         self._var_maps: dict[Path, Mapping[Node, Node]] = {}
         self._segment_copies: dict = {}
         self._intern_key: tuple | None = None
+
+    @property
+    def state(self) -> CactusState:
+        if self._state is None:
+            self._state = _state(None)
+        return self._state
 
     @property
     def intern_key(self) -> tuple:
@@ -480,8 +529,9 @@ class CactusFactory:
             self._cactuses.move_to_end(shape)
             return cached
         depth = shape.depth
+        state = self.state
         sigma_delta: tuple | None = None
-        structure = _interned_structure(self.intern_key, shape)
+        structure = state.interned_structure(self.intern_key, shape)
         if structure is None:
             if depth == 0:
                 nodes, unary, binary = self.leaf_facts(())
@@ -512,7 +562,7 @@ class CactusFactory:
                     frozenset(add_binary),
                     tuple(removed),
                 )
-            _intern_structure(self.intern_key, shape, structure)
+            state.intern_structure(self.intern_key, shape, structure)
         cactus = Cactus(
             self.one_cq,
             structure,
@@ -521,7 +571,7 @@ class CactusFactory:
             sigma_delta=sigma_delta,
         )
         self._cactuses[shape] = cactus
-        while len(self._cactuses) > _CACTUS_CACHE_SIZE:
+        while len(self._cactuses) > state.cactus_cache_size:
             self._cactuses.popitem(last=False)
         return cactus
 
@@ -602,39 +652,26 @@ class CactusFactory:
         return cached
 
 
-# The module-wide factory pool: every entry point that takes a bare
-# OneCQ (build_cactus, iter_cactuses, the probes and rewritings) shares
-# one factory per query, so cactuses built for a boundedness probe are
-# the same objects a later UCQ rewriting returns.
-_FACTORY_POOL: OrderedDict[OneCQ, CactusFactory] = OrderedDict()
-_FACTORY_POOL_SIZE = int(os.environ.get("REPRO_CACTUS_FACTORIES", "32"))
-_CACTUS_CACHE_SIZE = int(
-    os.environ.get("REPRO_CACTUS_CACHE_SIZE", "20000")
-)
+# Every entry point that takes a bare OneCQ (build_cactus,
+# iter_cactuses, the probes and rewritings) shares one pooled factory
+# per query *within a session*, so cactuses built for a boundedness
+# probe are the same objects a later UCQ rewriting returns.
 
 
-def cactus_factory(one_cq: OneCQ) -> CactusFactory:
-    """The pooled :class:`CactusFactory` of ``one_cq`` (LRU, bounded by
-    ``REPRO_CACTUS_FACTORIES``, default 32 queries)."""
-    factory = _FACTORY_POOL.get(one_cq)
-    if factory is None:
-        factory = CactusFactory(one_cq)
-        _FACTORY_POOL[one_cq] = factory
-        while len(_FACTORY_POOL) > _FACTORY_POOL_SIZE:
-            _FACTORY_POOL.popitem(last=False)
-    else:
-        _FACTORY_POOL.move_to_end(one_cq)
-    return factory
+def cactus_factory(one_cq: OneCQ, session=None) -> CactusFactory:
+    """The (default) session's pooled :class:`CactusFactory` of
+    ``one_cq`` (LRU, bounded by ``EngineConfig.factory_pool_size``,
+    default 32 queries)."""
+    return _state(session).factory(one_cq)
 
 
-def clear_cactus_caches() -> None:
-    """Drop every pooled factory (and with them all cached cactuses)
-    and the cross-factory structure intern table."""
-    _FACTORY_POOL.clear()
-    clear_structure_intern()
+def clear_cactus_caches(session=None) -> None:
+    """Drop the (default) session's pooled factories (and with them all
+    cached cactuses) and its structure intern table."""
+    _state(session).clear()
 
 
-def build_cactus(one_cq: OneCQ, shape: Shape) -> Cactus:
+def build_cactus(one_cq: OneCQ, shape: Shape, session=None) -> Cactus:
     """Materialise the cactus with the given shape (pooled, incremental).
 
     Node naming: the segment reached from the root by following bud
@@ -642,7 +679,7 @@ def build_cactus(one_cq: OneCQ, shape: Shape) -> Cactus:
     its focus onto the parent's budded T node.  Equal shapes return the
     same cached :class:`Cactus` object.
     """
-    return cactus_factory(one_cq).cactus(shape)
+    return cactus_factory(one_cq, session).cactus(shape)
 
 
 def build_cactus_from_scratch(one_cq: OneCQ, shape: Shape) -> Cactus:
@@ -705,9 +742,9 @@ def build_cactus_from_scratch(one_cq: OneCQ, shape: Shape) -> Cactus:
     return Cactus(one_cq, structure, segments, shape)
 
 
-def initial_cactus(one_cq: OneCQ) -> Cactus:
+def initial_cactus(one_cq: OneCQ, session=None) -> Cactus:
     """``C_G = {q}``: the cactus with a single (root) segment."""
-    return build_cactus(one_cq, Shape.leaf())
+    return build_cactus(one_cq, Shape.leaf(), session)
 
 
 def iter_cactuses(
@@ -715,6 +752,7 @@ def iter_cactuses(
     max_depth: int,
     max_count: int | None = None,
     factory: CactusFactory | None = None,
+    session=None,
 ) -> Iterator[Cactus]:
     """All cactuses of depth at most ``max_depth`` (canonical, no dupes).
 
@@ -723,7 +761,7 @@ def iter_cactuses(
     and a later enumeration — same or greater depth, same query —
     reuses every one of them.
     """
-    factory = factory or cactus_factory(one_cq)
+    factory = factory or cactus_factory(one_cq, session)
     produced = 0
     for shape in iter_shapes(one_cq.span, max_depth):
         yield factory.cactus(shape)
@@ -732,9 +770,9 @@ def iter_cactuses(
             return
 
 
-def full_cactus(one_cq: OneCQ, depth: int) -> Cactus:
+def full_cactus(one_cq: OneCQ, depth: int, session=None) -> Cactus:
     """The cactus budding every solitary T uniformly to ``depth``."""
-    return build_cactus(one_cq, full_shape(one_cq.span, depth))
+    return build_cactus(one_cq, full_shape(one_cq.span, depth), session)
 
 
 # ----------------------------------------------------------------------
@@ -743,13 +781,13 @@ def full_cactus(one_cq: OneCQ, depth: int) -> Cactus:
 
 
 def find_unfocused_witness(
-    one_cq: OneCQ, max_depth: int
+    one_cq: OneCQ, max_depth: int, session=None
 ) -> tuple[Cactus, Cactus, dict[Node, Node]] | None:
     """Search for cactuses C, C' and a hom ``h: C -> C'`` with
     ``h(r) != r'``, which refutes (foc).  Returns the witness or ``None``
     if no violation exists up to the probed depth (evidence, not proof,
     of focusedness)."""
-    cactuses = list(iter_cactuses(one_cq, max_depth))
+    cactuses = list(iter_cactuses(one_cq, max_depth, session=session))
     for source in cactuses:
         for target in cactuses:
             # Ask the engine directly for a hom moving the root focus by
@@ -760,15 +798,16 @@ def find_unfocused_witness(
                 source.structure,
                 target.structure,
                 node_domains={source.root_focus: frozenset(allowed)},
+                session=session,
             )
             if hom is not None:
                 return source, target, hom
     return None
 
 
-def is_focused_up_to(one_cq: OneCQ, max_depth: int) -> bool:
+def is_focused_up_to(one_cq: OneCQ, max_depth: int, session=None) -> bool:
     """(foc) restricted to cactuses of depth <= max_depth."""
-    return find_unfocused_witness(one_cq, max_depth) is None
+    return find_unfocused_witness(one_cq, max_depth, session) is None
 
 
 def structurally_focused(one_cq: OneCQ) -> bool:
@@ -787,7 +826,7 @@ def structurally_focused(one_cq: OneCQ) -> bool:
 
 
 def goal_certain_via_cactuses(
-    one_cq: OneCQ, data: Structure, max_depth: int
+    one_cq: OneCQ, data: Structure, max_depth: int, session=None
 ) -> bool:
     """``G ∈ Π_q(D)`` iff some cactus maps homomorphically into D.
 
@@ -797,12 +836,17 @@ def goal_certain_via_cactuses(
     one :func:`~repro.core.homengine.covers_any` batch over the data.
     """
     return covers_any(
-        data, (cactus.structure for cactus in iter_cactuses(one_cq, max_depth))
+        data,
+        (
+            cactus.structure
+            for cactus in iter_cactuses(one_cq, max_depth, session=session)
+        ),
+        session=session,
     )
 
 
 def sirup_certain_via_cactuses(
-    one_cq: OneCQ, data: Structure, node: Node, max_depth: int
+    one_cq: OneCQ, data: Structure, node: Node, max_depth: int, session=None
 ) -> bool:
     """``P(a) ∈ Σ_q(D)`` iff ``T(a) ∈ D`` or some C° maps into D with
     the root focus landing on ``a`` (Proposition 1)."""
@@ -812,6 +856,7 @@ def sirup_certain_via_cactuses(
         data,
         (
             (cactus.sigma_structure(), {cactus.root_focus: node})
-            for cactus in iter_cactuses(one_cq, max_depth)
+            for cactus in iter_cactuses(one_cq, max_depth, session=session)
         ),
+        session=session,
     )

@@ -1,0 +1,211 @@
+"""Engine configuration: one frozen dataclass, one env-var ingestion point.
+
+Everything tunable about the engine — hom backend, hom-cache, cactus
+factory pool, structure intern table, shard executor — is described by
+an immutable :class:`EngineConfig`.  A :class:`~repro.session.Session`
+owns exactly one config plus the mutable state it parameterises; the
+module-level default session is built from :meth:`EngineConfig.from_env`
+on first use.
+
+Precedence is ``env < config < per-call kwarg``:
+
+* :meth:`EngineConfig.from_env` reads every ``REPRO_*`` variable — this
+  module is the *single* place in the package where ``os.environ`` is
+  consulted (enforced by a grep gate in ``make lint``), and the read
+  happens at call time, never at import time, so a monkeypatched
+  environment behaves consistently;
+* explicit keyword arguments to :meth:`from_env` (or a plain
+  ``EngineConfig(...)`` constructor call) override the environment;
+* per-call keywords on the session/engine entry points (``backend=``,
+  ``workers=``, ``use_cache=`` ...) override the config for that call.
+
+Environment variables
+=====================
+
+``REPRO_HOM_BACKEND``
+    Default hom-search backend: ``naive``, ``bitset`` (default),
+    ``matrix``, or ``auto`` (pick ``matrix`` vs ``bitset`` per call
+    from the target's size and edge density).
+``REPRO_HOM_CACHE`` / ``REPRO_HOM_CACHE_SIZE``
+    Enable (default) / size (8192) of the fingerprint-keyed hom-cache.
+``REPRO_HOM_WORKERS`` / ``REPRO_HOM_PARALLEL_MIN``
+    Shard-executor worker count (unset: CPU count; ``<= 1`` disables
+    parallelism) and the batch size below which batch entry points
+    stay serial (default 24).
+``REPRO_HOM_WORKER_CACHE``
+    Capacity of each worker process's wire-keyed structure cache
+    (default 64 structures; ``0`` disables it).
+``REPRO_CACTUS_FACTORIES`` / ``REPRO_CACTUS_CACHE_SIZE``
+    Factory-pool capacity (32 queries) and per-factory cactus LRU size
+    (20000 cactuses).
+``REPRO_CACTUS_INTERN_SIZE``
+    Capacity of the cross-factory structure intern table (4096).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Mapping
+
+BACKENDS = ("naive", "bitset", "matrix")
+#: Accepted values for ``EngineConfig.backend`` — the concrete backends
+#: plus ``auto`` (resolved per call by :func:`choose_auto_backend`).
+BACKEND_CHOICES = BACKENDS + ("auto",)
+
+_FALSY = ("0", "off", "false", "no")
+
+# Calibration of the auto heuristic, from the committed BENCH_batch.json
+# backend duel: the ``matrix`` backend's boolean-semiring matvecs win
+# >=2x on targets with n >= 200 nodes at edge density (edges/node) >= 4
+# and keep winning down the measured grid, while ``bitset``'s
+# label-pruned int domains win on the small structures of the paper's
+# examples.  The thresholds sit below the measured win region (half of
+# the smallest measured n, half its density) so the crossover lands in
+# matrix territory without claiming wins the bench never measured.
+AUTO_MIN_NODES = 100
+AUTO_MIN_EDGES_PER_NODE = 2.0
+
+
+def choose_auto_backend(
+    nodes: int, edges: int, matrix_available: bool = True
+) -> str:
+    """The concrete backend ``backend="auto"`` resolves to for a target
+    with the given node and binary-fact counts.
+
+    Pure and deterministic so tests can pin the heuristic on both sides
+    of the threshold; the live path feeds it the target structure's
+    counts plus numpy availability.
+    """
+    if (
+        matrix_available
+        and nodes >= AUTO_MIN_NODES
+        and edges >= AUTO_MIN_EDGES_PER_NODE * nodes
+    ):
+        return "matrix"
+    return "bitset"
+
+
+def _env_bool(env: dict, name: str, default: bool) -> bool:
+    raw = env.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSY
+
+
+def _env_int(env: dict, name: str, default: int) -> int:
+    raw = env.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Frozen description of one engine instance's tunables.
+
+    Field defaults are the engine's hardcoded defaults; the environment
+    only enters through :meth:`from_env`.  Use :meth:`replace` (or
+    ``dataclasses.replace``) to derive variants.
+    """
+
+    # hom engine
+    backend: str = "bitset"
+    hom_cache: bool = True
+    hom_cache_size: int = 8192
+    # shard runtime.  ``workers=None`` (the default) means the
+    # machine's CPU count; an explicit value <= 1 — constructor, env or
+    # CLI — disables parallelism, exactly as it always has.
+    workers: int | None = None
+    parallel_min: int = 24
+    worker_cache_size: int = 64
+    # cactus engine
+    factory_pool_size: int = 32
+    cactus_cache_size: int = 20000
+    structure_intern_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_CHOICES}, "
+                f"got {self.backend!r}"
+            )
+        for name in (
+            "hom_cache_size",
+            "parallel_min",
+            "worker_cache_size",
+            "factory_pool_size",
+            "cactus_cache_size",
+            "structure_intern_size",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @classmethod
+    def from_env(cls, environ: Mapping | None = None, **overrides):
+        """Build a config from ``REPRO_*`` variables, then apply
+        ``overrides`` on top (the ``env < config`` half of the
+        precedence chain).
+
+        ``environ`` defaults to ``os.environ`` and is read *now* — the
+        one place in the package environment variables are ingested.
+        An invalid ``REPRO_HOM_BACKEND`` raises immediately (a silently
+        ignored backend typo would send every workload to the wrong
+        search); malformed integers fall back to the field default.
+        """
+        env = dict(os.environ if environ is None else environ)
+        defaults = cls()
+        backend = env.get("REPRO_HOM_BACKEND", defaults.backend)
+        if backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"REPRO_HOM_BACKEND must be one of {BACKEND_CHOICES}, "
+                f"got {backend!r}"
+            )
+        values = dict(
+            backend=backend,
+            hom_cache=_env_bool(env, "REPRO_HOM_CACHE", defaults.hom_cache),
+            hom_cache_size=_env_int(
+                env, "REPRO_HOM_CACHE_SIZE", defaults.hom_cache_size
+            ),
+            workers=_env_int(env, "REPRO_HOM_WORKERS", defaults.workers),
+            parallel_min=_env_int(
+                env, "REPRO_HOM_PARALLEL_MIN", defaults.parallel_min
+            ),
+            worker_cache_size=_env_int(
+                env, "REPRO_HOM_WORKER_CACHE", defaults.worker_cache_size
+            ),
+            factory_pool_size=_env_int(
+                env, "REPRO_CACTUS_FACTORIES", defaults.factory_pool_size
+            ),
+            cactus_cache_size=_env_int(
+                env, "REPRO_CACTUS_CACHE_SIZE", defaults.cactus_cache_size
+            ),
+            structure_intern_size=_env_int(
+                env, "REPRO_CACTUS_INTERN_SIZE", defaults.structure_intern_size
+            ),
+        )
+        values.update(overrides)
+        return cls(**values)
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy with the given fields changed (validation re-runs)."""
+        return replace(self, **changes)
+
+    def effective_workers(self) -> int:
+        """The worker count with the ``None = CPU count`` default
+        resolved.  Explicit values pass through untouched, so ``0`` /
+        ``1`` / negatives disable parallelism downstream."""
+        if self.workers is None:
+            return os.cpu_count() or 1
+        return self.workers
+
+    def describe(self) -> str:
+        """One ``field=value`` line per knob, for ``repro config``."""
+        lines = [
+            f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
+        ]
+        lines.append(f"effective_workers={self.effective_workers()!r}")
+        return "\n".join(lines)

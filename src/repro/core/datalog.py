@@ -133,7 +133,10 @@ def _augmented_instance(
 
 
 def _fire_rule(
-    rule: Rule, instance: Structure, required_new: set[UnaryFact] | None
+    rule: Rule,
+    instance: Structure,
+    required_new: set[UnaryFact] | None,
+    session=None,
 ) -> Iterator[UnaryFact | str]:
     """All head facts derivable by one rule over ``instance``.
 
@@ -148,7 +151,7 @@ def _fire_rule(
         return
     if not rule.body.binary_predicates <= instance.binary_predicates:
         return
-    for hom in iter_homomorphisms(rule.body, instance):
+    for hom in iter_homomorphisms(rule.body, instance, session=session):
         if required_new is not None:
             used_new = any(
                 UnaryFact(f.label, hom[f.node]) in required_new
@@ -162,7 +165,9 @@ def _fire_rule(
             yield UnaryFact(rule.head_pred, hom[rule.head_var])
 
 
-def evaluate(program: Program, data: Structure) -> EvaluationResult:
+def evaluate(
+    program: Program, data: Structure, session=None
+) -> EvaluationResult:
     """Semi-naive bottom-up closure of ``data`` under ``program``.
 
     Returns all derived unary IDB facts and derived 0-ary goals.  The EDB
@@ -177,7 +182,7 @@ def evaluate(program: Program, data: Structure) -> EvaluationResult:
     instance = data
     delta: set[UnaryFact] = set()
     for rule in program.rules:
-        for fact in _fire_rule(rule, instance, None):
+        for fact in _fire_rule(rule, instance, None, session):
             if isinstance(fact, str):
                 goals.add(fact)
             elif fact not in data.unary_facts and fact not in derived:
@@ -194,7 +199,7 @@ def evaluate(program: Program, data: Structure) -> EvaluationResult:
         for rule in recursive:
             if not (rule.body.unary_predicates & {f.label for f in delta}):
                 continue
-            for fact in _fire_rule(rule, instance, delta):
+            for fact in _fire_rule(rule, instance, delta, session):
                 if isinstance(fact, str):
                     goals.add(fact)
                 elif (
@@ -211,23 +216,25 @@ def evaluate(program: Program, data: Structure) -> EvaluationResult:
 
 
 def certain_answers(
-    program: Program, data: Structure, pred: str
+    program: Program, data: Structure, pred: str, session=None
 ) -> frozenset[Node]:
     """Certain answers to the datalog query ``(program, pred)`` over data."""
-    result = evaluate(program, data)
+    result = evaluate(program, data, session)
     answers = set(result.answers(pred))
     # Facts asserted directly in the data also count as derived.
     answers |= {f.node for f in data.unary_facts if f.label == pred}
     return frozenset(answers)
 
 
-def goal_holds(program: Program, data: Structure, goal: str = GOAL) -> bool:
+def goal_holds(
+    program: Program, data: Structure, goal: str = GOAL, session=None
+) -> bool:
     """Does the 0-ary goal hold in the closure?"""
-    return goal in evaluate(program, data).goals
+    return goal in evaluate(program, data, session).goals
 
 
 def evaluate_bounded(
-    program: Program, data: Structure, max_rounds: int
+    program: Program, data: Structure, max_rounds: int, session=None
 ) -> EvaluationResult:
     """Closure truncated after ``max_rounds`` semi-naive passes.
 
@@ -240,7 +247,7 @@ def evaluate_bounded(
     instance = data
     delta: set[UnaryFact] = set()
     for rule in program.rules:
-        for fact in _fire_rule(rule, instance, None):
+        for fact in _fire_rule(rule, instance, None, session):
             if isinstance(fact, str):
                 goals.add(fact)
             elif fact not in data.unary_facts and fact not in derived:
@@ -254,7 +261,7 @@ def evaluate_bounded(
         instance = _augmented_instance(data, derived)
         new_delta: set[UnaryFact] = set()
         for rule in recursive:
-            for fact in _fire_rule(rule, instance, delta):
+            for fact in _fire_rule(rule, instance, delta, session):
                 if isinstance(fact, str):
                     goals.add(fact)
                 elif (

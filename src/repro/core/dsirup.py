@@ -94,17 +94,21 @@ def iter_completions(data: Structure) -> Iterator[Structure]:
         yield complete(data, labeling)
 
 
-def evaluate_exhaustive(q: Structure, data: Structure) -> DSirupAnswer:
+def evaluate_exhaustive(
+    q: Structure, data: Structure, session=None
+) -> DSirupAnswer:
     """Ground-truth semantics: check every completion."""
     checked = 0
     for model in iter_completions(data):
         checked += 1
-        if not has_homomorphism(q, model):
+        if not has_homomorphism(q, model, session=session):
             return DSirupAnswer(False, model, checked)
     return DSirupAnswer(True, None, checked)
 
 
-def evaluate_branching(q: Structure, data: Structure) -> DSirupAnswer:
+def evaluate_branching(
+    q: Structure, data: Structure, session=None
+) -> DSirupAnswer:
     """Branch-and-prune search for a countermodel.
 
     Depth-first over partial labelings; at each step, if the partial
@@ -118,7 +122,7 @@ def evaluate_branching(q: Structure, data: Structure) -> DSirupAnswer:
     homomorphism check instead of a branch-and-prune search.
     """
     nodes = a_nodes(data)
-    if not has_homomorphism(q, maximal_completion(data)):
+    if not has_homomorphism(q, maximal_completion(data), session=session):
         countermodel = complete(data, {node: T for node in nodes})
         return DSirupAnswer(False, countermodel, 1)
     checked = 0
@@ -127,7 +131,7 @@ def evaluate_branching(q: Structure, data: Structure) -> DSirupAnswer:
         nonlocal checked
         current = complete(data, labeling)
         checked += 1
-        if has_homomorphism(q, current):
+        if has_homomorphism(q, current, session=session):
             # q already matches using only committed labels: every
             # extension of this branch satisfies q.
             return None
@@ -146,17 +150,22 @@ def evaluate_branching(q: Structure, data: Structure) -> DSirupAnswer:
     return DSirupAnswer(countermodel is None, countermodel, checked)
 
 
-def evaluate_via_pi(q: Structure, data: Structure) -> DSirupAnswer:
+def evaluate_via_pi(
+    q: Structure, data: Structure, session=None
+) -> DSirupAnswer:
     """Evaluate a 1-CQ d-sirup through the equivalent program ``Π_q``."""
     if not is_one_cq(q):
         raise ValueError("Π_q is only defined for 1-CQs")
     compiled = compile_programs(q)
-    certain = goal_holds(compiled.pi, data, GOAL)
+    certain = goal_holds(compiled.pi, data, GOAL, session)
     return DSirupAnswer(certain, None, 0)
 
 
 def evaluate_via_cactuses(
-    q: Structure, data: Structure, max_depth: int | None = None
+    q: Structure,
+    data: Structure,
+    max_depth: int | None = None,
+    session=None,
 ) -> DSirupAnswer:
     """Evaluate a 1-CQ d-sirup by Proposition 1: the answer is 'yes'
     iff some cactus of ``𝔎_q`` maps homomorphically into ``data``.
@@ -183,12 +192,12 @@ def evaluate_via_cactuses(
             f"(span {one_cq.span}); pass a smaller max_depth or use the "
             "branching/pi strategies"
         )
-    certain = goal_certain_via_cactuses(one_cq, data, max_depth)
+    certain = goal_certain_via_cactuses(one_cq, data, max_depth, session)
     return DSirupAnswer(certain, None, 0)
 
 
 def evaluate(
-    q: Structure, data: Structure, strategy: str = "auto"
+    q: Structure, data: Structure, strategy: str = "auto", session=None
 ) -> DSirupAnswer:
     """Certain answer to ``(Δ_q, G)`` over ``data``.
 
@@ -197,23 +206,23 @@ def evaluate(
     branch-and-prune otherwise.
     """
     if strategy == "exhaustive":
-        return evaluate_exhaustive(q, data)
+        return evaluate_exhaustive(q, data, session)
     if strategy == "branching":
-        return evaluate_branching(q, data)
+        return evaluate_branching(q, data, session)
     if strategy == "pi":
-        return evaluate_via_pi(q, data)
+        return evaluate_via_pi(q, data, session)
     if strategy == "cactus":
-        return evaluate_via_cactuses(q, data)
+        return evaluate_via_cactuses(q, data, session=session)
     if strategy != "auto":
         raise ValueError(f"unknown strategy {strategy!r}")
     if is_one_cq(q):
-        return evaluate_via_pi(q, data)
-    return evaluate_branching(q, data)
+        return evaluate_via_pi(q, data, session)
+    return evaluate_branching(q, data, session)
 
 
-def certain_answer(q: Structure, data: Structure) -> bool:
+def certain_answer(q: Structure, data: Structure, session=None) -> bool:
     """Boolean convenience wrapper over :func:`evaluate`."""
-    return evaluate(q, data).certain
+    return evaluate(q, data, session=session).certain
 
 
 # ----------------------------------------------------------------------
@@ -249,7 +258,9 @@ def iter_disjoint_completions(data: Structure) -> Iterator[Structure]:
         yield complete(data, labeling)
 
 
-def evaluate_with_disjointness(q: Structure, data: Structure) -> DSirupAnswer:
+def evaluate_with_disjointness(
+    q: Structure, data: Structure, session=None
+) -> DSirupAnswer:
     """Certain answer to ``(Δ⁺_q, G)``.
 
     If the data is inconsistent (some node labelled both T and F), the
@@ -260,6 +271,6 @@ def evaluate_with_disjointness(q: Structure, data: Structure) -> DSirupAnswer:
     checked = 0
     for model in iter_disjoint_completions(data):
         checked += 1
-        if not has_homomorphism(q, model):
+        if not has_homomorphism(q, model, session=session):
             return DSirupAnswer(False, model, checked)
     return DSirupAnswer(True, None, checked)

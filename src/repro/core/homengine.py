@@ -36,10 +36,16 @@ into swappable *backends* behind one call surface:
     int-bitset search (identical answers, no hard dependency).
 
 All backends enumerate exactly the same set of homomorphisms.  The
-default backend is module-level (``bitset``; override with the
-``REPRO_HOM_BACKEND`` environment variable or
-:func:`set_default_backend`) and every entry point takes a per-call
-``backend=`` override.
+default backend, the hom-cache and all other mutable engine state live
+on a :class:`HomEngine` owned by a :class:`~repro.session.Session`;
+every entry point takes an explicit ``session=`` (falling back to the
+module-level default session, which is configured from the ``REPRO_*``
+environment via :meth:`repro.core.config.EngineConfig.from_env`) plus a
+per-call ``backend=`` override.  ``backend="auto"`` — per call or as
+the session default — resolves to ``matrix`` or ``bitset`` per target
+from its size and edge density
+(:func:`repro.core.config.choose_auto_backend`, calibrated from the
+committed ``BENCH_batch.json`` backend duel).
 
 Cache
 =====
@@ -55,8 +61,10 @@ LRU under a distinct key tag, and a counting pass also seeds the
 find/has entry for the same arguments with its first witness.  Calls
 with a ``node_filter`` callable are never cached (the callable is
 opaque); prefer the declarative ``node_domains`` / ``forbid``
-arguments, which are cacheable and usually faster.  Disable with
-``REPRO_HOM_CACHE=0`` or :func:`configure_cache`.
+arguments, which are cacheable and usually faster.  The cache is
+per-session: disable or resize it via ``EngineConfig`` /
+:func:`configure_cache` (or ``REPRO_HOM_CACHE=0`` for the default
+session).
 
 Batch APIs
 ==========
@@ -69,17 +77,16 @@ lazily-built indexes and the cache across the whole batch.
 
 from __future__ import annotations
 
-import os
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+from .config import BACKEND_CHOICES, EngineConfig, choose_auto_backend
+from .config import BACKENDS as BACKENDS  # re-export: stable engine API
 from .structure import Node, Structure, _canonical_key, numpy_or_none
 
 Seed = Mapping[Node, Node]
 NodeDomains = Mapping[Node, frozenset[Node]]
-
-BACKENDS = ("naive", "bitset", "matrix")
 
 
 def matrix_backend_available() -> bool:
@@ -87,39 +94,9 @@ def matrix_backend_available() -> bool:
     its dense path rather than the pure-python bitset fallback."""
     return numpy_or_none() is not None
 
-_default_backend = os.environ.get("REPRO_HOM_BACKEND", "bitset")
-if _default_backend not in BACKENDS:
-    raise ValueError(
-        f"REPRO_HOM_BACKEND must be one of {BACKENDS}, "
-        f"got {_default_backend!r}"
-    )
-
-
-def get_default_backend() -> str:
-    """The backend used when a call does not pass ``backend=``."""
-    return _default_backend
-
-
-def set_default_backend(backend: str) -> str:
-    """Set the module-level default backend; returns the previous one."""
-    global _default_backend
-    if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; expected {BACKENDS}")
-    previous = _default_backend
-    _default_backend = backend
-    return previous
-
-
-def _resolve_backend(backend: str | None) -> str:
-    if backend is None:
-        return _default_backend
-    if backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; expected {BACKENDS}")
-    return backend
-
 
 # ----------------------------------------------------------------------
-# LRU hom-cache
+# Per-session engine state: default backend + the LRU hom-cache
 # ----------------------------------------------------------------------
 
 
@@ -132,46 +109,146 @@ class CacheInfo:
     enabled: bool
 
 
-_cache: OrderedDict[tuple, tuple | None] = OrderedDict()
-_cache_hits = 0
-_cache_misses = 0
-_cache_maxsize = int(os.environ.get("REPRO_HOM_CACHE_SIZE", "8192"))
-_cache_enabled = os.environ.get("REPRO_HOM_CACHE", "1") not in (
-    "0",
-    "off",
-    "false",
-)
+_MISS = object()
+
+
+class HomEngine:
+    """The mutable hom-search state of one session.
+
+    Owns the session's default backend choice and its LRU hom-cache.
+    Two sessions never share an instance, so differently-configured
+    engines can answer queries side by side in one process without
+    contaminating each other's caches or defaults.
+    """
+
+    def __init__(self, config: EngineConfig) -> None:
+        self.default_backend = config.backend
+        self.cache_enabled = config.hom_cache
+        self.cache_maxsize = config.hom_cache_size
+        self._cache: OrderedDict[tuple, tuple | None] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # -- backend resolution --------------------------------------------
+
+    def resolve_backend(
+        self, backend: str | None, target: Structure | None = None
+    ) -> str:
+        """The concrete backend for one call: per-call override beats
+        the session default, and ``auto`` picks ``matrix`` vs ``bitset``
+        from the target's node count and edge density."""
+        if backend is None:
+            backend = self.default_backend
+        elif backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected {BACKEND_CHOICES}"
+            )
+        if backend == "auto":
+            if target is None:
+                return "bitset"
+            return choose_auto_backend(
+                len(target.nodes),
+                len(target.binary_facts),
+                matrix_backend_available(),
+            )
+        return backend
+
+    def set_default_backend(self, backend: str) -> str:
+        """Set this engine's default backend; returns the previous one."""
+        if backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected {BACKEND_CHOICES}"
+            )
+        previous = self.default_backend
+        self.default_backend = backend
+        return previous
+
+    # -- cache ----------------------------------------------------------
+
+    def configure_cache(
+        self, enabled: bool | None = None, maxsize: int | None = None
+    ) -> None:
+        """Enable/disable the hom-cache or change its capacity."""
+        if enabled is not None:
+            self.cache_enabled = enabled
+        if maxsize is not None:
+            self.cache_maxsize = maxsize
+            while len(self._cache) > self.cache_maxsize:
+                self._cache.popitem(last=False)
+
+    def clear_cache(self) -> None:
+        """Drop all cached homomorphism answers and reset the counters."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters and occupancy of the hom-cache."""
+        return CacheInfo(
+            self._hits,
+            self._misses,
+            len(self._cache),
+            self.cache_maxsize,
+            self.cache_enabled,
+        )
+
+    def _cache_get(self, key: tuple):
+        try:
+            value = self._cache[key]
+        except KeyError:
+            self._misses += 1
+            return _MISS
+        self._cache.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def _cache_put(self, key: tuple, value) -> None:
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_maxsize:
+            self._cache.popitem(last=False)
+
+
+def _engine(session) -> HomEngine:
+    """The :class:`HomEngine` of ``session`` (default session if None)."""
+    if session is not None:
+        return session.hom
+    from ..session import default_session
+
+    return default_session().hom
+
+
+# ----------------------------------------------------------------------
+# Default-session shims (the pre-Session free-function surface)
+# ----------------------------------------------------------------------
+
+
+def get_default_backend() -> str:
+    """The default session's backend (used when a call passes neither
+    ``backend=`` nor ``session=``)."""
+    return _engine(None).default_backend
+
+
+def set_default_backend(backend: str) -> str:
+    """Set the default session's backend; returns the previous one."""
+    return _engine(None).set_default_backend(backend)
 
 
 def configure_cache(
     enabled: bool | None = None, maxsize: int | None = None
 ) -> None:
-    """Enable/disable the hom-cache or change its capacity."""
-    global _cache_enabled, _cache_maxsize
-    if enabled is not None:
-        _cache_enabled = enabled
-    if maxsize is not None:
-        _cache_maxsize = maxsize
-        while len(_cache) > _cache_maxsize:
-            _cache.popitem(last=False)
+    """Enable/disable the default session's hom-cache or resize it."""
+    _engine(None).configure_cache(enabled=enabled, maxsize=maxsize)
 
 
 def clear_hom_cache() -> None:
-    """Drop all cached homomorphism answers and reset the counters."""
-    global _cache_hits, _cache_misses
-    _cache.clear()
-    _cache_hits = 0
-    _cache_misses = 0
+    """Drop the default session's cached answers and reset counters."""
+    _engine(None).clear_cache()
 
 
 def hom_cache_info() -> CacheInfo:
-    """Hit/miss counters and occupancy of the hom-cache."""
-    return CacheInfo(
-        _cache_hits, _cache_misses, len(_cache), _cache_maxsize, _cache_enabled
-    )
-
-
-_MISS = object()
+    """Hit/miss counters and occupancy of the default session's cache."""
+    return _engine(None).cache_info()
 
 
 def _freeze_nodes(nodes: Iterable[Node] | None) -> tuple | None:
@@ -219,25 +296,6 @@ def _cache_key(
         frozen_domains,
         _freeze_nodes(forbid),
     )
-
-
-def _cache_get(key: tuple):
-    global _cache_hits, _cache_misses
-    try:
-        value = _cache[key]
-    except KeyError:
-        _cache_misses += 1
-        return _MISS
-    _cache.move_to_end(key)
-    _cache_hits += 1
-    return value
-
-
-def _cache_put(key: tuple, value: tuple | None) -> None:
-    _cache[key] = value
-    _cache.move_to_end(key)
-    while len(_cache) > _cache_maxsize:
-        _cache.popitem(last=False)
 
 
 # ----------------------------------------------------------------------
@@ -916,6 +974,7 @@ def iter_homomorphisms(
     node_domains: NodeDomains | None = None,
     forbid: frozenset[Node] | None = None,
     backend: str | None = None,
+    session=None,
 ) -> Iterator[dict[Node, Node]]:
     """Yield all homomorphisms from ``source`` to ``target``.
 
@@ -925,10 +984,12 @@ def iter_homomorphisms(
     excludes target nodes globally (both are cache-friendly, declarative
     alternatives to ``node_filter``).  ``node_filter(x, v)`` may veto
     mapping source node ``x`` to target node ``v``.  ``backend``
-    overrides the module default (``naive``, ``bitset`` or ``matrix``);
-    all backends yield exactly the same set of homomorphisms.
+    overrides the session default (``naive``, ``bitset``, ``matrix`` or
+    ``auto``); all backends yield exactly the same set of
+    homomorphisms.  ``session`` selects the engine state (default
+    session when omitted).
     """
-    impl = _BACKEND_IMPLS[_resolve_backend(backend)]
+    impl = _BACKEND_IMPLS[_engine(session).resolve_backend(backend, target)]
     yield from impl(
         source,
         target,
@@ -951,18 +1012,23 @@ def find_homomorphism(
     forbid: frozenset[Node] | None = None,
     backend: str | None = None,
     use_cache: bool | None = None,
+    session=None,
 ) -> dict[Node, Node] | None:
     """The first homomorphism found, or ``None`` (LRU-cached).
 
     Answers are cached across structurally-equal source/target pairs
     unless a ``node_filter`` callable is given or ``use_cache=False``.
     """
+    engine = _engine(session)
     cacheable = (
-        node_filter is None and use_cache is not False and _cache_enabled
+        node_filter is None
+        and use_cache is not False
+        and engine.cache_enabled
     )
+    resolved = engine.resolve_backend(backend, target)
     if cacheable:
         key = _cache_key(
-            _resolve_backend(backend),
+            resolved,
             source,
             target,
             seed,
@@ -970,7 +1036,7 @@ def find_homomorphism(
             node_domains,
             forbid,
         )
-        hit = _cache_get(key)
+        hit = engine._cache_get(key)
         if hit is not _MISS:
             return None if hit is None else dict(hit)
     hom = next(
@@ -982,12 +1048,13 @@ def find_homomorphism(
             node_filter,
             node_domains=node_domains,
             forbid=forbid,
-            backend=backend,
+            backend=resolved,
+            session=session,
         ),
         None,
     )
     if cacheable:
-        _cache_put(key, None if hom is None else tuple(hom.items()))
+        engine._cache_put(key, None if hom is None else tuple(hom.items()))
     return hom
 
 
@@ -1002,6 +1069,7 @@ def count_homomorphisms(
     forbid: frozenset[Node] | None = None,
     backend: str | None = None,
     use_cache: bool | None = None,
+    session=None,
 ) -> int:
     """The number of homomorphisms from ``source`` to ``target``.
 
@@ -1012,16 +1080,19 @@ def count_homomorphisms(
     asking for a witness costs one search, not two.  ``node_filter``
     callables bypass the cache, as everywhere else.
     """
+    engine = _engine(session)
     cacheable = (
-        node_filter is None and use_cache is not False and _cache_enabled
+        node_filter is None
+        and use_cache is not False
+        and engine.cache_enabled
     )
-    resolved = _resolve_backend(backend)
+    resolved = engine.resolve_backend(backend, target)
     if cacheable:
         key = ("count",) + _cache_key(
             resolved, source, target, seed, restrict_image,
             node_domains, forbid,
         )
-        hit = _cache_get(key)
+        hit = engine._cache_get(key)
         if hit is not _MISS:
             return hit
     first: dict[Node, Node] | None = None
@@ -1034,18 +1105,19 @@ def count_homomorphisms(
         node_filter,
         node_domains=node_domains,
         forbid=forbid,
-        backend=backend,
+        backend=resolved,
+        session=session,
     ):
         if first is None:
             first = hom
         count += 1
     if cacheable:
-        _cache_put(key, count)
+        engine._cache_put(key, count)
         find_key = _cache_key(
             resolved, source, target, seed, restrict_image,
             node_domains, forbid,
         )
-        _cache_put(
+        engine._cache_put(
             find_key, None if first is None else tuple(first.items())
         )
     return count
@@ -1062,6 +1134,7 @@ def has_homomorphism(
     forbid: frozenset[Node] | None = None,
     backend: str | None = None,
     use_cache: bool | None = None,
+    session=None,
 ) -> bool:
     """Does any homomorphism exist?  Shares the :func:`find_homomorphism`
     cache."""
@@ -1076,6 +1149,7 @@ def has_homomorphism(
             forbid=forbid,
             backend=backend,
             use_cache=use_cache,
+            session=session,
         )
         is not None
     )
@@ -1118,6 +1192,7 @@ def covers_any(
     *,
     backend: str | None = None,
     use_cache: bool | None = None,
+    session=None,
 ) -> bool:
     """Does any of ``sources`` map homomorphically into ``target``?
 
@@ -1135,6 +1210,7 @@ def covers_any(
             seed=seed,
             backend=backend,
             use_cache=use_cache,
+            session=session,
         ):
             return True
     return False
@@ -1146,6 +1222,7 @@ def evaluate_batch(
     *,
     backend: str | None = None,
     use_cache: bool | None = None,
+    session=None,
 ) -> list[bool]:
     """Evaluate one Boolean CQ over many data instances.
 
@@ -1156,7 +1233,8 @@ def evaluate_batch(
     """
     return [
         has_homomorphism(
-            query, data, backend=backend, use_cache=use_cache
+            query, data, backend=backend, use_cache=use_cache,
+            session=session,
         )
         for data in instances
     ]

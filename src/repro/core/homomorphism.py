@@ -5,14 +5,18 @@ so that every unary fact ``L(x)`` of ``Q`` yields ``L(h(x))`` in ``D`` and
 every binary fact ``P(x, y)`` yields ``P(h(x), h(y))``.
 
 This module is the stable call surface; the search itself lives in
-:mod:`repro.core.homengine`, which provides two pluggable backends —
-``naive`` (the original backtracker, kept as a correctness oracle) and
+:mod:`repro.core.homengine`, which provides pluggable backends —
+``naive`` (the original backtracker, kept as a correctness oracle),
 ``bitset`` (integer-interned domains as Python-int bitsets with AC-3
 preprocessing, forward checking against precomputed adjacency masks, and
-dynamic most-constrained-variable ordering; the default) — plus an LRU
-hom-cache keyed on structure fingerprints and the batch entry points
-:func:`~repro.core.homengine.covers_any` and
-:func:`~repro.core.homengine.evaluate_batch`.
+dynamic most-constrained-variable ordering; the default), ``matrix``
+(the dense numpy variant) and ``auto`` (per-target selection) — plus a
+per-session LRU hom-cache keyed on structure fingerprints and the batch
+entry points :func:`~repro.core.homengine.covers_any` and
+:func:`~repro.core.homengine.evaluate_batch`.  Every entry point takes
+``session=`` to run inside an explicit
+:class:`~repro.session.Session`; without it the default session is
+used.
 
 All entry points accept arbitrary :class:`~repro.core.structure.Structure`
 values, so the same engine serves CQ evaluation, cactus-to-cactus maps,

@@ -18,25 +18,35 @@ Shipping the wire form instead of pickling structures directly avoids
 serialising the lazily-built engine indexes (bitset masks, dense
 matrices, compiled source plans), which can dwarf the facts themselves.
 
+Each worker process additionally keeps a small content-keyed LRU of
+rebuilt structures (:func:`from_wire_cached`, bounded by the session's
+``worker_cache_size`` / ``REPRO_HOM_WORKER_CACHE``): the wire triple is
+itself the structure's content fingerprint in serialised form, so a
+family screened repeatedly — back-to-back :func:`parallel_screen`
+sweeps over the same instances — skips the rebuild *and* reuses every
+index the worker already built on those structures.
+
 Pool
 ====
 
-A single module-level :class:`~concurrent.futures.ProcessPoolExecutor`,
-created lazily and bounded by ``REPRO_HOM_WORKERS`` (default: the
-machine's CPU count; ``<= 1`` disables parallelism entirely).
-:func:`configure_pool` changes the worker count or the
-``min_batch`` threshold at runtime; :func:`shutdown_pool` releases the
-workers.  Pool creation failure (sandboxes without process support)
-permanently degrades to the serial path — never an error.
+Each :class:`~repro.session.Session` owns one :class:`PoolRuntime`: a
+lazily-created :class:`~concurrent.futures.ProcessPoolExecutor` bounded
+by the session's worker count (``EngineConfig.workers``; default the
+machine's CPU count, ``<= 1`` after resolution disables parallelism).
+:func:`configure_pool` changes the worker count or the ``min_batch``
+threshold of the *default* session at runtime; :func:`shutdown_pool`
+releases its workers.  Pool creation failure (sandboxes without process
+support) permanently degrades that runtime to the serial path — never
+an error.
 
 Sharded entry points
 ====================
 
 :func:`parallel_evaluate_batch` and :func:`parallel_covers_any` mirror
 their serial counterparts exactly.  Batches smaller than ``min_batch``
-(``REPRO_HOM_PARALLEL_MIN``, default 24) — and all batches when the
-pool is disabled or unavailable — take today's serial fast path,
-sharing the in-process hom-cache; large batches are chunked across the
+(``EngineConfig.parallel_min``, default 24) — and all batches when the
+pool is disabled or unavailable — take the serial fast path, sharing
+the in-process hom-cache; large batches are chunked across the
 workers.  ``covers_any`` keeps its early-exit semantics: the scan
 returns as soon as any chunk reports a hit and cancels chunks that
 have not started.
@@ -45,30 +55,43 @@ have not started.
 bulk classification, UCQ disjunct sweeps, E1-style tables): the family
 is wired once, each worker rebuilds its chunk once, and every query is
 answered against the rebuilt chunk — amortising the per-instance
-serialisation and index-rebuild cost across the whole query pool,
-which is what makes sharding profitable even when a single query's
-search time is comparable to the rebuild.
+serialisation and index-rebuild cost across the whole query pool.
+:func:`parallel_screen_stream` is its streaming variant: a generator of
+:class:`ScreenShard` results in *completion order* (not chunk order),
+so a long screen surfaces its first answers while later shards are
+still running — the consumer behind
+:meth:`repro.session.Session.screen` with ``stream=True``.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import OrderedDict
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from . import homengine
-from .structure import BinaryFact, Node, Structure, UnaryFact
+from .config import BACKEND_CHOICES, EngineConfig
+from .structure import BinaryFact, Structure, UnaryFact
 
 Wire = tuple  # (node_order, unary, binary) — see to_wire
 
 __all__ = [
     "PoolInfo",
+    "PoolRuntime",
+    "ScreenShard",
     "configure_pool",
     "from_wire",
+    "from_wire_cached",
     "parallel_covers_any",
     "parallel_evaluate_batch",
     "parallel_screen",
+    "parallel_screen_stream",
     "parallel_ucq_answers",
     "pool_info",
     "shutdown_pool",
@@ -124,6 +147,31 @@ def from_wire(wire: Wire) -> Structure:
     return s
 
 
+# Per-process rebuilt-structure LRU, keyed on the wire triple itself
+# (node order + facts — a serialised content fingerprint; two equal
+# wires rebuild identical structures, so the cached object, along with
+# every index lazily built on it since, is a sound substitute).  Lives
+# at module level so it persists across tasks inside one pool worker;
+# the parent process never populates it.
+_WIRE_CACHE: OrderedDict[Wire, Structure] = OrderedDict()
+
+
+def from_wire_cached(wire: Wire, limit: int) -> Structure:
+    """:func:`from_wire` through the per-process LRU (``limit <= 0``
+    bypasses the cache entirely)."""
+    if limit <= 0:
+        return from_wire(wire)
+    cached = _WIRE_CACHE.get(wire)
+    if cached is None:
+        cached = from_wire(wire)
+        _WIRE_CACHE[wire] = cached
+        while len(_WIRE_CACHE) > limit:
+            _WIRE_CACHE.popitem(last=False)
+    else:
+        _WIRE_CACHE.move_to_end(wire)
+    return cached
+
+
 def _freeze_seed(seed) -> tuple | None:
     if not seed:
         return None
@@ -136,11 +184,18 @@ def _freeze_seed(seed) -> tuple | None:
 
 
 def _worker_evaluate_chunk(
-    query_wire: Wire, instance_wires: list[Wire], backend: str | None
+    query_wire: Wire,
+    instance_wires: list[Wire],
+    backend: str | None,
+    cache_limit: int = 0,
+    use_cache: bool | None = None,
 ) -> list[bool]:
-    query = from_wire(query_wire)
+    query = from_wire_cached(query_wire, cache_limit)
     return homengine.evaluate_batch(
-        query, (from_wire(w) for w in instance_wires), backend=backend
+        query,
+        (from_wire_cached(w, cache_limit) for w in instance_wires),
+        backend=backend,
+        use_cache=use_cache,
     )
 
 
@@ -148,14 +203,18 @@ def _worker_ucq_chunk(
     disjunct_wires: list[Wire],
     instance_wires: list[Wire],
     backend: str | None,
+    cache_limit: int = 0,
+    use_cache: bool | None = None,
 ) -> list[bool]:
-    disjuncts = [from_wire(w) for w in disjunct_wires]
+    disjuncts = [from_wire_cached(w, cache_limit) for w in disjunct_wires]
     answers: list[bool] = []
     for wire in instance_wires:
-        instance = from_wire(wire)
+        instance = from_wire_cached(wire, cache_limit)
         answers.append(
             any(
-                homengine.has_homomorphism(d, instance, backend=backend)
+                homengine.has_homomorphism(
+                    d, instance, backend=backend, use_cache=use_cache
+                )
                 for d in disjuncts
             )
         )
@@ -166,11 +225,15 @@ def _worker_screen_chunk(
     query_wires: list[Wire],
     instance_wires: list[Wire],
     backend: str | None,
+    cache_limit: int = 0,
+    use_cache: bool | None = None,
 ) -> list[list[bool]]:
-    queries = [from_wire(w) for w in query_wires]
-    instances = [from_wire(w) for w in instance_wires]
+    queries = [from_wire_cached(w, cache_limit) for w in query_wires]
+    instances = [from_wire_cached(w, cache_limit) for w in instance_wires]
     return [
-        homengine.evaluate_batch(q, instances, backend=backend)
+        homengine.evaluate_batch(
+            q, instances, backend=backend, use_cache=use_cache
+        )
         for q in queries
     ]
 
@@ -179,14 +242,17 @@ def _worker_covers_chunk(
     target_wire: Wire,
     pairs: list[tuple[Wire, tuple | None]],
     backend: str | None,
+    cache_limit: int = 0,
+    use_cache: bool | None = None,
 ) -> bool:
-    target = from_wire(target_wire)
+    target = from_wire_cached(target_wire, cache_limit)
     for source_wire, seed_items in pairs:
         if homengine.has_homomorphism(
-            from_wire(source_wire),
+            from_wire_cached(source_wire, cache_limit),
             target,
             seed=dict(seed_items) if seed_items else None,
             backend=backend,
+            use_cache=use_cache,
         ):
             return True
     return False
@@ -197,25 +263,9 @@ def _worker_covers_chunk(
 # ----------------------------------------------------------------------
 
 
-def _env_int(name: str, default: int) -> int:
-    try:
-        return int(os.environ.get(name, default))
-    except ValueError:
-        return default
-
-
-_workers = _env_int("REPRO_HOM_WORKERS", os.cpu_count() or 1)
-_min_batch = _env_int("REPRO_HOM_PARALLEL_MIN", 24)
-_pool: ProcessPoolExecutor | None = None
-_pool_size = 0  # max_workers the live pool was created with
-_pool_broken = False
-_pool_failures = 0  # consecutive batch failures since the last configure
-_MAX_POOL_FAILURES = 2
-
-
 @dataclass(frozen=True)
 class PoolInfo:
-    """Configuration and liveness of the shard executor."""
+    """Configuration and liveness of one session's shard executor."""
 
     workers: int
     min_batch: int
@@ -223,59 +273,174 @@ class PoolInfo:
     broken: bool
 
 
-def pool_info() -> PoolInfo:
-    return PoolInfo(_workers, _min_batch, _pool is not None, _pool_broken)
+_MAX_POOL_FAILURES = 2
+
+
+class PoolRuntime:
+    """The mutable shard-executor state of one session.
+
+    Owns the (lazily created) :class:`ProcessPoolExecutor`, the
+    serial-fallback threshold, the failure bookkeeping, and the
+    worker-side cache limit shipped with every task.  Sessions never
+    share a runtime, so two differently-sized pools can coexist in one
+    process.
+    """
+
+    def __init__(self, config: EngineConfig) -> None:
+        self.workers = config.effective_workers()
+        self.min_batch = config.parallel_min
+        self.worker_cache = config.worker_cache_size
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_size = 0  # max_workers the live pool was created with
+        self._broken = False
+        self._failures = 0  # consecutive failures since last configure
+
+    def info(self) -> PoolInfo:
+        return PoolInfo(
+            self.workers, self.min_batch, self._pool is not None, self._broken
+        )
+
+    def configure(
+        self, workers: int | None = None, min_batch: int | None = None
+    ) -> None:
+        """Change the worker count and/or the serial-fallback threshold.
+
+        ``workers <= 1`` disables parallelism.  An existing pool is shut
+        down when the worker count changes (the next large batch
+        respawns one); a previously failed spawn is retried after
+        reconfiguration.
+        """
+        if workers is not None and workers != self.workers:
+            self.shutdown()
+            self.workers = workers
+        if min_batch is not None:
+            self.min_batch = min_batch
+        # Any reconfiguration retries a previously failed spawn or a
+        # pool taken out of service by repeated worker failures — the
+        # operator asking for a (re)configuration is the signal to try
+        # again.
+        self._broken = False
+        self._failures = 0
+
+    def shutdown(self) -> None:
+        """Stop the worker processes (they respawn lazily when needed)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def get_pool(self) -> ProcessPoolExecutor | None:
+        """The session's executor, or ``None`` when parallelism is
+        unavailable.
+
+        Always sized by the *configured* worker count: a per-call
+        ``workers=`` override gates the serial/parallel decision and
+        caps the chunk fan-out, but never creates or resizes the pool
+        (call :meth:`configure` for that).
+        """
+        if self.workers <= 1 or self._broken:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                self._pool_size = self.workers
+            except (OSError, ValueError):  # no process support here
+                self._broken = True
+                return None
+        return self._pool
+
+    def mark_failed(self) -> None:
+        """Drop a pool that raised; the next large batch respawns a
+        fresh one — but a deterministic failure (e.g. a node type whose
+        module workers cannot import) must not pay spawn + wire +
+        serial-recompute on every call, so repeated failures take the
+        pool out of service until the next :meth:`configure`."""
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._pool = None
+        self._failures += 1
+        if self._failures >= _MAX_POOL_FAILURES:
+            self._broken = True
+
+    def mark_healthy(self) -> None:
+        """A completed round clears the consecutive-failure streak."""
+        self._failures = 0
+
+    def shard_chunks(self, items: Sequence, eff_workers: int, threshold: int):
+        """Gate the parallel path and split ``items`` into worker chunks.
+
+        The one place the serial-fallback policy lives: small batch,
+        single-worker override, or no usable pool all return
+        ``(None, None)`` — the caller then takes its serial path.
+        """
+        if eff_workers <= 1 or len(items) < threshold:
+            return None, None
+        pool = self.get_pool()
+        if pool is None:
+            return None, None
+        return pool, _chunk(items, min(eff_workers, self._pool_size) * 2)
+
+
+def _runtime(session) -> PoolRuntime:
+    """The :class:`PoolRuntime` of ``session`` (default if ``None``)."""
+    if session is not None:
+        return session.pool
+    from ..session import default_session
+
+    return default_session().pool
+
+
+def _worker_opts(session, backend: str | None) -> tuple[str, bool | None]:
+    """What shipped tasks must honour from the calling session.
+
+    Workers run their *own* default sessions (built from the inherited
+    environment), so an explicitly configured calling session would
+    silently lose its backend choice and cache toggle the moment a
+    batch shards.  This resolves both on the parent side: the wire
+    backend is the per-call override or the calling session's default
+    (``"auto"`` ships as-is — workers keep resolving it per target),
+    and ``use_cache`` is ``False`` when the calling session disabled
+    its hom-cache (``None`` otherwise: an enabled parent cache lets
+    each worker use its own LRU, which is the point of pooling).
+    """
+    engine = homengine._engine(session)
+    if backend is not None and backend not in BACKEND_CHOICES:
+        # Validate on the parent side: a typo'd backend must raise
+        # here, not fail inside every worker and burn the pool's
+        # failure budget (two bad calls would otherwise take the whole
+        # session's parallelism out of service).
+        raise ValueError(
+            f"unknown backend {backend!r}; expected {BACKEND_CHOICES}"
+        )
+    wire_backend = (
+        backend if backend is not None else engine.default_backend
+    )
+    return wire_backend, (None if engine.cache_enabled else False)
+
+
+# ----------------------------------------------------------------------
+# Default-session shims (the pre-Session free-function surface)
+# ----------------------------------------------------------------------
+
+
+def pool_info(session=None) -> PoolInfo:
+    return _runtime(session).info()
 
 
 def configure_pool(
-    workers: int | None = None, min_batch: int | None = None
+    workers: int | None = None,
+    min_batch: int | None = None,
+    session=None,
 ) -> None:
-    """Change the worker count and/or the serial-fallback threshold.
-
-    ``workers <= 1`` disables parallelism.  An existing pool is shut
-    down when the worker count changes (the next large batch respawns
-    one); a previously failed spawn is retried after reconfiguration.
-    """
-    global _workers, _min_batch, _pool_broken, _pool_failures
-    if workers is not None and workers != _workers:
-        shutdown_pool()
-        _workers = workers
-    if min_batch is not None:
-        _min_batch = min_batch
-    # Any reconfiguration retries a previously failed spawn or a pool
-    # taken out of service by repeated worker failures — the operator
-    # asking for a (re)configuration is the signal to try again.
-    _pool_broken = False
-    _pool_failures = 0
+    """Reconfigure the (default) session's shard executor."""
+    _runtime(session).configure(workers=workers, min_batch=min_batch)
 
 
-def shutdown_pool() -> None:
-    """Stop the worker processes (they respawn lazily when next needed)."""
-    global _pool
-    if _pool is not None:
-        _pool.shutdown(wait=True, cancel_futures=True)
-        _pool = None
-
-
-def _get_pool() -> ProcessPoolExecutor | None:
-    """The shared executor, or ``None`` when parallelism is unavailable.
-
-    Always sized by the *configured* worker count: a per-call
-    ``workers=`` override gates the serial/parallel decision and caps
-    the chunk fan-out, but never creates or resizes the shared pool
-    (call :func:`configure_pool` for that).
-    """
-    global _pool, _pool_broken, _pool_size
-    if _workers <= 1 or _pool_broken:
-        return None
-    if _pool is None:
-        try:
-            _pool = ProcessPoolExecutor(max_workers=_workers)
-            _pool_size = _workers
-        except (OSError, ValueError):  # no process support in this sandbox
-            _pool_broken = True
-            return None
-    return _pool
+def shutdown_pool(session=None) -> None:
+    """Stop the (default) session's worker processes."""
+    _runtime(session).shutdown()
 
 
 def _chunk(items: Sequence, parts: int) -> list[list]:
@@ -291,34 +456,18 @@ def _chunk(items: Sequence, parts: int) -> list[list]:
     return chunks
 
 
-def _shard_chunks(items: Sequence, eff_workers: int, threshold: int):
-    """Gate the parallel path and split ``items`` into worker chunks.
-
-    The one place the serial-fallback policy lives: small batch,
-    single-worker override, or no usable pool all return
-    ``(None, None)`` — the caller then takes its serial path.
-    """
-    if eff_workers <= 1 or len(items) < threshold:
-        return None, None
-    pool = _get_pool()
-    if pool is None:
-        return None, None
-    return pool, _chunk(items, min(eff_workers, _pool_size) * 2)
-
-
-def _sharded_ordered(items, eff_workers, threshold, worker, make_args):
+def _sharded_ordered(rt, items, eff_workers, threshold, worker, make_args):
     """Run ``worker`` over chunks of ``items``, collecting in order.
 
     The shared scaffolding of the order-preserving entry points:
-    gate/chunk via :func:`_shard_chunks`, submit one task per chunk
-    (``make_args(chunk)`` builds the argument tuple, and is only
+    gate/chunk via :meth:`PoolRuntime.shard_chunks`, submit one task per
+    chunk (``make_args(chunk)`` builds the argument tuple, and is only
     called on the parallel path, so shared wire forms are not built
     for serial batches), and return the per-chunk results in input
     order — or ``None`` for the serial path, including when a worker
-    failed mid-run (after :func:`_mark_pool_failed` bookkeeping).
+    failed mid-run (after :meth:`PoolRuntime.mark_failed` bookkeeping).
     """
-    global _pool_failures
-    pool, chunks = _shard_chunks(items, eff_workers, threshold)
+    pool, chunks = rt.shard_chunks(items, eff_workers, threshold)
     if pool is None:
         return None
     try:
@@ -327,9 +476,9 @@ def _sharded_ordered(items, eff_workers, threshold, worker, make_args):
         ]
         results = [future.result() for future in futures]
     except Exception:
-        _mark_pool_failed()
+        rt.mark_failed()
         return None
-    _pool_failures = 0  # a healthy round clears the failure streak
+    rt.mark_healthy()
     return results
 
 
@@ -345,6 +494,7 @@ def parallel_evaluate_batch(
     backend: str | None = None,
     workers: int | None = None,
     min_batch: int | None = None,
+    session=None,
 ) -> list[bool]:
     """:func:`~repro.core.homengine.evaluate_batch`, sharded.
 
@@ -355,21 +505,30 @@ def parallel_evaluate_batch(
     evaluated in worker processes that rebuild the structures from the
     wire format; result order matches the input order.  A per-call
     ``workers=`` override gates the serial/parallel decision and caps
-    this call's chunk fan-out; the shared pool itself is sized by
-    :func:`configure_pool` / ``REPRO_HOM_WORKERS``.
+    this call's chunk fan-out; the pool itself is sized by the session
+    config (:func:`configure_pool` on the default session).
     """
+    rt = _runtime(session)
+    wire_backend, wire_cache = _worker_opts(session, backend)
     instances = list(instances)
     shared: dict = {}
 
     def make_args(chunk):
         if "query" not in shared:
             shared["query"] = to_wire(query)
-        return (shared["query"], [to_wire(s) for s in chunk], backend)
+        return (
+            shared["query"],
+            [to_wire(s) for s in chunk],
+            wire_backend,
+            rt.worker_cache,
+            wire_cache,
+        )
 
     chunk_results = _sharded_ordered(
+        rt,
         instances,
-        _workers if workers is None else workers,
-        _min_batch if min_batch is None else min_batch,
+        rt.workers if workers is None else workers,
+        rt.min_batch if min_batch is None else min_batch,
         _worker_evaluate_chunk,
         make_args,
     )
@@ -377,7 +536,9 @@ def parallel_evaluate_batch(
         # Serial fast path — also the recovery route when a worker
         # failed mid-run (a broken pool must never take the answer
         # down with it).
-        return homengine.evaluate_batch(query, instances, backend=backend)
+        return homengine.evaluate_batch(
+            query, instances, backend=backend, session=session
+        )
     return [answer for chunk in chunk_results for answer in chunk]
 
 
@@ -388,6 +549,7 @@ def parallel_screen(
     backend: str | None = None,
     workers: int | None = None,
     min_batch: int | None = None,
+    session=None,
 ) -> list[list[bool]]:
     """Evaluate a pool of Boolean CQs over one instance family, sharded.
 
@@ -401,6 +563,8 @@ def parallel_screen(
     This is the bulk-classification traffic shape (a zoo of queries
     screened over one :func:`~repro.workloads.generators.instance_family`).
     """
+    rt = _runtime(session)
+    wire_backend, wire_cache = _worker_opts(session, backend)
     queries = list(queries)
     instances = list(instances)
     if not queries:
@@ -410,18 +574,27 @@ def parallel_screen(
     def make_args(chunk):
         if "queries" not in shared:
             shared["queries"] = [to_wire(q) for q in queries]
-        return (shared["queries"], [to_wire(s) for s in chunk], backend)
+        return (
+            shared["queries"],
+            [to_wire(s) for s in chunk],
+            wire_backend,
+            rt.worker_cache,
+            wire_cache,
+        )
 
     chunk_results = _sharded_ordered(
+        rt,
         instances,
-        _workers if workers is None else workers,
-        _min_batch if min_batch is None else min_batch,
+        rt.workers if workers is None else workers,
+        rt.min_batch if min_batch is None else min_batch,
         _worker_screen_chunk,
         make_args,
     )
     if chunk_results is None:
         return [
-            homengine.evaluate_batch(q, instances, backend=backend)
+            homengine.evaluate_batch(
+                q, instances, backend=backend, session=session
+            )
             for q in queries
         ]
     results: list[list[bool]] = [[] for _ in queries]
@@ -431,6 +604,126 @@ def parallel_screen(
     return results
 
 
+@dataclass(frozen=True)
+class ScreenShard:
+    """One completed shard of a streaming screen.
+
+    ``answers[qi][i]`` is the answer of query ``qi`` on instance
+    ``start + i`` of the screened family; shards arrive in completion
+    order and jointly cover ``range(len(instances))`` exactly once.
+    """
+
+    start: int  # first instance index covered by this shard
+    stop: int  # one past the last instance index
+    answers: tuple[tuple[bool, ...], ...]  # per query, per instance
+
+
+def parallel_screen_stream(
+    queries: Sequence[Structure],
+    instances: Iterable[Structure],
+    *,
+    backend: str | None = None,
+    workers: int | None = None,
+    min_batch: int | None = None,
+    session=None,
+) -> Iterator[ScreenShard]:
+    """The streaming variant of :func:`parallel_screen`: yield each
+    shard's answers *as its worker completes*, not in chunk order.
+
+    A long screen (thousands of instances, an expensive query pool)
+    surfaces its first answers while later shards are still running;
+    collecting the stream and sorting by ``start`` reproduces
+    :func:`parallel_screen` exactly (a property the tests pin).  Serial
+    batches — below ``min_batch``, single worker, pool-less sandbox —
+    yield one shard per instance as it is answered, so streaming
+    consumers behave identically (modulo shard granularity) on every
+    substrate.  A worker failure mid-stream falls back to serial
+    evaluation of the not-yet-yielded suffix; indices already yielded
+    are never re-yielded.
+    """
+    rt = _runtime(session)
+    wire_backend, wire_cache = _worker_opts(session, backend)
+    queries = list(queries)
+    instances = list(instances)
+    if not queries or not instances:
+        return
+    pool, chunks = rt.shard_chunks(
+        instances,
+        rt.workers if workers is None else workers,
+        rt.min_batch if min_batch is None else min_batch,
+    )
+    if pool is None:
+        for i, instance in enumerate(instances):
+            yield ScreenShard(
+                i,
+                i + 1,
+                tuple(
+                    (
+                        homengine.has_homomorphism(
+                            q, instance, backend=backend, session=session
+                        ),
+                    )
+                    for q in queries
+                ),
+            )
+        return
+    query_wires = [to_wire(q) for q in queries]
+    starts: list[int] = []
+    offset = 0
+    for chunk in chunks:
+        starts.append(offset)
+        offset += len(chunk)
+    done_spans: set[tuple[int, int]] = set()
+    futures: dict = {}
+    try:
+        for chunk, start in zip(chunks, starts):
+            future = pool.submit(
+                _worker_screen_chunk,
+                query_wires,
+                [to_wire(s) for s in chunk],
+                wire_backend,
+                rt.worker_cache,
+                wire_cache,
+            )
+            futures[future] = (start, start + len(chunk))
+        for future in as_completed(futures):
+            start, stop = futures[future]
+            answers = future.result()
+            done_spans.add((start, stop))
+            yield ScreenShard(
+                start, stop, tuple(tuple(row) for row in answers)
+            )
+    except Exception:
+        rt.mark_failed()
+        # Serial recovery for every span not already yielded.
+        for chunk, start in zip(chunks, starts):
+            stop = start + len(chunk)
+            if (start, stop) in done_spans:
+                continue
+            yield ScreenShard(
+                start,
+                stop,
+                tuple(
+                    tuple(
+                        homengine.evaluate_batch(
+                            q, chunk, backend=backend, session=session
+                        )
+                    )
+                    for q in queries
+                ),
+            )
+        return
+    finally:
+        # A consumer that abandons the stream early (breaks out of the
+        # loop, closing the generator) must not leave the remaining
+        # chunks burning CPU in the session's pool: cancel everything
+        # that has not started.  No-op for completed/running futures
+        # and for the normal exhausted-stream exit.
+        for future in futures:
+            future.cancel()
+    rt.mark_healthy()
+
+
 def parallel_ucq_answers(
     disjuncts: Sequence[Structure],
     instances: Iterable[Structure],
@@ -438,6 +731,7 @@ def parallel_ucq_answers(
     backend: str | None = None,
     workers: int | None = None,
     min_batch: int | None = None,
+    session=None,
 ) -> list[bool] | None:
     """Certain answers of a Boolean UCQ over a family, sharded.
 
@@ -453,6 +747,8 @@ def parallel_ucq_answers(
     (:func:`repro.core.boundedness.ucq_certain_answers` keeps the
     pending-filtered sweep with the shared hom-cache).
     """
+    rt = _runtime(session)
+    wire_backend, wire_cache = _worker_opts(session, backend)
     disjuncts = list(disjuncts)
     instances = list(instances)
     if not disjuncts or not instances:
@@ -462,12 +758,19 @@ def parallel_ucq_answers(
     def make_args(chunk):
         if "disjuncts" not in shared:
             shared["disjuncts"] = [to_wire(d) for d in disjuncts]
-        return (shared["disjuncts"], [to_wire(s) for s in chunk], backend)
+        return (
+            shared["disjuncts"],
+            [to_wire(s) for s in chunk],
+            wire_backend,
+            rt.worker_cache,
+            wire_cache,
+        )
 
     chunk_results = _sharded_ordered(
+        rt,
         instances,
-        _workers if workers is None else workers,
-        _min_batch if min_batch is None else min_batch,
+        rt.workers if workers is None else workers,
+        rt.min_batch if min_batch is None else min_batch,
         _worker_ucq_chunk,
         make_args,
     )
@@ -484,6 +787,7 @@ def parallel_covers_any(
     backend: str | None = None,
     workers: int | None = None,
     min_batch: int | None = None,
+    session=None,
 ) -> bool:
     """:func:`~repro.core.homengine.covers_any`, sharded.
 
@@ -493,15 +797,18 @@ def parallel_covers_any(
     return as soon as any chunk reports a hit, cancelling chunks that
     have not started.
     """
-    global _pool_failures
+    rt = _runtime(session)
+    wire_backend, wire_cache = _worker_opts(session, backend)
     pairs = list(homengine._source_seed_pairs(sources, seeds))
-    pool, chunks = _shard_chunks(
+    pool, chunks = rt.shard_chunks(
         pairs,
-        _workers if workers is None else workers,
-        _min_batch if min_batch is None else min_batch,
+        rt.workers if workers is None else workers,
+        rt.min_batch if min_batch is None else min_batch,
     )
     if pool is None:
-        return homengine.covers_any(target, pairs, backend=backend)
+        return homengine.covers_any(
+            target, pairs, backend=backend, session=session
+        )
     target_wire = to_wire(target)
     try:
         pending = {
@@ -512,7 +819,9 @@ def parallel_covers_any(
                     (to_wire(s), _freeze_seed(seed))
                     for s, seed in chunk
                 ],
-                backend,
+                wire_backend,
+                rt.worker_cache,
+                wire_cache,
             )
             for chunk in chunks
         }
@@ -528,25 +837,9 @@ def parallel_covers_any(
                 covered = True
                 break
     except Exception:
-        _mark_pool_failed()
-        return homengine.covers_any(target, pairs, backend=backend)
-    _pool_failures = 0
+        rt.mark_failed()
+        return homengine.covers_any(
+            target, pairs, backend=backend, session=session
+        )
+    rt.mark_healthy()
     return covered
-
-
-def _mark_pool_failed() -> None:
-    """Drop a pool that raised; the next large batch respawns a fresh
-    one — but a deterministic failure (e.g. a node type whose module
-    workers cannot import) must not pay spawn + wire + serial-recompute
-    on every call, so repeated failures take the pool out of service
-    until the next :func:`configure_pool`."""
-    global _pool, _pool_broken, _pool_failures
-    if _pool is not None:
-        try:
-            _pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:
-            pass
-        _pool = None
-    _pool_failures += 1
-    if _pool_failures >= _MAX_POOL_FAILURES:
-        _pool_broken = True

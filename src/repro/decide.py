@@ -72,6 +72,7 @@ def _is_lambda(one_cq: OneCQ) -> bool:
 def decide_boundedness(
     q: Structure | OneCQ,
     probe_depth: int = 3,
+    session=None,
 ) -> BoundednessDecision:
     """Decide (or probe) boundedness of ``(Pi_q, G)`` for a 1-CQ ``q``.
 
@@ -95,7 +96,7 @@ def decide_boundedness(
     # The probe draws its cactuses from the query's pooled incremental
     # factory, shared with whatever the caller does next (rewriting
     # extraction, re-probing deeper).
-    probe = probe_boundedness(one_cq, probe_depth)
+    probe = probe_boundedness(one_cq, probe_depth, session=session)
     if probe.verdict is Verdict.BOUNDED:
         bounded: bool | None = True
     elif probe.verdict is Verdict.UNBOUNDED_EVIDENCE:
@@ -108,7 +109,7 @@ def decide_boundedness(
 
 
 def is_d_sirup_fo_rewritable(
-    q: Structure, probe_depth: int = 3
+    q: Structure, probe_depth: int = 3, session=None
 ) -> bool | None:
     """Convenience wrapper for d-sirups with a 1-CQ ``q``.
 
@@ -120,4 +121,4 @@ def is_d_sirup_fo_rewritable(
         raise ValueError(
             "only 1-CQs are supported; general d-sirups are open territory"
         )
-    return decide_boundedness(q, probe_depth).bounded
+    return decide_boundedness(q, probe_depth, session).bounded

@@ -1,0 +1,290 @@
+"""The :class:`Session` facade: one typed configuration + execution
+context for the whole engine.
+
+A session owns a frozen :class:`~repro.core.config.EngineConfig` and
+*all* mutable engine state that used to live in module globals: the hom
+backend choice and LRU hom-cache
+(:class:`~repro.core.homengine.HomEngine`), the cactus factory pool and
+cross-factory structure intern
+(:class:`~repro.core.cactus.CactusState`), and the shard executor with
+its parallel thresholds (:class:`~repro.core.runtime.PoolRuntime`).
+Two sessions never share state, so two differently-configured
+evaluations — say ``backend="naive"`` against ``backend="bitset"``,
+or a big pool against a serial run — can live side by side in one
+process::
+
+    from repro import EngineConfig, Session
+
+    fast = Session(EngineConfig(backend="bitset"))
+    oracle = Session(EngineConfig(backend="naive", hom_cache=False))
+    assert fast.certain_answer(q, d) == oracle.certain_answer(q, d)
+
+Configuration precedence is ``env < config < per-call kwarg``: the
+environment is only read by :meth:`EngineConfig.from_env` (which backs
+the default session), an explicit config overrides it, and per-call
+keywords (``backend=``, ``workers=`` ...) override the config for one
+call.
+
+The module-level :func:`default_session` preserves the pre-Session
+behaviour: it is created lazily from the environment on first use, and
+every free function in the package (``certain_answer``, ``decide``,
+``ucq_certain_answers``, ``screen_zoo``, ``find_homomorphism``, the
+``configure_*`` knobs ...) is a thin shim over it.  Code that never
+constructs a session keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .core import boundedness as _boundedness
+from .core import cactus as _cactus
+from .core import dsirup as _dsirup
+from .core import homengine as _homengine
+from .core import runtime as _runtime
+from .core.config import EngineConfig
+from .core.structure import Structure
+
+__all__ = [
+    "EngineConfig",
+    "Session",
+    "default_session",
+    "reset_default_session",
+    "set_default_session",
+]
+
+
+class Session:
+    """An isolated engine instance: config + caches + pools.
+
+    Construct with an :class:`EngineConfig` (or nothing, for the
+    hardcoded defaults — note that, unlike :func:`default_session`,
+    ``Session()`` deliberately ignores the environment; use
+    ``Session(EngineConfig.from_env())`` to honour it).  Sessions are
+    cheap: state is created eagerly but empty, caches fill on use.
+
+    The paper's end-to-end operations are methods —
+    :meth:`certain_answer`, :meth:`decide_boundedness`,
+    :meth:`evaluate`, :meth:`screen` — alongside the engine-level
+    entry points (:meth:`find_homomorphism`, :meth:`evaluate_batch`,
+    :meth:`probe_boundedness`, ...).  Every method accepts the same
+    per-call overrides as the free functions.
+    """
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or EngineConfig()
+        self.hom = _homengine.HomEngine(self.config)
+        self.cactus = _cactus.CactusState(self.config)
+        self.pool = _runtime.PoolRuntime(self.config)
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(backend={self.hom.default_backend!r}, "
+            f"workers={self.pool.workers}, "
+            f"hom_cache={self.hom.cache_maxsize if self.hom.cache_enabled else 'off'})"
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Release worker processes and drop every cache.
+
+        The session stays usable afterwards (pools respawn lazily);
+        ``close`` exists so scoped usage — ``with session:`` — does not
+        leak process pools.
+        """
+        self.pool.shutdown()
+        self.clear_caches()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def clear_caches(self) -> None:
+        """Drop the hom-cache, the factory pool and the intern table."""
+        self.hom.clear_cache()
+        self.cactus.clear()
+
+    def resolve_backend(
+        self, backend: str | None = None, target: Structure | None = None
+    ) -> str:
+        """The concrete backend a call would use: per-call ``backend``
+        beats the config default; ``auto`` resolves per ``target``."""
+        return self.hom.resolve_backend(backend, target)
+
+    # -- engine-level entry points --------------------------------------
+
+    def find_homomorphism(self, source, target, *args, **kwargs):
+        """:func:`repro.core.homengine.find_homomorphism` in this session."""
+        return _homengine.find_homomorphism(
+            source, target, *args, session=self, **kwargs
+        )
+
+    def has_homomorphism(self, source, target, *args, **kwargs) -> bool:
+        """:func:`repro.core.homengine.has_homomorphism` in this session."""
+        return _homengine.has_homomorphism(
+            source, target, *args, session=self, **kwargs
+        )
+
+    def iter_homomorphisms(self, source, target, *args, **kwargs):
+        """:func:`repro.core.homengine.iter_homomorphisms` in this session."""
+        return _homengine.iter_homomorphisms(
+            source, target, *args, session=self, **kwargs
+        )
+
+    def count_homomorphisms(self, source, target, *args, **kwargs) -> int:
+        """:func:`repro.core.homengine.count_homomorphisms` in this session."""
+        return _homengine.count_homomorphisms(
+            source, target, *args, session=self, **kwargs
+        )
+
+    def covers_any(self, target, sources, *args, **kwargs) -> bool:
+        """:func:`repro.core.homengine.covers_any` in this session."""
+        return _homengine.covers_any(
+            target, sources, *args, session=self, **kwargs
+        )
+
+    def evaluate_batch(self, query, instances, **kwargs) -> list[bool]:
+        """Sharded one-query/many-instances evaluation
+        (:func:`repro.core.runtime.parallel_evaluate_batch`)."""
+        return _runtime.parallel_evaluate_batch(
+            query, instances, session=self, **kwargs
+        )
+
+    def cactus_factory(self, one_cq):
+        """This session's pooled cactus factory for ``one_cq``."""
+        return self.cactus.factory(one_cq)
+
+    def iter_cactuses(self, one_cq, max_depth: int, max_count=None):
+        """Stream cactuses out of this session's pooled factory."""
+        return _cactus.iter_cactuses(
+            one_cq, max_depth, max_count, session=self
+        )
+
+    def probe_boundedness(self, one_cq, probe_depth: int, **kwargs):
+        """:func:`repro.core.boundedness.probe_boundedness` here."""
+        return _boundedness.probe_boundedness(
+            one_cq, probe_depth, session=self, **kwargs
+        )
+
+    def ucq_rewriting(self, one_cq, depth: int) -> list[Structure]:
+        """:func:`repro.core.boundedness.ucq_rewriting` here."""
+        return _boundedness.ucq_rewriting(one_cq, depth, session=self)
+
+    def ucq_certain_answers(self, ucq, instances, **kwargs) -> list[bool]:
+        """:func:`repro.core.boundedness.ucq_certain_answers` here."""
+        return _boundedness.ucq_certain_answers(
+            ucq, instances, session=self, **kwargs
+        )
+
+    def hom_cache_info(self):
+        """Hit/miss counters and occupancy of this session's hom-cache."""
+        return self.hom.cache_info()
+
+    def pool_info(self):
+        """Configuration and liveness of this session's shard executor."""
+        return self.pool.info()
+
+    # -- the paper's end-to-end operations ------------------------------
+
+    def certain_answer(
+        self, q: Structure, data: Structure, strategy: str = "auto"
+    ) -> bool:
+        """Certain answer to the d-sirup ``(Δ_q, G)`` over ``data``
+        (:func:`repro.core.dsirup.certain_answer`)."""
+        return _dsirup.evaluate(q, data, strategy, session=self).certain
+
+    def evaluate(
+        self, q: Structure, data: Structure, strategy: str = "auto"
+    ):
+        """Full d-sirup evaluation with countermodel bookkeeping
+        (:func:`repro.core.dsirup.evaluate`)."""
+        return _dsirup.evaluate(q, data, strategy, session=self)
+
+    def decide_boundedness(self, q, probe_depth: int = 3):
+        """Route ``q`` to the strongest boundedness decider
+        (:func:`repro.decide.decide_boundedness`)."""
+        from .decide import decide_boundedness
+
+        return decide_boundedness(q, probe_depth, session=self)
+
+    def screen(
+        self,
+        queries: Sequence[Structure],
+        instances: Iterable[Structure],
+        *,
+        stream: bool = False,
+        backend: str | None = None,
+        workers: int | None = None,
+        min_batch: int | None = None,
+    ):
+        """Screen a pool of Boolean CQs over one instance family.
+
+        With ``stream=False`` (default) returns the full answer matrix
+        ``result[qi][di]`` (:func:`repro.core.runtime.parallel_screen`).
+        With ``stream=True`` returns a *completion-ordered* iterator of
+        :class:`~repro.core.runtime.ScreenShard` results — each shard
+        covers a contiguous instance range and arrives as soon as its
+        worker finishes, so a long screen surfaces answers early
+        instead of blocking until the slowest shard.
+        """
+        kwargs = dict(
+            backend=backend,
+            workers=workers,
+            min_batch=min_batch,
+            session=self,
+        )
+        if stream:
+            return _runtime.parallel_screen_stream(
+                queries, instances, **kwargs
+            )
+        return _runtime.parallel_screen(queries, instances, **kwargs)
+
+    def screen_zoo(self, instances: list[Structure], probe_depth: int = 3):
+        """Bulk-classify the paper's query zoo and screen ``instances``
+        (:func:`repro.zoo.screen_zoo`) inside this session."""
+        from .zoo import screen_zoo
+
+        return screen_zoo(instances, probe_depth, session=self)
+
+
+# ----------------------------------------------------------------------
+# The default session
+# ----------------------------------------------------------------------
+
+_DEFAULT: Session | None = None
+
+
+def default_session() -> Session:
+    """The process-wide default session backing every free function.
+
+    Created lazily from :meth:`EngineConfig.from_env` on first use —
+    *not* at import time, so tests that monkeypatch ``REPRO_*``
+    variables before first engine use see them honoured, and
+    :func:`reset_default_session` re-reads a changed environment.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Session(EngineConfig.from_env())
+    return _DEFAULT
+
+
+def set_default_session(session: Session) -> Session | None:
+    """Install ``session`` as the process default; returns the previous
+    default (which keeps its state and can be re-installed, but is no
+    longer shut down automatically)."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = session
+    return previous
+
+
+def reset_default_session() -> None:
+    """Drop the default session (shutting down its pool); the next free
+    -function call builds a fresh one from the current environment."""
+    global _DEFAULT
+    if _DEFAULT is not None:
+        _DEFAULT.pool.shutdown()
+    _DEFAULT = None

@@ -241,7 +241,7 @@ class ZooScreenRow:
 
 
 def screen_zoo(
-    instances: list[Structure], probe_depth: int = 3
+    instances: list[Structure], probe_depth: int = 3, session=None
 ) -> list[ZooScreenRow]:
     """Bulk-classify the zoo and screen an instance family in one sweep.
 
@@ -276,22 +276,24 @@ def screen_zoo(
             classified.append((entry.name, entry.expected, None, None, None))
             continue
         cq = OneCQ.from_structure(entry.query)
-        decision = decide_boundedness(cq, probe_depth)
+        decision = decide_boundedness(cq, probe_depth, session=session)
         depth: int | None = None
         ucq: list[Structure] | None = None
         if decision.bounded:
             # The rewriting needs an explicit covering depth; the probe
             # shares the pooled cactus factory with the decision above,
             # so certified-bounded queries re-answer from cache.
-            probe = probe_boundedness(cq, probe_depth)
+            probe = probe_boundedness(cq, probe_depth, session=session)
             if probe.verdict is Verdict.BOUNDED:
                 depth = probe.depth
-                ucq = ucq_rewriting(cq, depth)
+                ucq = ucq_rewriting(cq, depth, session=session)
         classified.append((entry.name, entry.expected, decision, depth, ucq))
 
     pool = [d for _, _, _, _, ucq in classified if ucq for d in ucq]
     answer_rows = (
-        parallel_screen(pool, instances) if pool and instances else []
+        parallel_screen(pool, instances, session=session)
+        if pool and instances
+        else []
     )
 
     rows: list[ZooScreenRow] = []

@@ -47,3 +47,26 @@ class TestCommands:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_config_command(self, capsys):
+        assert main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=" in out
+        assert "effective_workers=" in out
+
+    def test_global_flags_reach_session_config(self, capsys):
+        assert main(
+            ["--backend", "naive", "--workers", "2", "--no-cache", "config"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend='naive'" in out
+        assert "workers=2" in out
+        assert "hom_cache=False" in out
+
+    def test_decide_with_backend_flag(self, capsys):
+        assert main(["--backend", "naive", "decide", "q5"]) == 0
+        assert "bounded" in capsys.readouterr().out
+
+    def test_invalid_backend_flag_exits(self):
+        with pytest.raises(SystemExit):
+            main(["--backend", "simd", "config"])
