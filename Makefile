@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench-homengine bench-cactus bench-batch bench check ci
+.PHONY: test lint bench-homengine bench-cactus bench-batch bench-decomp bench check ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -46,6 +46,10 @@ bench-cactus:
 bench-batch:
 	$(PYTHON) scripts/bench_batch.py
 
+## decomp backend + delta warm-started probe; writes BENCH_decomp.json
+bench-decomp:
+	$(PYTHON) scripts/bench_decomp.py
+
 ## all experiment benchmarks, default engine configuration
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -55,9 +59,11 @@ check: test
 	$(PYTHON) scripts/bench_homengine.py --check
 	$(PYTHON) scripts/bench_cactus.py --check
 	$(PYTHON) scripts/bench_batch.py --check
+	$(PYTHON) scripts/bench_decomp.py --check
 
 ## everything the CI workflow runs (tests, lint, perf gates)
 ci: test lint
 	$(PYTHON) scripts/bench_homengine.py --check --output /tmp/BENCH_homengine.json
 	$(PYTHON) scripts/bench_cactus.py --check --output /tmp/BENCH_cactus.json
 	$(PYTHON) scripts/bench_batch.py --check --output /tmp/BENCH_batch.json
+	$(PYTHON) scripts/bench_decomp.py --check --output /tmp/BENCH_decomp.json

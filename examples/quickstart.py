@@ -150,6 +150,57 @@ def main() -> None:
         print(f"streamed screen: {total} instances satisfy some disjunct")
     oracle.close()
 
+    # ------------------------------------------------------------------
+    # 8. Choosing a backend: the decomp DP and the auto routing rules.
+    #
+    #    Four concrete backends answer every hom check identically:
+    #
+    #      naive   the original backtracker — the correctness oracle
+    #      bitset  int-bitset AC-3 + backtracking — the default; best
+    #              on small, label-pruned structures
+    #      matrix  numpy boolean-semiring matvecs — best on LARGE
+    #              DENSE targets (hundreds of nodes, >= ~4 edges/node)
+    #      decomp  semijoin DP over a tree decomposition of the QUERY
+    #              — polynomial-time for bounded-width queries, pure
+    #              python.  Best whenever the query is tree-shaped
+    #              (paths, ditrees, cactuses: width 1) and the target
+    #              is large but not in matrix's dense corner, and on
+    #              refutation-heavy workloads where backtracking AC-3
+    #              re-enqueues: one directional semijoin pass per query
+    #              edge decides the answer (BENCH_decomp.json).
+    #
+    #    The query's decomposition width is computed once and cached
+    #    (repro.core.decomp.query_width); the compiled DecompPlan is
+    #    interned per content fingerprint, so one plan is replayed
+    #    across thousands of targets — pool workers included.
+    #
+    #    backend="auto" routes per call, in order:
+    #      1. query width <= 1 and target >= 100 nodes and not
+    #         (numpy present and >= 4 edges/node)   -> decomp
+    #      2. target >= 100 nodes, >= 2 edges/node, numpy -> matrix
+    #      3. everything else                            -> bitset
+    #
+    #    count_homomorphisms(backend="decomp") counts by bag products
+    #    (no enumeration), and chain-shaped boundedness probes (span-1
+    #    queries, one cactus per depth) warm-start their coverage DP
+    #    across depths, exchanging answers with the session hom-cache
+    #    (REPRO_PROBE_WARMSTART=0 restores the batch path; bushy
+    #    span>=2 probes keep it automatically).
+    # ------------------------------------------------------------------
+    from repro.core import decomp, path_structure, query_width
+
+    q5_structure = zoo.q5()
+    print()
+    print(f"q5 decomposition width: {query_width(q5_structure)} "
+          f"({decomp.tree_decomposition(q5_structure).describe()})")
+    with Session(EngineConfig(backend="auto")) as routed:
+        big = instance_family(count=1, n=150, edge_count=450, seed=2)[0]
+        print("auto routes tree query on a large sparse target to:",
+              routed.resolve_backend(None, big, path_structure([""] * 8)))
+        print("certain answers agree on decomp:",
+              routed.evaluate_batch(rewriting[0], family, backend="decomp")
+              == answers)
+
 
 if __name__ == "__main__":
     main()

@@ -46,6 +46,7 @@ from typing import Sequence
 
 from .cactus import Cactus, iter_cactuses
 from .cq import OneCQ
+from .decomp import ProbeCoverage, query_width
 from .homengine import evaluate_batch
 from .homomorphism import covers_any
 from .runtime import parallel_covers_any, parallel_ucq_answers
@@ -82,22 +83,61 @@ class ProbeResult:
         )
 
 
+def _probe_coverage(session, one_cq: OneCQ) -> ProbeCoverage | None:
+    """A fresh delta warm-start coverage engine for one probe call, or
+    ``None`` when the probe should keep the batch path instead.
+
+    The coverage engine pays off exactly on *chain-shaped* cactus
+    universes — span <= 1 queries, one cactus per depth, each extending
+    the previous (the E3-style increasing-depth regime measured in
+    ``BENCH_decomp.json``): there the per-depth delta is the whole
+    workload and warm-starting beats re-solving 2x+.  Span >= 2 probes
+    have exponentially bushy layers of *small* cactuses where the
+    hom-cached (and, for large layers, pool-sharded) batch path wins on
+    constants, so they keep it.  Cactuses also inherit the query's
+    decomposition width (copies glue at single nodes), so a width > 2
+    query — whose pairs would all take the engine fallback one at a
+    time — steps aside as well.  ``EngineConfig.probe_warmstart`` /
+    ``REPRO_PROBE_WARMSTART=0`` disables the engine outright.
+    """
+    if session is None:
+        from ..session import default_session
+
+        session = default_session()
+    if not session.config.probe_warmstart:
+        return None
+    if one_cq.span > 1:
+        return None
+    if query_width(one_cq.query) > ProbeCoverage.MAX_WIDTH:
+        return None
+    return ProbeCoverage(session)
+
+
 def _covered_by(
     target: Cactus,
     shallow: list[Cactus],
     require_focus: bool,
     session=None,
+    coverage: ProbeCoverage | None = None,
 ) -> bool:
     """Does some shallow cactus map homomorphically into ``target``?
 
-    A single batch :func:`~repro.core.runtime.parallel_covers_any`
-    call.  Small shallow sets take the serial path — the target's
-    indexes are shared across the whole batch and every (shallow, deep)
-    pair goes through the hom-cache, so the probe's depth loop never
-    re-answers a pair it has already seen — while the exponentially
-    large layers of a deep span->=2 probe shard across the process
-    pool.
+    With a :class:`~repro.core.decomp.ProbeCoverage` (the default), the
+    check runs the delta warm-started decomposition DP: since cactus
+    ``C(d)`` extends ``C(d-1)`` by the recorded construction delta, the
+    per-bag satisfying sets of the previous depth are reused and only
+    bags touched by the delta re-propagate, instead of re-solving every
+    coverage check from scratch at each depth.
+
+    Without one (``probe_warmstart=False``), it is a single batch
+    :func:`~repro.core.runtime.parallel_covers_any` call: small shallow
+    sets take the serial path — the target's indexes are shared across
+    the whole batch and every (shallow, deep) pair goes through the
+    hom-cache — while the exponentially large layers of a deep
+    span->=2 probe shard across the process pool.
     """
+    if coverage is not None:
+        return coverage.covered_by_any(target, shallow, require_focus)
     return parallel_covers_any(
         target.structure,
         [
@@ -140,10 +180,16 @@ def probe_boundedness(
     cactuses = list(
         iter_cactuses(one_cq, probe_depth, max_cactuses, session=session)
     )
+    # Shallow-to-deep order maximises the warm-start hit rate: a
+    # cactus's construction delta points at its depth-pruned parent,
+    # which this order guarantees was checked (and its per-bag state
+    # retained) first.
+    cactuses.sort(key=lambda c: c.depth)
     by_depth: dict[int, list[Cactus]] = {}
     for cactus in cactuses:
         by_depth.setdefault(cactus.depth, []).append(cactus)
     max_seen = max(by_depth) if by_depth else 0
+    coverage = _probe_coverage(session, one_cq)
 
     for d in range(0, probe_depth):
         shallow = [c for c in cactuses if c.depth <= d]
@@ -155,7 +201,8 @@ def probe_boundedness(
                 Verdict.BOUNDED, max_seen, probe_depth, len(cactuses), ()
             )
         if all(
-            _covered_by(c, shallow, require_focus, session) for c in deep
+            _covered_by(c, shallow, require_focus, session, coverage)
+            for c in deep
         ):
             return ProbeResult(
                 Verdict.BOUNDED, d, probe_depth, len(cactuses), ()
@@ -168,7 +215,7 @@ def probe_boundedness(
     uncovered = tuple(
         c.shape.describe()
         for c in deepest
-        if not _covered_by(c, shallow, require_focus, session)
+        if not _covered_by(c, shallow, require_focus, session, coverage)
     )
     if uncovered:
         return ProbeResult(

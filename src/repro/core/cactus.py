@@ -210,6 +210,7 @@ class Cactus:
         segments,
         shape: Shape,
         sigma_delta: tuple | None = None,
+        cover_delta: tuple | None = None,
     ) -> None:
         self.one_cq = one_cq
         self.structure = structure
@@ -220,6 +221,17 @@ class Cactus:
         # grew this cactus's structure from its depth-pruned parent,
         # letting sigma_structure() derive C° from the parent's C°.
         self._sigma_delta = sigma_delta
+        # The same construction delta in durable form, consumed by the
+        # boundedness probe's delta warm-start
+        # (:class:`repro.core.decomp.ProbeCoverage`); None for depth-0
+        # cactuses, intern hits and the from-scratch oracle.  Stored
+        # raw as (parent structure, delta sets) and resolved to
+        # (parent *fingerprint*, delta sets) on first access: probes
+        # need fingerprints anyway, but eager hashing would tax pure
+        # construction (the bench_cactus workload), and keying by
+        # fingerprint releases the ancestor reference once resolved.
+        self._cover_delta_raw = cover_delta
+        self._cover_delta: tuple | None = None
         # ``segments`` is either the materialised table or a zero-arg
         # thunk producing it: the skeleton bookkeeping is pure metadata
         # that enumeration-heavy consumers (probes, rewritings) never
@@ -237,6 +249,17 @@ class Cactus:
             self._segments = self._segments_thunk()
             self._segments_thunk = None
         return self._segments
+
+    @property
+    def cover_delta(self) -> tuple | None:
+        """``(parent fingerprint, add_nodes, add_unary, add_binary,
+        removed_unary)`` — the construction delta of this cactus, or
+        ``None`` when it was not built by extension."""
+        if self._cover_delta is None and self._cover_delta_raw is not None:
+            base, *rest = self._cover_delta_raw
+            self._cover_delta = (base.fingerprint, *rest)
+            self._cover_delta_raw = None
+        return self._cover_delta
 
     @property
     def depth(self) -> int:
@@ -531,6 +554,7 @@ class CactusFactory:
         depth = shape.depth
         state = self.state
         sigma_delta: tuple | None = None
+        cover_delta: tuple | None = None
         structure = state.interned_structure(self.intern_key, shape)
         if structure is None:
             if depth == 0:
@@ -562,6 +586,7 @@ class CactusFactory:
                     frozenset(add_binary),
                     tuple(removed),
                 )
+                cover_delta = (base.structure,) + sigma_delta[1:]
             state.intern_structure(self.intern_key, shape, structure)
         cactus = Cactus(
             self.one_cq,
@@ -569,6 +594,7 @@ class CactusFactory:
             lambda shape=shape: self._segment_table(shape),
             shape,
             sigma_delta=sigma_delta,
+            cover_delta=cover_delta,
         )
         self._cactuses[shape] = cactus
         while len(self._cactuses) > state.cactus_cache_size:

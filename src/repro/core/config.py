@@ -24,10 +24,15 @@ Environment variables
 
 ``REPRO_HOM_BACKEND``
     Default hom-search backend: ``naive``, ``bitset`` (default),
-    ``matrix``, or ``auto`` (pick ``matrix`` vs ``bitset`` per call
-    from the target's size and edge density).
+    ``matrix``, ``decomp`` (tree-decomposition semijoin DP), or
+    ``auto`` (route per call: ``decomp`` for tree-shaped queries on
+    non-trivial targets, else ``matrix`` vs ``bitset`` from the
+    target's size and edge density).
 ``REPRO_HOM_CACHE`` / ``REPRO_HOM_CACHE_SIZE``
     Enable (default) / size (8192) of the fingerprint-keyed hom-cache.
+``REPRO_PROBE_WARMSTART``
+    Enable (default) the boundedness probe's delta warm-started
+    coverage checks; ``0`` restores the sharded batch path.
 ``REPRO_HOM_WORKERS`` / ``REPRO_HOM_PARALLEL_MIN``
     Shard-executor worker count (unset: CPU count; ``<= 1`` disables
     parallelism) and the batch size below which batch entry points
@@ -48,7 +53,7 @@ import os
 from dataclasses import dataclass, fields, replace
 from typing import Mapping
 
-BACKENDS = ("naive", "bitset", "matrix")
+BACKENDS = ("naive", "bitset", "matrix", "decomp")
 #: Accepted values for ``EngineConfig.backend`` — the concrete backends
 #: plus ``auto`` (resolved per call by :func:`choose_auto_backend`).
 BACKEND_CHOICES = BACKENDS + ("auto",)
@@ -66,17 +71,49 @@ _FALSY = ("0", "off", "false", "no")
 AUTO_MIN_NODES = 100
 AUTO_MIN_EDGES_PER_NODE = 2.0
 
+# Routing on *query shape*, from the committed BENCH_decomp.json duel:
+# for forest-shaped queries (decomposition width <= 1) the ``decomp``
+# backend's single directional-semijoin pass beats both backtracking
+# backends on every measured large target *except* the dense-and-numpy
+# corner (edge density >= ~6 per node, where the matrix backend's C
+# matvecs win the satisfiable cases) — so width-1 queries route to
+# ``decomp`` whenever the target clears the size floor and is not in
+# matrix's dense home turf; higher-width queries keep the bitset/matrix
+# crossover.  The density boundary sits between the measured decomp win
+# at 3 edges/node and the measured matrix win at 6.
+AUTO_DECOMP_MAX_WIDTH = 1
+AUTO_DECOMP_MIN_NODES = 100
+AUTO_DECOMP_MAX_EDGES_PER_NODE = 4.0
+
 
 def choose_auto_backend(
-    nodes: int, edges: int, matrix_available: bool = True
+    nodes: int,
+    edges: int,
+    matrix_available: bool = True,
+    query_width: int | None = None,
 ) -> str:
     """The concrete backend ``backend="auto"`` resolves to for a target
     with the given node and binary-fact counts.
 
-    Pure and deterministic so tests can pin the heuristic on both sides
-    of the threshold; the live path feeds it the target structure's
-    counts plus numpy availability.
+    ``query_width`` is the query's cached tree-decomposition width
+    (:func:`repro.core.decomp.query_width`) when the caller knows the
+    source: tree-shaped queries (width <= 1) route to the poly-time
+    ``decomp`` DP on large targets outside the dense-numpy corner,
+    while high-width queries keep the bitset/matrix crossover.  Pure
+    and deterministic so tests can pin the heuristic on both sides of
+    every threshold; the live path feeds it the target structure's
+    counts, numpy availability and the source's cached width.
     """
+    if (
+        query_width is not None
+        and query_width <= AUTO_DECOMP_MAX_WIDTH
+        and nodes >= AUTO_DECOMP_MIN_NODES
+        and (
+            not matrix_available
+            or edges < AUTO_DECOMP_MAX_EDGES_PER_NODE * nodes
+        )
+    ):
+        return "decomp"
     if (
         matrix_available
         and nodes >= AUTO_MIN_NODES
@@ -116,6 +153,10 @@ class EngineConfig:
     backend: str = "bitset"
     hom_cache: bool = True
     hom_cache_size: int = 8192
+    # Delta warm-start of the boundedness probe's coverage checks
+    # (repro.core.decomp.ProbeCoverage).  Disabling it restores the
+    # sharded parallel_covers_any path for every coverage batch.
+    probe_warmstart: bool = True
     # shard runtime.  ``workers=None`` (the default) means the
     # machine's CPU count; an explicit value <= 1 — constructor, env or
     # CLI — disables parallelism, exactly as it always has.
@@ -169,6 +210,9 @@ class EngineConfig:
             hom_cache=_env_bool(env, "REPRO_HOM_CACHE", defaults.hom_cache),
             hom_cache_size=_env_int(
                 env, "REPRO_HOM_CACHE_SIZE", defaults.hom_cache_size
+            ),
+            probe_warmstart=_env_bool(
+                env, "REPRO_PROBE_WARMSTART", defaults.probe_warmstart
             ),
             workers=_env_int(env, "REPRO_HOM_WORKERS", defaults.workers),
             parallel_min=_env_int(

@@ -35,6 +35,17 @@ into swappable *backends* behind one call surface:
     the ``matrix`` backend transparently falls back to the pure-python
     int-bitset search (identical answers, no hard dependency).
 
+``decomp``
+    Semijoin dynamic programming over a tree decomposition of the
+    *query* (:mod:`repro.core.decomp`): polynomial-time for
+    bounded-width queries, with a compiled, fingerprint-interned
+    :class:`~repro.core.decomp.DecompPlan` replayed across whole
+    target batches.  Forest-shaped queries (width <= 1 — paths, trees,
+    cactuses) run a single directional bitset semijoin pass; wider
+    queries run the general per-bag relational DP.  Pure python, no
+    optional dependency, and ``count_homomorphisms`` uses bag-product
+    counting instead of enumeration.
+
 All backends enumerate exactly the same set of homomorphisms.  The
 default backend, the hom-cache and all other mutable engine state live
 on a :class:`HomEngine` owned by a :class:`~repro.session.Session`;
@@ -42,10 +53,11 @@ every entry point takes an explicit ``session=`` (falling back to the
 module-level default session, which is configured from the ``REPRO_*``
 environment via :meth:`repro.core.config.EngineConfig.from_env`) plus a
 per-call ``backend=`` override.  ``backend="auto"`` — per call or as
-the session default — resolves to ``matrix`` or ``bitset`` per target
-from its size and edge density
-(:func:`repro.core.config.choose_auto_backend`, calibrated from the
-committed ``BENCH_batch.json`` backend duel).
+the session default — resolves per call from the *query's* cached
+decomposition width (tree-shaped queries route to ``decomp``) and the
+target's size and edge density (``matrix`` vs ``bitset``);
+see :func:`repro.core.config.choose_auto_backend`, calibrated from the
+committed ``BENCH_batch.json`` and ``BENCH_decomp.json`` duels.
 
 Cache
 =====
@@ -81,6 +93,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+from . import decomp as _decomp
 from .config import BACKEND_CHOICES, EngineConfig, choose_auto_backend
 from .config import BACKENDS as BACKENDS  # re-export: stable engine API
 from .structure import Node, Structure, _canonical_key, numpy_or_none
@@ -93,6 +106,14 @@ def matrix_backend_available() -> bool:
     """True when numpy is installed, i.e. the ``matrix`` backend runs
     its dense path rather than the pure-python bitset fallback."""
     return numpy_or_none() is not None
+
+
+# ``auto`` resolution computes the source's decomposition width (cached
+# on the structure) to route tree-shaped queries to the ``decomp``
+# backend.  Sources larger than this are assumed non-query-shaped and
+# skip the width probe: the min-fill fallback on a huge dense source
+# would cost more than the routing decision is worth.
+_AUTO_WIDTH_SOURCE_LIMIT = 512
 
 
 # ----------------------------------------------------------------------
@@ -132,11 +153,16 @@ class HomEngine:
     # -- backend resolution --------------------------------------------
 
     def resolve_backend(
-        self, backend: str | None, target: Structure | None = None
+        self,
+        backend: str | None,
+        target: Structure | None = None,
+        source: Structure | None = None,
     ) -> str:
         """The concrete backend for one call: per-call override beats
-        the session default, and ``auto`` picks ``matrix`` vs ``bitset``
-        from the target's node count and edge density."""
+        the session default, and ``auto`` routes on *both* sides — the
+        query's cached decomposition width (tree-shaped sources go to
+        the poly-time ``decomp`` DP) and the target's node count and
+        edge density (``matrix`` vs ``bitset``)."""
         if backend is None:
             backend = self.default_backend
         elif backend not in BACKEND_CHOICES:
@@ -146,10 +172,17 @@ class HomEngine:
         if backend == "auto":
             if target is None:
                 return "bitset"
+            width = None
+            if (
+                source is not None
+                and len(source.nodes) <= _AUTO_WIDTH_SOURCE_LIMIT
+            ):
+                width = _decomp.query_width(source)
             return choose_auto_backend(
                 len(target.nodes),
                 len(target.binary_facts),
                 matrix_backend_available(),
+                width,
             )
         return backend
 
@@ -530,10 +563,12 @@ def _source_plan(source: Structure) -> _SourcePlan:
         if hint is not None:
             base, touched, added_binary = hint
             base_plan = base._engine_plan
-            # Only reusable when this structure inherited the base's
-            # interning order (extended() transfers it whenever the base
-            # had one; the base plan forces the base order to exist).
-            if base_plan is not None and source._node_order is not None:
+            # Reusable whenever the base compiled a plan: the base plan
+            # forced the base's order to exist, and order inheritance
+            # (eager, or lazily resolved by the node_order touch below)
+            # guarantees the id prefix the derivation relies on.
+            if base_plan is not None:
+                source.node_order  # resolve a pending lazy inheritance
                 plan = _SourcePlan.extended(
                     base_plan, source, touched, added_binary
                 )
@@ -956,6 +991,7 @@ _BACKEND_IMPLS = {
     "naive": _iter_naive,
     "bitset": _iter_bitset,
     "matrix": _iter_matrix,
+    "decomp": _decomp._iter_decomp,
 }
 
 
@@ -989,7 +1025,9 @@ def iter_homomorphisms(
     homomorphisms.  ``session`` selects the engine state (default
     session when omitted).
     """
-    impl = _BACKEND_IMPLS[_engine(session).resolve_backend(backend, target)]
+    impl = _BACKEND_IMPLS[
+        _engine(session).resolve_backend(backend, target, source)
+    ]
     yield from impl(
         source,
         target,
@@ -1025,7 +1063,7 @@ def find_homomorphism(
         and use_cache is not False
         and engine.cache_enabled
     )
-    resolved = engine.resolve_backend(backend, target)
+    resolved = engine.resolve_backend(backend, target, source)
     if cacheable:
         key = _cache_key(
             resolved,
@@ -1086,7 +1124,7 @@ def count_homomorphisms(
         and use_cache is not False
         and engine.cache_enabled
     )
-    resolved = engine.resolve_backend(backend, target)
+    resolved = engine.resolve_backend(backend, target, source)
     if cacheable:
         key = ("count",) + _cache_key(
             resolved, source, target, seed, restrict_image,
@@ -1095,22 +1133,32 @@ def count_homomorphisms(
         hit = engine._cache_get(key)
         if hit is not _MISS:
             return hit
-    first: dict[Node, Node] | None = None
-    count = 0
-    for hom in iter_homomorphisms(
-        source,
-        target,
-        seed,
-        restrict_image,
-        node_filter,
-        node_domains=node_domains,
-        forbid=forbid,
-        backend=resolved,
-        session=session,
-    ):
-        if first is None:
-            first = hom
-        count += 1
+    if resolved == "decomp":
+        # Bag-product counting: the DP multiplies per-bag extension
+        # counts in one bottom-up pass instead of enumerating the hom
+        # set (which the other backends must, and which can be
+        # exponentially large even for tree queries).
+        count, first = _decomp.count_decomp(
+            source, target, dict(seed or {}), restrict_image,
+            node_filter, node_domains, forbid,
+        )
+    else:
+        first = None
+        count = 0
+        for hom in iter_homomorphisms(
+            source,
+            target,
+            seed,
+            restrict_image,
+            node_filter,
+            node_domains=node_domains,
+            forbid=forbid,
+            backend=resolved,
+            session=session,
+        ):
+            if first is None:
+                first = hom
+            count += 1
     if cacheable:
         engine._cache_put(key, count)
         find_key = _cache_key(

@@ -182,6 +182,28 @@ def _freeze_seed(seed) -> tuple | None:
 # Worker entry points (must be importable top-level functions)
 # ----------------------------------------------------------------------
 
+# One session per worker process, keyed by the (picklable, frozen)
+# EngineConfig that shipped with the task.  Tasks from the same calling
+# session reuse it — along with its hom-cache — across the pool's
+# lifetime; a task from a differently-configured session swaps it out.
+_WORKER_SESSION: tuple[EngineConfig, object] | None = None
+
+
+def _worker_session(config: EngineConfig | None):
+    """The worker-side session honouring the calling session's resolved
+    config (``None`` — a task from an old-style caller — falls back to
+    the worker's env-built default session)."""
+    global _WORKER_SESSION
+    if config is None:
+        return None
+    if _WORKER_SESSION is not None and _WORKER_SESSION[0] == config:
+        return _WORKER_SESSION[1]
+    from ..session import Session
+
+    session = Session(config)
+    _WORKER_SESSION = (config, session)
+    return session
+
 
 def _worker_evaluate_chunk(
     query_wire: Wire,
@@ -189,6 +211,7 @@ def _worker_evaluate_chunk(
     backend: str | None,
     cache_limit: int = 0,
     use_cache: bool | None = None,
+    config: EngineConfig | None = None,
 ) -> list[bool]:
     query = from_wire_cached(query_wire, cache_limit)
     return homengine.evaluate_batch(
@@ -196,6 +219,7 @@ def _worker_evaluate_chunk(
         (from_wire_cached(w, cache_limit) for w in instance_wires),
         backend=backend,
         use_cache=use_cache,
+        session=_worker_session(config),
     )
 
 
@@ -205,7 +229,9 @@ def _worker_ucq_chunk(
     backend: str | None,
     cache_limit: int = 0,
     use_cache: bool | None = None,
+    config: EngineConfig | None = None,
 ) -> list[bool]:
+    session = _worker_session(config)
     disjuncts = [from_wire_cached(w, cache_limit) for w in disjunct_wires]
     answers: list[bool] = []
     for wire in instance_wires:
@@ -213,7 +239,8 @@ def _worker_ucq_chunk(
         answers.append(
             any(
                 homengine.has_homomorphism(
-                    d, instance, backend=backend, use_cache=use_cache
+                    d, instance, backend=backend, use_cache=use_cache,
+                    session=session,
                 )
                 for d in disjuncts
             )
@@ -227,12 +254,15 @@ def _worker_screen_chunk(
     backend: str | None,
     cache_limit: int = 0,
     use_cache: bool | None = None,
+    config: EngineConfig | None = None,
 ) -> list[list[bool]]:
+    session = _worker_session(config)
     queries = [from_wire_cached(w, cache_limit) for w in query_wires]
     instances = [from_wire_cached(w, cache_limit) for w in instance_wires]
     return [
         homengine.evaluate_batch(
-            q, instances, backend=backend, use_cache=use_cache
+            q, instances, backend=backend, use_cache=use_cache,
+            session=session,
         )
         for q in queries
     ]
@@ -244,7 +274,9 @@ def _worker_covers_chunk(
     backend: str | None,
     cache_limit: int = 0,
     use_cache: bool | None = None,
+    config: EngineConfig | None = None,
 ) -> bool:
+    session = _worker_session(config)
     target = from_wire_cached(target_wire, cache_limit)
     for source_wire, seed_items in pairs:
         if homengine.has_homomorphism(
@@ -253,6 +285,7 @@ def _worker_covers_chunk(
             seed=dict(seed_items) if seed_items else None,
             backend=backend,
             use_cache=use_cache,
+            session=session,
         ):
             return True
     return False
@@ -392,20 +425,29 @@ def _runtime(session) -> PoolRuntime:
     return default_session().pool
 
 
-def _worker_opts(session, backend: str | None) -> tuple[str, bool | None]:
+def _worker_opts(
+    session, backend: str | None
+) -> tuple[str, bool | None, EngineConfig]:
     """What shipped tasks must honour from the calling session.
 
-    Workers run their *own* default sessions (built from the inherited
-    environment), so an explicitly configured calling session would
-    silently lose its backend choice and cache toggle the moment a
-    batch shards.  This resolves both on the parent side: the wire
+    Workers run their *own* sessions, so an explicitly configured
+    calling session would silently lose its knobs the moment a batch
+    shards.  This resolves everything on the parent side: the wire
     backend is the per-call override or the calling session's default
-    (``"auto"`` ships as-is — workers keep resolving it per target),
-    and ``use_cache`` is ``False`` when the calling session disabled
-    its hom-cache (``None`` otherwise: an enabled parent cache lets
-    each worker use its own LRU, which is the point of pooling).
+    (``"auto"`` ships as-is — workers keep resolving it per call),
+    ``use_cache`` is ``False`` when the calling session disabled its
+    hom-cache (``None`` otherwise: an enabled parent cache lets each
+    worker use its own LRU, which is the point of pooling), and the
+    *full resolved* :class:`EngineConfig` ships alongside, so worker
+    sessions honour the caller's cache sizes and thresholds instead of
+    env-built defaults.  ``workers`` is forced to 1 in the shipped
+    config: a worker must never spawn a nested pool.
     """
-    engine = homengine._engine(session)
+    if session is None:
+        from ..session import default_session
+
+        session = default_session()
+    engine = session.hom
     if backend is not None and backend not in BACKEND_CHOICES:
         # Validate on the parent side: a typo'd backend must raise
         # here, not fail inside every worker and burn the pool's
@@ -417,7 +459,12 @@ def _worker_opts(session, backend: str | None) -> tuple[str, bool | None]:
     wire_backend = (
         backend if backend is not None else engine.default_backend
     )
-    return wire_backend, (None if engine.cache_enabled else False)
+    wire_config = session.config.replace(workers=1)
+    return (
+        wire_backend,
+        (None if engine.cache_enabled else False),
+        wire_config,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -509,7 +556,7 @@ def parallel_evaluate_batch(
     config (:func:`configure_pool` on the default session).
     """
     rt = _runtime(session)
-    wire_backend, wire_cache = _worker_opts(session, backend)
+    wire_backend, wire_cache, wire_config = _worker_opts(session, backend)
     instances = list(instances)
     shared: dict = {}
 
@@ -522,6 +569,7 @@ def parallel_evaluate_batch(
             wire_backend,
             rt.worker_cache,
             wire_cache,
+            wire_config,
         )
 
     chunk_results = _sharded_ordered(
@@ -564,7 +612,7 @@ def parallel_screen(
     screened over one :func:`~repro.workloads.generators.instance_family`).
     """
     rt = _runtime(session)
-    wire_backend, wire_cache = _worker_opts(session, backend)
+    wire_backend, wire_cache, wire_config = _worker_opts(session, backend)
     queries = list(queries)
     instances = list(instances)
     if not queries:
@@ -580,6 +628,7 @@ def parallel_screen(
             wire_backend,
             rt.worker_cache,
             wire_cache,
+            wire_config,
         )
 
     chunk_results = _sharded_ordered(
@@ -642,7 +691,7 @@ def parallel_screen_stream(
     are never re-yielded.
     """
     rt = _runtime(session)
-    wire_backend, wire_cache = _worker_opts(session, backend)
+    wire_backend, wire_cache, wire_config = _worker_opts(session, backend)
     queries = list(queries)
     instances = list(instances)
     if not queries or not instances:
@@ -684,6 +733,7 @@ def parallel_screen_stream(
                 wire_backend,
                 rt.worker_cache,
                 wire_cache,
+                wire_config,
             )
             futures[future] = (start, start + len(chunk))
         for future in as_completed(futures):
@@ -748,7 +798,7 @@ def parallel_ucq_answers(
     pending-filtered sweep with the shared hom-cache).
     """
     rt = _runtime(session)
-    wire_backend, wire_cache = _worker_opts(session, backend)
+    wire_backend, wire_cache, wire_config = _worker_opts(session, backend)
     disjuncts = list(disjuncts)
     instances = list(instances)
     if not disjuncts or not instances:
@@ -764,6 +814,7 @@ def parallel_ucq_answers(
             wire_backend,
             rt.worker_cache,
             wire_cache,
+            wire_config,
         )
 
     chunk_results = _sharded_ordered(
@@ -798,7 +849,7 @@ def parallel_covers_any(
     have not started.
     """
     rt = _runtime(session)
-    wire_backend, wire_cache = _worker_opts(session, backend)
+    wire_backend, wire_cache, wire_config = _worker_opts(session, backend)
     pairs = list(homengine._source_seed_pairs(sources, seeds))
     pool, chunks = rt.shard_chunks(
         pairs,
@@ -822,6 +873,7 @@ def parallel_covers_any(
                 wire_backend,
                 rt.worker_cache,
                 wire_cache,
+                wire_config,
             )
             for chunk in chunks
         }

@@ -389,6 +389,7 @@ class Structure:
         "_in",
         "_hash",
         "_node_order",
+        "_order_hint",
         "_node_index",
         "_out_by_pred",
         "_in_by_pred",
@@ -397,6 +398,8 @@ class Structure:
         "_fingerprint",
         "_fingerprint_int",
         "_engine_plan",
+        "_tree_decomp",
+        "_decomp_plan",
         "_extend_hint",
         "_delta",
         "_unary_preds",
@@ -433,6 +436,7 @@ class Structure:
         self._delta = None
         # Lazily-built engine indexes (see the properties below).
         self._node_order: tuple[Node, ...] | None = None
+        self._order_hint = None  # (base, new_nodes): lazy order descent
         self._node_index: dict[Node, int] | None = None
         self._out_by_pred: dict[Node, dict[str, frozenset[Node]]] | None = None
         self._in_by_pred: dict[Node, dict[str, frozenset[Node]]] | None = None
@@ -441,8 +445,12 @@ class Structure:
         self._fingerprint: str | None = None
         self._fingerprint_int: int | None = None
         # Opaque per-structure scratch of the homomorphism engine: the
-        # compiled source-side search plan (see homengine._source_plan).
+        # compiled source-side search plan (see homengine._source_plan),
+        # the tree decomposition of the primal graph and the compiled
+        # decomposition-DP plan (see repro.core.decomp).
         self._engine_plan = None
+        self._tree_decomp = None
+        self._decomp_plan = None
         # Set by extended(): (base, touched_nodes, added_binary), letting
         # the engine derive this structure's plan from the base's.
         self._extend_hint = None
@@ -611,13 +619,35 @@ class Structure:
         """The nodes in a stable, per-instance interning order.
 
         Freshly-built structures sort by canonical key; structures from
-        :meth:`extended` keep the base's order and append the new nodes,
-        so existing integer ids (and therefore bitset positions) survive
-        extension.  Position in this tuple is the node's integer id; see
-        :attr:`node_index` for the inverse map.
+        :meth:`extended` keep the base's order and append the new nodes
+        — *whether or not* the base's order was materialised at
+        extension time (a pending inheritance is recorded as an order
+        hint and resolved lazily, walking the derivation chain) — so
+        existing integer ids (and therefore bitset positions) survive
+        extension all the way down a derivation chain.  Position in
+        this tuple is the node's integer id; see :attr:`node_index` for
+        the inverse map.
         """
         if self._node_order is None:
-            self._node_order = tuple(sorted(self._nodes, key=_canonical_key))
+            # Materialise the deepest unresolved ancestor first, then
+            # walk back down inheriting order prefixes.
+            chain = [self]
+            hint = self._order_hint
+            while hint is not None and hint[0]._node_order is None:
+                chain.append(hint[0])
+                hint = hint[0]._order_hint
+            for s in reversed(chain):
+                s_hint = s._order_hint
+                if s_hint is not None:
+                    base, new_nodes = s_hint
+                    s._node_order = base._node_order + tuple(
+                        sorted(new_nodes, key=_canonical_key)
+                    )
+                else:
+                    s._node_order = tuple(
+                        sorted(s._nodes, key=_canonical_key)
+                    )
+                s._order_hint = None  # release the ancestor reference
         return self._node_order
 
     @property
@@ -797,12 +827,19 @@ class Structure:
         s._delta = (self, added_u, removed_u, added_b, new_nodes_set)
 
         # Interning order: keep the base's ids, append the new nodes.
+        # When the base's order is not materialised yet, the
+        # inheritance is recorded as a hint and resolved lazily (pure
+        # construction — the cactus factory's cold path — then pays
+        # nothing for ordering).
         if self._node_order is not None:
             s._node_order = self._node_order + tuple(
                 sorted(new_nodes_set, key=_canonical_key)
             )
+            s._order_hint = None
         else:
             s._node_order = None
+            # new_nodes_set is a fresh local set: share it, no copy.
+            s._order_hint = (self, new_nodes_set)
         s._node_index = None
 
         # Per-predicate neighbour maps: lazy, delta-aware (see
@@ -836,13 +873,17 @@ class Structure:
         s._fingerprint = None
 
         s._engine_plan = None
-        # The hint is only usable by the engine when the interning order
-        # was inherited (a later full re-sort would break the id prefix).
-        s._extend_hint = (
-            (self, frozenset(touched), tuple(added_b))
-            if s._node_order is not None
-            else None
-        )
+        # Decompositions and decomp plans depend on the full primal
+        # graph; a delta can change the width, so derived structures
+        # rebuild them on demand (the fingerprint-keyed plan intern in
+        # repro.core.decomp still dedupes content-equal rebuilds).
+        s._tree_decomp = None
+        s._decomp_plan = None
+        # Order inheritance (eager or hinted) guarantees the id prefix
+        # the engine's plan derivation relies on, so the hint is always
+        # usable.  ``touched`` is a fresh local set and ``added_b`` a
+        # frozenset; both are shared uncopied (consumers only iterate).
+        s._extend_hint = (self, touched, added_b)
         s._unary_preds = None
         s._binary_preds = None
         return s

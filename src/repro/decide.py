@@ -86,7 +86,11 @@ def decide_boundedness(
             bounded=True, method=Method.TRIVIAL_SPAN_ZERO, exact=True
         )
     if _is_lambda(one_cq):
-        decision = decide_lambda(one_cq)
+        # The decider's hom checks and interned segment copies run in
+        # the calling session (PR 4 leftover closed: reached through
+        # Session.decide_boundedness they now fill *that* session's
+        # caches, not the default session's).
+        decision = decide_lambda(one_cq, session=session)
         return BoundednessDecision(
             bounded=decision.fo_rewritable,
             method=Method.LAMBDA_EXACT,

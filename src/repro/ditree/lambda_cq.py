@@ -107,7 +107,7 @@ def successors(t: SegType, j: int, k: int) -> list[SegType]:
 
 
 def segment_structure(
-    one_cq: OneCQ, budded: BudSet, root: bool, tag: object
+    one_cq: OneCQ, budded: BudSet, root: bool, tag: object, session=None
 ) -> tuple[Structure, Mapping[Node, Node]]:
     """One segment copy of ``q``: focus labelled F (root) or A
     (non-root); ``y_j`` labelled A for ``j ∈ budded`` and T otherwise.
@@ -121,14 +121,18 @@ def segment_structure(
     copy for the whole decision procedure.  Treat the returned
     structure and mapping as immutable.
     """
-    return cactus_factory(one_cq).segment_copy(
+    return cactus_factory(one_cq, session).segment_copy(
         frozenset(budded), root, tag
     )
 
 
-def root_segment(one_cq: OneCQ, budded: BudSet) -> tuple[Structure, Node]:
+def root_segment(
+    one_cq: OneCQ, budded: BudSet, session=None
+) -> tuple[Structure, Node]:
     """A root segment with the given bud set; returns (structure, F-node)."""
-    s, mapping = segment_structure(one_cq, budded, root=True, tag="rs")
+    s, mapping = segment_structure(
+        one_cq, budded, root=True, tag="rs", session=session
+    )
     return s, mapping[one_cq.focus]
 
 
@@ -182,9 +186,11 @@ def glue_segments(
     return Structure(nodes, unary, binary), resolver
 
 
-def type_blowup(one_cq: OneCQ, t: SegType) -> Structure:
+def type_blowup(one_cq: OneCQ, t: SegType, session=None) -> Structure:
     """The blow-up ¯t of a single type: one segment with t's labels."""
-    s, _ = segment_structure(one_cq, t.buds, root=t.is_root, tag=("b", t))
+    s, _ = segment_structure(
+        one_cq, t.buds, root=t.is_root, tag=("b", t), session=session
+    )
     return s
 
 
@@ -193,17 +199,21 @@ def type_blowup(one_cq: OneCQ, t: SegType) -> Structure:
 # ----------------------------------------------------------------------
 
 
-def compute_black(one_cq: OneCQ, types: list[SegType]) -> set[SegType]:
+def compute_black(
+    one_cq: OneCQ, types: list[SegType], session=None
+) -> set[SegType]:
     """Internal types whose blow-up absorbs some root segment."""
     k = one_cq.span
     black: set[SegType] = set()
-    root_segments = [root_segment(one_cq, b) for b in _subsets(k)]
+    root_segments = [
+        root_segment(one_cq, b, session) for b in _subsets(k)
+    ]
     for t in types:
         if t.is_root:
             continue
-        target = type_blowup(one_cq, t)
+        target = type_blowup(one_cq, t, session)
         for source, _ in root_segments:
-            if has_homomorphism(source, target):
+            if has_homomorphism(source, target, session=session):
                 black.add(t)
                 break
     return black
@@ -303,6 +313,7 @@ def _cut_step_holds(
     analysis: LambdaAnalysis,
     edge: GEdge,
     prev: dict[GEdge, int],
+    session=None,
 ) -> bool:
     """Is ``edge`` cuttable given the previous level's table?
 
@@ -325,13 +336,17 @@ def _cut_step_holds(
 
     for extension in _extension_choices(v, k, analysis.blue):
         parts = {
-            "u": segment_structure(one_cq, u.buds, root=u.is_root, tag="u"),
-            "v": segment_structure(one_cq, v.buds, root=False, tag="v"),
+            "u": segment_structure(
+                one_cq, u.buds, root=u.is_root, tag="u", session=session
+            ),
+            "v": segment_structure(
+                one_cq, v.buds, root=False, tag="v", session=session
+            ),
         }
         glue_edges = [("u", j0, "v")]
         for j, child in extension.items():
             parts[("c", j)] = segment_structure(
-                one_cq, child.buds, root=False, tag=("c", j)
+                one_cq, child.buds, root=False, tag=("c", j), session=session
             )
             glue_edges.append(("v", j, ("c", j)))
         target, resolver = glue_segments(parts, glue_edges, one_cq)
@@ -359,7 +374,8 @@ def _cut_step_holds(
                     )
 
         if not _segment_cover_exists(
-            one_cq, target, glue_node, approved, forbidden=parent_focus
+            one_cq, target, glue_node, approved, forbidden=parent_focus,
+            session=session,
         ):
             return False
     return True
@@ -372,6 +388,7 @@ def _segment_cover_exists(
     approved: set[Node],
     forbidden: Node | None,
     root: bool = False,
+    session=None,
 ) -> bool:
     """Does some segment copy (bud set B) map into ``target`` with its
     focus on ``focus_image``, budded leaves on ``approved`` A-nodes and
@@ -387,7 +404,7 @@ def _segment_cover_exists(
     forbid = None if forbidden is None else frozenset({forbidden})
     for budset in _subsets(k):
         source, mapping = segment_structure(
-            one_cq, budset, root=root, tag="cover"
+            one_cq, budset, root=root, tag="cover", session=session
         )
         node_domains = {
             mapping[one_cq.solitary_ts[j]]: approved_frozen for j in budset
@@ -398,6 +415,7 @@ def _segment_cover_exists(
             seed={mapping[one_cq.focus]: focus_image},
             node_domains=node_domains,
             forbid=forbid,
+            session=session,
         )
         if hom is not None:
             return True
@@ -405,7 +423,7 @@ def _segment_cover_exists(
 
 
 def compute_cuttable(
-    analysis: LambdaAnalysis, max_depth: int = 12
+    analysis: LambdaAnalysis, max_depth: int = 12, session=None
 ) -> None:
     """Depth-indexed fixpoint of edge cuttability (Appendix F)."""
     one_cq = analysis.one_cq
@@ -425,7 +443,7 @@ def compute_cuttable(
             if edge in table:
                 new[edge] = table[edge]
                 continue
-            if _cut_step_holds(analysis, edge, table):
+            if _cut_step_holds(analysis, edge, table, session):
                 new[edge] = depth
         if len(new) == len(table):
             break
@@ -500,19 +518,26 @@ class LambdaDecision:
         return f"{label}: {self.reason}"
 
 
-def analyse(one_cq: OneCQ) -> LambdaAnalysis:
-    """Precompute types, black/blue sets and the cuttability table."""
+def analyse(one_cq: OneCQ, session=None) -> LambdaAnalysis:
+    """Precompute types, black/blue sets and the cuttability table.
+
+    ``session`` selects the engine state every hom check and interned
+    segment copy goes through (the default session when omitted), so a
+    decision run inside an explicit
+    :class:`~repro.session.Session` fills that session's caches.
+    """
     k = one_cq.span
     types = all_types(k)
-    black = compute_black(one_cq, types)
+    black = compute_black(one_cq, types, session)
     blue = compute_blue(one_cq, types, black)
     analysis = LambdaAnalysis(one_cq, types, black, blue)
-    compute_cuttable(analysis)
+    compute_cuttable(analysis, session=session)
     return analysis
 
 
 def decide_lambda(
     cq: DitreeCQ | OneCQ | Structure,
+    session=None,
 ) -> LambdaDecision:
     """Decide the FO/L dichotomy of Theorem 9 for a Λ-CQ.
 
@@ -532,7 +557,7 @@ def decide_lambda(
             True, "span 0: no budding, 𝔎_q = {q} is finite", 0
         )
 
-    analysis = analyse(one_cq)
+    analysis = analyse(one_cq, session)
     completable = compute_completable(analysis.types, analysis.blue, k)
     infinite = compute_infinite(completable, k)
 
@@ -555,7 +580,7 @@ def decide_lambda(
             extension = dict(zip(labels, combo))
             if not any(child in infinite for child in extension.values()):
                 continue  # no periodic part can grow below this root
-            if not _anchored_cover_exists(analysis, t0, extension):
+            if not _anchored_cover_exists(analysis, t0, extension, session):
                 witness = (
                     t0.describe()
                     + " -> "
@@ -583,18 +608,21 @@ def _anchored_cover_exists(
     analysis: LambdaAnalysis,
     t0: SegType,
     extension: dict[int, SegType],
+    session=None,
 ) -> bool:
     """Final root check: an anchored root-segment homomorphism whose
     budded leaves land on cuttable A-nodes."""
     one_cq = analysis.one_cq
     k = one_cq.span
     parts = {
-        "r": segment_structure(one_cq, t0.buds, root=True, tag="r"),
+        "r": segment_structure(
+            one_cq, t0.buds, root=True, tag="r", session=session
+        ),
     }
     glue_edges = []
     for j, child in extension.items():
         parts[("c", j)] = segment_structure(
-            one_cq, child.buds, root=False, tag=("c", j)
+            one_cq, child.buds, root=False, tag=("c", j), session=session
         )
         glue_edges.append(("r", j, ("c", j)))
     target, resolver = glue_segments(parts, glue_edges, one_cq)
@@ -620,4 +648,5 @@ def _anchored_cover_exists(
         approved,
         forbidden=None,
         root=True,
+        session=session,
     )

@@ -108,11 +108,16 @@ class Session:
         self.cactus.clear()
 
     def resolve_backend(
-        self, backend: str | None = None, target: Structure | None = None
+        self,
+        backend: str | None = None,
+        target: Structure | None = None,
+        source: Structure | None = None,
     ) -> str:
         """The concrete backend a call would use: per-call ``backend``
-        beats the config default; ``auto`` resolves per ``target``."""
-        return self.hom.resolve_backend(backend, target)
+        beats the config default; ``auto`` resolves per call from the
+        ``source``'s cached decomposition width (tree-shaped queries
+        route to ``decomp``) and the ``target``'s size/density."""
+        return self.hom.resolve_backend(backend, target, source)
 
     # -- engine-level entry points --------------------------------------
 

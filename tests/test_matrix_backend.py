@@ -53,7 +53,7 @@ def three_way(q, d, **kwargs):
 
 class TestThreeWayCrossValidation:
     def test_backends_registered(self):
-        assert BACKENDS == ("naive", "bitset", "matrix")
+        assert BACKENDS == ("naive", "bitset", "matrix", "decomp")
 
     def test_random_instances_enumerate_identically(self):
         """Identical hom sets on 60 random (query, instance) pairs from

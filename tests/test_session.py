@@ -402,23 +402,58 @@ class TestWorkerWireCache:
         assert len(runtime._WIRE_CACHE) == 3
 
     def test_worker_opts_carry_session_backend_and_cache(self):
-        """Sharded tasks ship the calling session's resolved backend
-        and cache veto — workers must not silently fall back to their
-        own env-built defaults (the naive-oracle pattern of quickstart
-        section 7 depends on this)."""
+        """Sharded tasks ship the calling session's resolved backend,
+        cache veto *and full config* — workers must not silently fall
+        back to their own env-built defaults (the naive-oracle pattern
+        of quickstart section 7 depends on this)."""
         from repro.core import runtime
 
         with Session(
             EngineConfig(backend="naive", hom_cache=False)
         ) as oracle:
-            assert runtime._worker_opts(oracle, None) == ("naive", False)
+            backend, veto, config = runtime._worker_opts(oracle, None)
+            assert (backend, veto) == ("naive", False)
+            # The full resolved config ships, with nested parallelism
+            # stripped (a worker must never spawn its own pool).
+            assert config == oracle.config.replace(workers=1)
             # A per-call backend still wins over the session default.
-            assert runtime._worker_opts(oracle, "matrix") == (
+            assert runtime._worker_opts(oracle, "matrix")[:2] == (
                 "matrix", False
             )
         with Session(EngineConfig(backend="auto")) as adaptive:
             # "auto" ships as-is: workers keep resolving it per target.
-            assert runtime._worker_opts(adaptive, None) == ("auto", None)
+            assert runtime._worker_opts(adaptive, None)[:2] == ("auto", None)
+
+    def test_worker_session_honours_shipped_config(self):
+        """A worker task carrying an EngineConfig runs in a session
+        built from it — cache sizes and thresholds included — instead
+        of the worker's env-built default session (ROADMAP leftover
+        closed: the full config now ships over the wire)."""
+        from repro.core import runtime
+
+        config = EngineConfig(
+            backend="naive", hom_cache_size=7, worker_cache_size=3
+        )
+        shipped = config.replace(workers=1)
+        session = runtime._worker_session(shipped)
+        assert session.hom.cache_maxsize == 7
+        assert session.hom.default_backend == "naive"
+        assert session.pool.workers == 1
+        # Same config -> same worker session (and its warm caches).
+        assert runtime._worker_session(shipped) is session
+        # A task from a differently-configured caller swaps it out.
+        other = runtime._worker_session(shipped.replace(hom_cache_size=9))
+        assert other is not session
+        assert other.hom.cache_maxsize == 9
+        # In-process worker call honours the shipped config end to end.
+        q = path_structure(["T", ""])
+        d = path_structure(["T", "", ""])
+        answers = runtime._worker_evaluate_chunk(
+            to_wire(q), [to_wire(d)], None, 0, None, shipped
+        )
+        assert answers == [True]
+        assert runtime._WORKER_SESSION[0] == shipped
+        runtime._WORKER_SESSION = None
 
     def test_parallel_screen_correct_with_worker_cache(self):
         """Back-to-back screens over one family (the cache's target
