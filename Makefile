@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench-homengine bench-cactus bench-batch bench-decomp bench check ci
+.PHONY: test lint fuzz bench-homengine bench-cactus bench-batch bench-decomp bench check ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -34,6 +34,13 @@ lint-env-gate:
 		echo "env gate: ok (environment reads confined to core/config.py)"; \
 	fi
 
+## differential fuzz smoke: seeded cross-check of all hom backends,
+## serial-vs-parallel sharding, and governed-session sanity.  The
+## fixed seed makes CI failures replayable locally with the same
+## arguments; --seconds caps the job even on throttled runners.
+fuzz:
+	$(PYTHON) scripts/fuzz_differential.py --seed 0 --cases 2000 --seconds 25
+
 ## hom-engine backend comparison (naive vs bitset); writes BENCH_homengine.json
 bench-homengine:
 	$(PYTHON) scripts/bench_homengine.py
@@ -61,8 +68,8 @@ check: test
 	$(PYTHON) scripts/bench_batch.py --check
 	$(PYTHON) scripts/bench_decomp.py --check
 
-## everything the CI workflow runs (tests, lint, perf gates)
-ci: test lint
+## everything the CI workflow runs (tests, lint, fuzz smoke, perf gates)
+ci: test lint fuzz
 	$(PYTHON) scripts/bench_homengine.py --check --output /tmp/BENCH_homengine.json
 	$(PYTHON) scripts/bench_cactus.py --check --output /tmp/BENCH_cactus.json
 	$(PYTHON) scripts/bench_batch.py --check --output /tmp/BENCH_batch.json

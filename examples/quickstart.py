@@ -201,6 +201,60 @@ def main() -> None:
               routed.evaluate_batch(rewriting[0], family, backend="decomp")
               == answers)
 
+    # ------------------------------------------------------------------
+    # 9. Resilience: deadlines, fuel budgets, and tri-state answers.
+    #
+    #    Boundedness is undecidable in general and even the decidable
+    #    fragments are 2ExpTime-hard, so any real deployment needs a
+    #    way to say "spend at most this much".  EngineConfig has three
+    #    cooperative budgets, checked cheaply inside the hot loops:
+    #
+    #      deadline_ms       wall-clock cap for one top-level call
+    #      hom_fuel          unit-step cap on homomorphism search work
+    #      cactus_max_nodes  size cap on any single cactus expansion
+    #
+    #    A governed call never hangs and never lies: instead of an
+    #    answer it may return Answer.unknown(reason) — a tri-state
+    #    value that refuses bool() so exhaustion cannot be mistaken
+    #    for False.  The reasons mirror a typed failure taxonomy
+    #    (EngineError > ResourceExhausted > DeadlineExceeded /
+    #    FuelExhausted / CactusBudgetExceeded, plus WorkerFailure for
+    #    pool faults); inner engine layers raise, only the outermost
+    #    API converts to UNKNOWN.  Batch surfaces keep every answer
+    #    settled before the budget tripped.
+    #
+    #    The process pool is governed too: shard_timeout_ms bounds any
+    #    single shard, a crashed or hung worker pool is rebuilt and the
+    #    failed shards requeued once, and a second failure quarantines
+    #    the pool (cooldown, then a health probe respawns it) while the
+    #    work completes serially in the parent — same answers, slower.
+    # ------------------------------------------------------------------
+    from repro import Answer
+
+    print()
+    # A hostile query under a deadline: q2's span-2 shape universe is
+    # tower-exponential, so a deep probe would run ~forever ungoverned.
+    # Under deadline_ms=2000 it returns UNKNOWN("deadline") within ~2x
+    # the deadline; the example uses 300ms only to keep this file fast.
+    hostile = OneCQ.from_structure(zoo.q2())
+    with Session(EngineConfig(deadline_ms=300)) as governed:
+        probe = governed.probe_boundedness(hostile, probe_depth=40)
+        print(f"deep probe of q2 under a 300ms deadline: "
+              f"{probe.describe()}")
+
+        # Fuel-starved batch evaluation: settled prefixes survive,
+        # exhausted slots come back UNKNOWN instead of a wrong False.
+    with Session(EngineConfig(hom_fuel=50)) as governed:
+        entries = governed.ucq_certain_answers(rewriting, family[:8])
+        shown = ["?" if isinstance(e, Answer) and not e.known else e
+                 for e in entries]
+        print(f"fuel-starved UCQ sweep (tri-state): {shown}")
+        unknown = next((e for e in entries
+                        if isinstance(e, Answer) and not e.known), None)
+        if unknown is not None:
+            print(f"UNKNOWN reason: {unknown.reason!r}; bool() on it "
+                  f"raises EngineError rather than guessing")
+
 
 if __name__ == "__main__":
     main()

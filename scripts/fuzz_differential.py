@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Differential fuzzer: all hom backends + serial-vs-parallel agreement.
+
+Draws seeded random (query, target) pairs from the workload generators
+and cross-checks every answer four ways:
+
+* **Backend agreement** — ``has_homomorphism`` must answer identically
+  under ``naive`` (the correctness oracle), ``bitset``, ``matrix``
+  (silently the bitset fallback without numpy) and ``decomp``.
+* **Count agreement** — on small targets, ``count_homomorphisms``
+  must agree between ``naive``, ``bitset`` and ``decomp``.
+* **Serial vs parallel** — ``parallel_evaluate_batch`` over a sharded
+  2-worker pool must reproduce the serial ``evaluate_batch`` answers
+  bit-for-bit, and ``parallel_screen`` must reproduce the per-query
+  serial sweeps.
+* **Governed sanity** — a fuel-starved governed session must return
+  only UNKNOWN or answers identical to the oracle, never a wrong
+  known answer.
+
+Any disagreement prints a self-contained repro (the case seed and the
+wire forms of query and target) and exits 1; a clean run prints a
+summary and exits 0.  The run is fully determined by ``--seed``, so CI
+failures replay locally with the same arguments.
+
+Usage::
+
+    python scripts/fuzz_differential.py [--seed N] [--cases N]
+                                        [--seconds S] [--workers N]
+
+``--seconds`` is a soft wall-clock cap: the loop stops early (still
+exit 0) once exceeded, so the CI smoke job stays within its budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import EngineConfig, ResourceExhausted, Session  # noqa: E402
+from repro.core.runtime import (  # noqa: E402
+    parallel_evaluate_batch,
+    parallel_screen,
+    to_wire,
+)
+from repro.workloads.generators import (  # noqa: E402
+    block_dag_instance,
+    random_ditree_cq,
+    random_instance,
+    random_lambda_cq,
+)
+
+BACKENDS = ("naive", "bitset", "matrix", "decomp")
+
+
+def draw_query(rng: random.Random):
+    """A small random query: ditree CQs, Λ-CQs and dense digraph CQs
+    in rotation, so the sweep hits both the tree-shaped decomp fast
+    path and the cyclic general case."""
+    kind = rng.randrange(3)
+    seed = rng.randrange(1 << 30)
+    if kind == 0:
+        q = random_ditree_cq(rng.randint(3, 6), seed)
+        if q is not None:
+            return q
+    if kind == 1:
+        q = random_lambda_cq(rng.randint(3, 6), seed, span=rng.randint(1, 2))
+        if q is not None:
+            return q
+    n = rng.randint(2, 5)
+    return random_instance(n, rng.randint(n, 2 * n), seed)
+
+
+def draw_target(rng: random.Random):
+    seed = rng.randrange(1 << 30)
+    if rng.randrange(4) == 0:
+        return block_dag_instance(rng.randint(8, 24), rng.randint(3, 5), seed)
+    n = rng.randint(4, 28)
+    return random_instance(n, rng.randint(n, 3 * n), seed)
+
+
+def report(case_seed: int, what: str, query, target, detail: str) -> None:
+    print(f"DISAGREEMENT in {what} (case seed {case_seed}): {detail}")
+    print(f"  query wire:  {to_wire(query)!r}")
+    print(f"  target wire: {to_wire(target)!r}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--cases", type=int, default=200)
+    ap.add_argument("--seconds", type=float, default=None)
+    ap.add_argument("--workers", type=int, default=2)
+    args = ap.parse_args()
+
+    rng = random.Random(args.seed)
+    started = time.monotonic()
+    sessions = {
+        b: Session(EngineConfig(backend=b)) for b in BACKENDS
+    }
+    oracle = sessions["naive"]
+    governed = Session(EngineConfig(backend="bitset", hom_fuel=200))
+    parallel = Session(
+        EngineConfig(backend="bitset", workers=args.workers, parallel_min=8)
+    )
+    serial = Session(EngineConfig(backend="bitset", workers=1))
+
+    checks = 0
+    cases = 0
+    batch_queries: list = []
+    batch_targets: list = []
+    for case in range(args.cases):
+        if args.seconds is not None and (
+            time.monotonic() - started > args.seconds
+        ):
+            print(f"time cap hit after {cases} cases")
+            break
+        case_seed = rng.randrange(1 << 30)
+        case_rng = random.Random(case_seed)
+        query = draw_query(case_rng)
+        target = draw_target(case_rng)
+        cases += 1
+
+        answers = {
+            b: sessions[b].has_homomorphism(query, target) for b in BACKENDS
+        }
+        checks += len(BACKENDS)
+        if len(set(answers.values())) != 1:
+            report(case_seed, "has_homomorphism", query, target, repr(answers))
+            return 1
+
+        if len(target.nodes) <= 12:
+            counts = {
+                b: sessions[b].count_homomorphisms(query, target)
+                for b in ("naive", "bitset", "decomp")
+            }
+            checks += 3
+            if len(set(counts.values())) != 1:
+                report(
+                    case_seed, "count_homomorphisms", query, target,
+                    repr(counts),
+                )
+                return 1
+
+        # A bare governed engine call raises on exhaustion; any answer
+        # it *does* return must match the oracle.
+        try:
+            g = governed.has_homomorphism(query, target)
+        except ResourceExhausted:
+            g = None
+        checks += 1
+        if isinstance(g, bool) and g != answers["naive"]:
+            report(
+                case_seed, "governed has_homomorphism", query, target,
+                f"governed={g!r} oracle={answers['naive']!r}",
+            )
+            return 1
+
+        batch_queries.append(query)
+        batch_targets.append(target)
+        if len(batch_targets) >= 24:
+            q = batch_queries[0]
+            want = serial.evaluate_batch(q, batch_targets)
+            got = parallel_evaluate_batch(
+                q, batch_targets, session=parallel, min_batch=8
+            )
+            checks += len(batch_targets)
+            if got != want:
+                report(
+                    case_seed, "parallel_evaluate_batch", q,
+                    batch_targets[0],
+                    f"serial={want!r} parallel={got!r}",
+                )
+                return 1
+            screen_queries = batch_queries[:3]
+            want_rows = [
+                serial.evaluate_batch(sq, batch_targets)
+                for sq in screen_queries
+            ]
+            got_rows = parallel_screen(
+                screen_queries, batch_targets, session=parallel, min_batch=8
+            )
+            checks += len(screen_queries) * len(batch_targets)
+            if got_rows != want_rows:
+                report(
+                    case_seed, "parallel_screen", screen_queries[0],
+                    batch_targets[0],
+                    f"serial={want_rows!r} parallel={got_rows!r}",
+                )
+                return 1
+            batch_queries.clear()
+            batch_targets.clear()
+
+    for s in (*sessions.values(), governed, parallel, serial):
+        s.close()
+    elapsed = time.monotonic() - started
+    print(
+        f"ok: {cases} cases, {checks} cross-checks, "
+        f"0 disagreements in {elapsed:.1f}s (seed {args.seed})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,17 +38,25 @@ classifiers and the Lambda-CQ decider), :mod:`repro.circuits` and
 
 from .core import (
     A,
+    Answer,
+    Budget,
+    CactusBudgetExceeded,
+    DeadlineExceeded,
     EngineConfig,
+    EngineError,
     F,
+    FuelExhausted,
     OneCQ,
     Program,
     R,
+    ResourceExhausted,
     Rule,
     S,
     Structure,
     StructureBuilder,
     T,
     Verdict,
+    WorkerFailure,
     cactus_factory,
     certain_answer,
     compile_programs,
@@ -78,13 +86,21 @@ __version__ = "1.1.0"
 
 __all__ = [
     "A",
+    "Answer",
+    "Budget",
+    "CactusBudgetExceeded",
+    "DeadlineExceeded",
     "EngineConfig",
+    "EngineError",
     "F",
+    "FuelExhausted",
     "OneCQ",
     "Program",
     "R",
+    "ResourceExhausted",
     "Rule",
     "S",
+    "WorkerFailure",
     "Session",
     "Structure",
     "StructureBuilder",

@@ -47,7 +47,8 @@ from typing import Sequence
 from .cactus import Cactus, iter_cactuses
 from .cq import OneCQ
 from .decomp import ProbeCoverage, query_width
-from .homengine import evaluate_batch
+from .errors import Answer, ResourceExhausted, governed_scope
+from .homengine import evaluate_batch, evaluate_batch_governed
 from .homomorphism import covers_any
 from .runtime import parallel_covers_any, parallel_ucq_answers
 from .structure import A, Node, Structure, T
@@ -68,6 +69,7 @@ class ProbeResult:
     probe_depth: int
     cactuses_examined: int
     uncovered: tuple[str, ...]  # shapes of cactuses nothing shallow maps into
+    reason: str | None = None  # budget reason when INCONCLUSIVE by exhaustion
 
     def describe(self) -> str:
         if self.verdict is Verdict.BOUNDED:
@@ -76,10 +78,11 @@ class ProbeResult:
                 f"(probed to {self.probe_depth}, "
                 f"{self.cactuses_examined} cactuses)"
             )
+        tail = f", {self.reason}" if self.reason else ""
         return (
             f"{self.verdict.value} (probed to {self.probe_depth}, "
             f"{self.cactuses_examined} cactuses, "
-            f"{len(self.uncovered)} uncovered)"
+            f"{len(self.uncovered)} uncovered{tail})"
         )
 
 
@@ -176,58 +179,92 @@ def probe_boundedness(
     Cactus material streams out of the query's pooled incremental
     factory, so repeated probes (and a later rewriting extraction)
     share every materialised cactus.
+
+    On a governed session the whole probe — cactus enumeration and
+    every coverage check — shares one budget; when it trips, the probe
+    returns ``INCONCLUSIVE`` with ``reason`` set (``"deadline"``,
+    ``"fuel"``, ``"cactus-nodes"``) instead of hanging.
     """
-    cactuses = list(
-        iter_cactuses(one_cq, probe_depth, max_cactuses, session=session)
-    )
-    # Shallow-to-deep order maximises the warm-start hit rate: a
-    # cactus's construction delta points at its depth-pruned parent,
-    # which this order guarantees was checked (and its per-bag state
-    # retained) first.
-    cactuses.sort(key=lambda c: c.depth)
-    by_depth: dict[int, list[Cactus]] = {}
-    for cactus in cactuses:
-        by_depth.setdefault(cactus.depth, []).append(cactus)
-    max_seen = max(by_depth) if by_depth else 0
-    coverage = _probe_coverage(session, one_cq)
+    cactuses: list[Cactus] = []
+    try:
+        with governed_scope(session) as budget:
+            for cactus in iter_cactuses(
+                one_cq, probe_depth, max_cactuses, session=session
+            ):
+                cactuses.append(cactus)
 
-    for d in range(0, probe_depth):
-        shallow = [c for c in cactuses if c.depth <= d]
-        deep = [c for c in cactuses if c.depth > d]
-        if not deep:
-            # No budding is possible beyond depth d: 𝔎_q is finite and
-            # the query is trivially bounded (e.g. span 0).
-            return ProbeResult(
-                Verdict.BOUNDED, max_seen, probe_depth, len(cactuses), ()
-            )
-        if all(
-            _covered_by(c, shallow, require_focus, session, coverage)
-            for c in deep
-        ):
-            return ProbeResult(
-                Verdict.BOUNDED, d, probe_depth, len(cactuses), ()
-            )
+            def check(target: Cactus, shallow: list[Cactus]) -> bool:
+                # Coverage checks are few but individually expensive,
+                # so each one re-reads the clock: a tripped deadline
+                # surfaces within ~one check of the cutoff even on the
+                # warm-start path, whose DP carries no inner budget.
+                if budget is not None:
+                    budget.checkpoint()
+                    budget.charge()
+                return _covered_by(
+                    target, shallow, require_focus, session, coverage
+                )
 
-    # No d works.  Check whether the deepest layer is covered by anything
-    # at all shallower; if not, this is evidence of unboundedness.
-    deepest = by_depth.get(max_seen, [])
-    shallow = [c for c in cactuses if c.depth < max_seen]
-    uncovered = tuple(
-        c.shape.describe()
-        for c in deepest
-        if not _covered_by(c, shallow, require_focus, session, coverage)
-    )
-    if uncovered:
+            # Shallow-to-deep order maximises the warm-start hit rate: a
+            # cactus's construction delta points at its depth-pruned
+            # parent, which this order guarantees was checked (and its
+            # per-bag state retained) first.
+            cactuses.sort(key=lambda c: c.depth)
+            by_depth: dict[int, list[Cactus]] = {}
+            for cactus in cactuses:
+                by_depth.setdefault(cactus.depth, []).append(cactus)
+            max_seen = max(by_depth) if by_depth else 0
+            coverage = _probe_coverage(session, one_cq)
+
+            for d in range(0, probe_depth):
+                shallow = [c for c in cactuses if c.depth <= d]
+                deep = [c for c in cactuses if c.depth > d]
+                if not deep:
+                    # No budding is possible beyond depth d: 𝔎_q is
+                    # finite and the query is trivially bounded (e.g.
+                    # span 0).
+                    return ProbeResult(
+                        Verdict.BOUNDED,
+                        max_seen,
+                        probe_depth,
+                        len(cactuses),
+                        (),
+                    )
+                if all(check(c, shallow) for c in deep):
+                    return ProbeResult(
+                        Verdict.BOUNDED, d, probe_depth, len(cactuses), ()
+                    )
+
+            # No d works.  Check whether the deepest layer is covered by
+            # anything at all shallower; if not, this is evidence of
+            # unboundedness.
+            deepest = by_depth.get(max_seen, [])
+            shallow = [c for c in cactuses if c.depth < max_seen]
+            uncovered = tuple(
+                c.shape.describe()
+                for c in deepest
+                if not check(c, shallow)
+            )
+            if uncovered:
+                return ProbeResult(
+                    Verdict.UNBOUNDED_EVIDENCE,
+                    None,
+                    probe_depth,
+                    len(cactuses),
+                    uncovered,
+                )
+            return ProbeResult(
+                Verdict.INCONCLUSIVE, None, probe_depth, len(cactuses), ()
+            )
+    except ResourceExhausted as exc:
         return ProbeResult(
-            Verdict.UNBOUNDED_EVIDENCE,
+            Verdict.INCONCLUSIVE,
             None,
             probe_depth,
             len(cactuses),
-            uncovered,
+            (),
+            reason=exc.reason,
         )
-    return ProbeResult(
-        Verdict.INCONCLUSIVE, None, probe_depth, len(cactuses), ()
-    )
 
 
 def ucq_rewriting(one_cq: OneCQ, depth: int, session=None) -> list[Structure]:
@@ -261,7 +298,7 @@ def ucq_certain_answer(
 
 def ucq_certain_answers(
     ucq: list[Structure], instances: Sequence[Structure], session=None
-) -> list[bool]:
+) -> "list[bool | Answer]":
     """Evaluate a Boolean UCQ over a whole family of data instances.
 
     The family-probing counterpart of :func:`ucq_certain_answer`.
@@ -275,23 +312,53 @@ def ucq_certain_answers(
     instances in one :func:`~repro.core.homengine.evaluate_batch`
     (sharing its compiled source plan and the hom-cache), and
     instances already answered 'yes' drop out of later sweeps.
+
+    Governed sessions get tri-state entries: 'yes' answers found before
+    the budget tripped stay ``True`` (the certain answer is monotone in
+    the disjuncts), undecided instances come back as
+    ``Answer.unknown(reason)`` — a disjunct the sweep never reached
+    might have flipped them.
     """
     if len(ucq) >= 2:
         sharded = parallel_ucq_answers(ucq, instances, session=session)
         if sharded is not None:
             return sharded
-    results = [False] * len(instances)
-    for disjunct in ucq:
-        pending = [i for i, done in enumerate(results) if not done]
-        if not pending:
-            break
-        answers = evaluate_batch(
-            disjunct, [instances[i] for i in pending], session=session
-        )
-        for i, answer in zip(pending, answers):
-            if answer:
-                results[i] = True
-    return results
+    with governed_scope(session) as budget:
+        results: "list[bool | Answer]" = [False] * len(instances)
+        if budget is None:
+            for disjunct in ucq:
+                pending = [i for i, done in enumerate(results) if not done]
+                if not pending:
+                    break
+                answers = evaluate_batch(
+                    disjunct,
+                    [instances[i] for i in pending],
+                    session=session,
+                )
+                for i, answer in zip(pending, answers):
+                    if answer:
+                        results[i] = True
+            return results
+        for disjunct in ucq:
+            pending = [
+                i for i in range(len(instances)) if results[i] is not True
+            ]
+            if not pending:
+                break
+            entries = evaluate_batch_governed(
+                disjunct,
+                [instances[i] for i in pending],
+                session=session,
+                budget=budget,
+            )
+            for i, entry in zip(pending, entries):
+                if entry is True:
+                    results[i] = True
+                elif isinstance(entry, str) and results[i] is False:
+                    # Never downgrade back to False once unknown: the
+                    # unanswered disjunct could have been the 'yes'.
+                    results[i] = Answer.unknown(entry)
+        return results
 
 
 def probe_family_boundedness(

@@ -50,6 +50,7 @@ from typing import Iterator, Mapping
 
 from .config import EngineConfig
 from .cq import OneCQ
+from .errors import CactusBudgetExceeded, call_budget
 from .homomorphism import covers_any, find_homomorphism
 from .structure import (
     A,
@@ -139,22 +140,34 @@ def count_shapes(span: int, max_depth: int) -> int:
     return count
 
 
-def iter_shapes(span: int, max_depth: int) -> Iterator[Shape]:
+def iter_shapes(
+    span: int, max_depth: int, budget=None
+) -> Iterator[Shape]:
     """All shapes of depth at most ``max_depth`` for a given span.
 
     The count grows as a tower in ``span`` (see :func:`count_shapes`);
-    callers should keep ``max_depth`` small for span >= 2.
+    callers should keep ``max_depth`` small for span >= 2.  The
+    recursion *materialises* each subshape universe before yielding
+    anything from the level above, so for span >= 2 a deep enumeration
+    spends unbounded time with nothing reaching the caller's loop —
+    which is why the optional ``budget`` is charged here, per
+    constructed shape inside every recursive level, and not only at
+    the consuming loop.
     """
     if max_depth < 0:
         return
     if max_depth == 0 or span == 0:
+        if budget is not None:
+            budget.charge()
         yield Shape.leaf()
         return
-    subshapes = list(iter_shapes(span, max_depth - 1))
+    subshapes = list(iter_shapes(span, max_depth - 1, budget))
     indices = list(range(span))
     for r in range(span + 1):
         for budset in itertools.combinations(indices, r):
             for combo in itertools.product(subshapes, repeat=len(budset)):
+                if budget is not None:
+                    budget.charge()
                 yield Shape.make(dict(zip(budset, combo)))
 
 
@@ -390,6 +403,7 @@ class CactusState:
         self.factory_pool_size = config.factory_pool_size
         self.cactus_cache_size = config.cactus_cache_size
         self.intern_size = config.structure_intern_size
+        self.max_nodes = config.cactus_max_nodes
         self._factories: OrderedDict[OneCQ, CactusFactory] = OrderedDict()
         self._intern: OrderedDict[tuple, Structure] = OrderedDict()
 
@@ -588,6 +602,16 @@ class CactusFactory:
                 )
                 cover_delta = (base.structure,) + sigma_delta[1:]
             state.intern_structure(self.intern_key, shape, structure)
+        limit = state.max_nodes
+        if limit is not None and len(structure.nodes) > limit:
+            # The structure is interned above regardless: building it is
+            # sunk cost, and a later session/config with a higher cap
+            # can reuse it.  Only materialising a *Cactus* past the cap
+            # is refused.
+            raise CactusBudgetExceeded(
+                f"cactus of shape depth {depth} has "
+                f"{len(structure.nodes)} nodes > cactus_max_nodes={limit}"
+            )
         cactus = Cactus(
             self.one_cq,
             structure,
@@ -785,11 +809,18 @@ def iter_cactuses(
     Streams through the (pooled) incremental factory: enumerating to
     depth ``d`` materialises every depth ``< d`` cactus along the way,
     and a later enumeration — same or greater depth, same query —
-    reuses every one of them.
+    reuses every one of them.  Under a governed session each cactus
+    materialised charges the operation budget (one charge plus a
+    deadline checkpoint: materialisation is coarse work), so open-ended
+    enumerations stop at the deadline instead of filling memory.
     """
     factory = factory or cactus_factory(one_cq, session)
+    budget = call_budget(session)
     produced = 0
-    for shape in iter_shapes(one_cq.span, max_depth):
+    for shape in iter_shapes(one_cq.span, max_depth, budget):
+        if budget is not None:
+            budget.charge()
+            budget.checkpoint()
         yield factory.cactus(shape)
         produced += 1
         if max_count is not None and produced >= max_count:

@@ -45,6 +45,25 @@ Environment variables
     (20000 cactuses).
 ``REPRO_CACTUS_INTERN_SIZE``
     Capacity of the cross-factory structure intern table (4096).
+``REPRO_DEADLINE_MS`` / ``REPRO_HOM_FUEL``
+    Cooperative resource governance (unset: off).  ``deadline_ms`` is a
+    wall-clock budget per governed operation; ``hom_fuel`` caps the
+    number of coarse search steps (AC-3 edge revisions, backtracking
+    candidates, semijoin tuples).  When either is set, governed
+    surfaces return tri-state :class:`~repro.core.errors.Answer`
+    results instead of hanging on hostile inputs.
+``REPRO_CACTUS_MAX_NODES``
+    Hard cap on the node count of any single cactus the factory will
+    materialise (unset: unlimited); raises
+    :class:`~repro.core.errors.CactusBudgetExceeded` past it.
+``REPRO_SHARD_TIMEOUT_MS``
+    Per-shard wall-clock timeout in the pool runtime (unset: none).  A
+    shard that exceeds it is treated as a worker failure: requeued once
+    on a rebuilt pool, then quarantined to in-parent serial execution.
+``REPRO_POOL_COOLDOWN_MS``
+    How long a pool that failed repeatedly stays quarantined before the
+    next large batch probes it again (default 5000); replaces the old
+    permanently-broken behaviour.
 """
 
 from __future__ import annotations
@@ -167,6 +186,22 @@ class EngineConfig:
     factory_pool_size: int = 32
     cactus_cache_size: int = 20000
     structure_intern_size: int = 4096
+    # resource governance (None = ungoverned: no deadline, no fuel cap,
+    # unbounded cactuses — the historical behaviour, and the default)
+    deadline_ms: int | None = None
+    hom_fuel: int | None = None
+    cactus_max_nodes: int | None = None
+    # pool resilience.  shard_timeout_ms=None means shards may run
+    # unboundedly (a hung worker is then only caught by the deadline);
+    # pool_cooldown_ms is how long a repeatedly-failing pool stays
+    # quarantined before it is probed again.
+    shard_timeout_ms: int | None = None
+    pool_cooldown_ms: int = 5000
+    # Test-only fault injection: ((mode, worker_task_ordinal), ...)
+    # with mode in {"crash", "hang", "corrupt"}.  Consulted only inside
+    # pool worker processes (runtime._worker_session); empty in
+    # production.
+    fault_plan: tuple = ()
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_CHOICES:
@@ -181,9 +216,29 @@ class EngineConfig:
             "factory_pool_size",
             "cactus_cache_size",
             "structure_intern_size",
+            "pool_cooldown_ms",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
+        for name in (
+            "deadline_ms",
+            "hom_fuel",
+            "cactus_max_nodes",
+            "shard_timeout_ms",
+        ):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive (or None)")
+        for entry in self.fault_plan:
+            mode, when = entry  # ValueError on malformed entries
+            if mode not in ("crash", "hang", "corrupt") or when < 0:
+                raise ValueError(f"bad fault_plan entry {entry!r}")
+
+    @property
+    def governed(self) -> bool:
+        """Whether governed surfaces should produce tri-state results
+        (any of the deadline/fuel budgets is set)."""
+        return self.deadline_ms is not None or self.hom_fuel is not None
 
     @classmethod
     def from_env(cls, environ: Mapping | None = None, **overrides):
@@ -229,6 +284,19 @@ class EngineConfig:
             ),
             structure_intern_size=_env_int(
                 env, "REPRO_CACTUS_INTERN_SIZE", defaults.structure_intern_size
+            ),
+            deadline_ms=_env_int(
+                env, "REPRO_DEADLINE_MS", defaults.deadline_ms
+            ),
+            hom_fuel=_env_int(env, "REPRO_HOM_FUEL", defaults.hom_fuel),
+            cactus_max_nodes=_env_int(
+                env, "REPRO_CACTUS_MAX_NODES", defaults.cactus_max_nodes
+            ),
+            shard_timeout_ms=_env_int(
+                env, "REPRO_SHARD_TIMEOUT_MS", defaults.shard_timeout_ms
+            ),
+            pool_cooldown_ms=_env_int(
+                env, "REPRO_POOL_COOLDOWN_MS", defaults.pool_cooldown_ms
             ),
         )
         values.update(overrides)

@@ -564,7 +564,9 @@ def _edge_support(idx, p: str, child_is_src: bool, v: int) -> int:
     return masks[v]
 
 
-def _forest_filter(plan: DecompPlan, idx, domains: list[int]) -> bool:
+def _forest_filter(
+    plan: DecompPlan, idx, domains: list[int], budget=None
+) -> bool:
     """One bottom-up directional semijoin pass (leaves to roots).
 
     For forest-shaped queries this single pass — one revision per query
@@ -572,6 +574,8 @@ def _forest_filter(plan: DecompPlan, idx, domains: list[int]) -> bool:
     which is *decisive*: a hom exists iff every domain stays non-empty.
     """
     for child in reversed(plan.forest_order):
+        if budget is not None:
+            budget.charge()  # one directional edge revision
         par = plan.forest_parent[child]
         if par < 0:
             continue
@@ -804,7 +808,11 @@ def _child_key(plan: DecompPlan, c: int, tup: tuple) -> tuple:
 
 
 def _solve_relational(
-    plan: DecompPlan, target: Structure, doms, counting: bool = False
+    plan: DecompPlan,
+    target: Structure,
+    doms,
+    counting: bool = False,
+    budget=None,
 ):
     """Bottom-up semijoin DP; returns ``(index, weights)`` or ``None``.
 
@@ -822,6 +830,8 @@ def _solve_relational(
         surv: dict[tuple, list] = {}
         wts: dict[tuple, int] = {} if counting else None
         for tup in _enum_bag(plan, b, doms, target, order):
+            if budget is not None:
+                budget.charge()  # one semijoin tuple consumed
             w = 1
             dead = False
             for c in plan.bag_children[b]:
@@ -881,6 +891,7 @@ def _iter_decomp(
     node_filter: Callable[[Node, Node], bool] | None,
     node_domains,
     forbid,
+    budget=None,
 ) -> Iterator[dict[Node, Node]]:
     """The ``decomp`` backend: enumerate all homomorphisms via the
     decomposition DP (registered in ``homengine._BACKEND_IMPLS``)."""
@@ -896,7 +907,7 @@ def _iter_decomp(
         if prepared is None:
             return
         domains, idx = prepared
-        if not _forest_filter(plan, idx, domains):
+        if not _forest_filter(plan, idx, domains, budget):
             return
         yield from _iter_forest(plan, idx, domains)
         return
@@ -906,7 +917,7 @@ def _iter_decomp(
     )
     if doms is None:
         return
-    solved = _solve_relational(plan, target, doms)
+    solved = _solve_relational(plan, target, doms, budget=budget)
     if solved is None:
         return
     yield from _iter_relational(plan, solved[0])
@@ -920,6 +931,7 @@ def count_decomp(
     node_filter,
     node_domains,
     forbid,
+    budget=None,
 ) -> tuple[int, dict[Node, Node] | None]:
     """``(count, first_witness)`` via bag-product counting — the DP
     multiplies per-bag extension counts instead of enumerating the hom
@@ -936,7 +948,7 @@ def count_decomp(
         if prepared is None:
             return 0, None
         domains, idx = prepared
-        if not _forest_filter(plan, idx, domains):
+        if not _forest_filter(plan, idx, domains, budget):
             return 0, None
         count = _count_forest(plan, idx, domains)
         witness = next(_iter_forest(plan, idx, domains), None)
@@ -947,7 +959,7 @@ def count_decomp(
     )
     if doms is None:
         return 0, None
-    solved = _solve_relational(plan, target, doms, counting=True)
+    solved = _solve_relational(plan, target, doms, counting=True, budget=budget)
     if solved is None:
         return 0, None
     index, weights = solved

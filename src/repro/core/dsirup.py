@@ -34,6 +34,7 @@ from typing import Iterator
 from .cactus import count_shapes, goal_certain_via_cactuses
 from .cq import OneCQ, is_one_cq
 from .datalog import GOAL, goal_holds
+from .errors import governed_scope
 from .homomorphism import has_homomorphism
 from .sirup import compile_programs
 from .structure import A, F, Node, Structure, T, UnaryFact
@@ -204,20 +205,27 @@ def evaluate(
     ``strategy`` is one of ``auto``, ``exhaustive``, ``branching``,
     ``pi``, ``cactus``.  ``auto`` uses ``Π_q`` for 1-CQs and
     branch-and-prune otherwise.
+
+    A governed session (``deadline_ms`` / ``hom_fuel`` set) shares one
+    operation-wide budget across every nested homomorphism check; on
+    exhaustion the typed :class:`~.errors.ResourceExhausted` propagates
+    to the caller (``Session.certain_answer`` converts it to an
+    ``Answer.unknown``).
     """
-    if strategy == "exhaustive":
-        return evaluate_exhaustive(q, data, session)
-    if strategy == "branching":
-        return evaluate_branching(q, data, session)
-    if strategy == "pi":
-        return evaluate_via_pi(q, data, session)
-    if strategy == "cactus":
-        return evaluate_via_cactuses(q, data, session=session)
-    if strategy != "auto":
+    if strategy not in ("auto", "exhaustive", "branching", "pi", "cactus"):
         raise ValueError(f"unknown strategy {strategy!r}")
-    if is_one_cq(q):
-        return evaluate_via_pi(q, data, session)
-    return evaluate_branching(q, data, session)
+    with governed_scope(session):
+        if strategy == "exhaustive":
+            return evaluate_exhaustive(q, data, session)
+        if strategy == "branching":
+            return evaluate_branching(q, data, session)
+        if strategy == "pi":
+            return evaluate_via_pi(q, data, session)
+        if strategy == "cactus":
+            return evaluate_via_cactuses(q, data, session=session)
+        if is_one_cq(q):
+            return evaluate_via_pi(q, data, session)
+        return evaluate_branching(q, data, session)
 
 
 def certain_answer(q: Structure, data: Structure, session=None) -> bool:

@@ -96,6 +96,7 @@ from typing import Callable, Iterable, Iterator, Mapping, Sequence
 from . import decomp as _decomp
 from .config import BACKEND_CHOICES, EngineConfig, choose_auto_backend
 from .config import BACKENDS as BACKENDS  # re-export: stable engine API
+from .errors import Budget, ResourceExhausted, call_budget
 from .structure import Node, Structure, _canonical_key, numpy_or_none
 
 Seed = Mapping[Node, Node]
@@ -442,6 +443,7 @@ def _iter_naive(
     node_filter: Callable[[Node, Node], bool] | None,
     node_domains: NodeDomains | None,
     forbid: frozenset[Node] | None,
+    budget: Budget | None = None,
 ) -> Iterator[dict[Node, Node]]:
     domains = _naive_initial_domains(source, target, seed, restrict_image)
     if domains is None:
@@ -468,6 +470,8 @@ def _iter_naive(
             return
         node = order[index]
         for image in domains[node]:
+            if budget is not None:
+                budget.charge()
             if _naive_consistent(source, target, assignment, node, image):
                 assignment[node] = image
                 yield from backtrack(index + 1)
@@ -589,6 +593,7 @@ def _iter_bitset(
     node_filter: Callable[[Node, Node], bool] | None,
     node_domains: NodeDomains | None,
     forbid: frozenset[Node] | None,
+    budget: Budget | None = None,
 ) -> Iterator[dict[Node, Node]]:
     plan = _source_plan(source)
     n = plan.n
@@ -662,6 +667,8 @@ def _iter_bitset(
         queue = deque(range(len(edges)))
         queued = set(queue)
         while queue:
+            if budget is not None:
+                budget.charge()  # one AC-3 edge revision
             ei = queue.popleft()
             queued.discard(ei)
             xi, p, yi = edges[ei]
@@ -752,6 +759,8 @@ def _iter_bitset(
         rest = remaining & ~(1 << xi)
         dom = domains[xi]
         while dom:
+            if budget is not None:
+                budget.charge()  # one backtracking candidate
             bit = dom & -dom
             dom ^= bit
             v = bit.bit_length() - 1
@@ -795,6 +804,7 @@ def _iter_matrix(
     node_filter: Callable[[Node, Node], bool] | None,
     node_domains: NodeDomains | None,
     forbid: frozenset[Node] | None,
+    budget: Budget | None = None,
 ) -> Iterator[dict[Node, Node]]:
     np = numpy_or_none()
     if np is None:
@@ -802,7 +812,7 @@ def _iter_matrix(
         # extra, and backend="matrix" keeps yielding identical answers.
         yield from _iter_bitset(
             source, target, seed, restrict_image,
-            node_filter, node_domains, forbid,
+            node_filter, node_domains, forbid, budget,
         )
         return
     plan = _source_plan(source)
@@ -885,6 +895,8 @@ def _iter_matrix(
         queue = deque(range(len(edges)))
         queued = set(queue)
         while queue:
+            if budget is not None:
+                budget.charge()  # one AC-3 edge revision
             ei = queue.popleft()
             queued.discard(ei)
             xi, p, yi = edges[ei]
@@ -948,6 +960,8 @@ def _iter_matrix(
         rest = tuple(i for i in remaining if i != xi)
         rest_set = set(rest)
         for v in np.flatnonzero(domains[xi]):
+            if budget is not None:
+                budget.charge()  # one backtracking candidate
             v = int(v)
             # Forward checking replaces only the neighbour rows it
             # tightens; the displaced row objects are kept and restored
@@ -1011,6 +1025,7 @@ def iter_homomorphisms(
     forbid: frozenset[Node] | None = None,
     backend: str | None = None,
     session=None,
+    budget: Budget | None = None,
 ) -> Iterator[dict[Node, Node]]:
     """Yield all homomorphisms from ``source`` to ``target``.
 
@@ -1023,11 +1038,17 @@ def iter_homomorphisms(
     overrides the session default (``naive``, ``bitset``, ``matrix`` or
     ``auto``); all backends yield exactly the same set of
     homomorphisms.  ``session`` selects the engine state (default
-    session when omitted).
+    session when omitted).  ``budget`` is the cooperative resource
+    meter the search charges (resolved from the session when omitted:
+    the active governed-scope budget, else a transient per-call one;
+    ``None`` for ungoverned configs); an exhausted budget raises
+    :class:`~repro.core.errors.ResourceExhausted` out of the iteration.
     """
     impl = _BACKEND_IMPLS[
         _engine(session).resolve_backend(backend, target, source)
     ]
+    if budget is None:
+        budget = call_budget(session)
     yield from impl(
         source,
         target,
@@ -1036,6 +1057,7 @@ def iter_homomorphisms(
         node_filter,
         node_domains,
         forbid,
+        budget,
     )
 
 
@@ -1051,11 +1073,14 @@ def find_homomorphism(
     backend: str | None = None,
     use_cache: bool | None = None,
     session=None,
+    budget: Budget | None = None,
 ) -> dict[Node, Node] | None:
     """The first homomorphism found, or ``None`` (LRU-cached).
 
     Answers are cached across structurally-equal source/target pairs
     unless a ``node_filter`` callable is given or ``use_cache=False``.
+    Cache hits never touch the ``budget``; a miss charges the search
+    to it (resolved from the session when omitted).
     """
     engine = _engine(session)
     cacheable = (
@@ -1088,6 +1113,7 @@ def find_homomorphism(
             forbid=forbid,
             backend=resolved,
             session=session,
+            budget=budget,
         ),
         None,
     )
@@ -1108,6 +1134,7 @@ def count_homomorphisms(
     backend: str | None = None,
     use_cache: bool | None = None,
     session=None,
+    budget: Budget | None = None,
 ) -> int:
     """The number of homomorphisms from ``source`` to ``target``.
 
@@ -1138,9 +1165,11 @@ def count_homomorphisms(
         # counts in one bottom-up pass instead of enumerating the hom
         # set (which the other backends must, and which can be
         # exponentially large even for tree queries).
+        if budget is None:
+            budget = call_budget(session)
         count, first = _decomp.count_decomp(
             source, target, dict(seed or {}), restrict_image,
-            node_filter, node_domains, forbid,
+            node_filter, node_domains, forbid, budget,
         )
     else:
         first = None
@@ -1155,6 +1184,7 @@ def count_homomorphisms(
             forbid=forbid,
             backend=resolved,
             session=session,
+            budget=budget,
         ):
             if first is None:
                 first = hom
@@ -1183,6 +1213,7 @@ def has_homomorphism(
     backend: str | None = None,
     use_cache: bool | None = None,
     session=None,
+    budget: Budget | None = None,
 ) -> bool:
     """Does any homomorphism exist?  Shares the :func:`find_homomorphism`
     cache."""
@@ -1198,6 +1229,7 @@ def has_homomorphism(
             backend=backend,
             use_cache=use_cache,
             session=session,
+            budget=budget,
         )
         is not None
     )
@@ -1241,6 +1273,7 @@ def covers_any(
     backend: str | None = None,
     use_cache: bool | None = None,
     session=None,
+    budget: Budget | None = None,
 ) -> bool:
     """Does any of ``sources`` map homomorphically into ``target``?
 
@@ -1249,9 +1282,14 @@ def covers_any(
     indexes are built once and shared across the batch, sources are
     consumed lazily, and the scan stops at the first success — this is
     the inner loop of the Proposition 2 probe (does any shallow cactus
-    cover this deep one?) and of UCQ evaluation.
+    cover this deep one?) and of UCQ evaluation.  One budget spans the
+    whole scan.
     """
+    if budget is None:
+        budget = call_budget(session)
     for structure, seed in _source_seed_pairs(sources, seeds):
+        if budget is not None:
+            budget.checkpoint()
         if has_homomorphism(
             structure,
             target,
@@ -1259,6 +1297,7 @@ def covers_any(
             backend=backend,
             use_cache=use_cache,
             session=session,
+            budget=budget,
         ):
             return True
     return False
@@ -1271,18 +1310,62 @@ def evaluate_batch(
     backend: str | None = None,
     use_cache: bool | None = None,
     session=None,
+    budget: Budget | None = None,
 ) -> list[bool]:
     """Evaluate one Boolean CQ over many data instances.
 
     The query-side indexes and domains are shared across the batch and
     each per-instance answer goes through the hom-cache, so repeated
     instances (common in completion lattices and probe universes) are
-    answered once.
+    answered once.  One budget spans the whole batch; exhaustion raises
+    (use :func:`evaluate_batch_governed` to keep partial results).
     """
+    if budget is None:
+        budget = call_budget(session)
     return [
         has_homomorphism(
             query, data, backend=backend, use_cache=use_cache,
-            session=session,
+            session=session, budget=budget,
         )
         for data in instances
     ]
+
+
+def evaluate_batch_governed(
+    query: Structure,
+    instances: Iterable[Structure],
+    *,
+    backend: str | None = None,
+    use_cache: bool | None = None,
+    session=None,
+    budget: Budget | None = None,
+) -> list[bool | str]:
+    """:func:`evaluate_batch` that degrades instead of raising.
+
+    Entries are plain booleans until the budget trips; from that point
+    every remaining slot holds the exhaustion reason tag (the wire form
+    of ``Answer.unknown`` — see
+    :meth:`repro.core.errors.Answer.decode`), so a governed batch
+    preserves every answer computed before the budget ran out.  With an
+    ungoverned session this is exactly :func:`evaluate_batch`.
+    """
+    if budget is None:
+        budget = call_budget(session)
+    out: list[bool | str] = []
+    reason: str | None = None
+    for data in instances:
+        if reason is None:
+            try:
+                if budget is not None:
+                    budget.checkpoint()
+                out.append(
+                    has_homomorphism(
+                        query, data, backend=backend, use_cache=use_cache,
+                        session=session, budget=budget,
+                    )
+                )
+                continue
+            except ResourceExhausted as exc:
+                reason = exc.reason
+        out.append(reason)
+    return out

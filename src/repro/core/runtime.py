@@ -65,19 +65,43 @@ still running — the consumer behind
 
 from __future__ import annotations
 
+import atexit
+import multiprocessing
+import os
+import pickle
+import time
+import weakref
 from collections import OrderedDict
 from concurrent.futures import (
     FIRST_COMPLETED,
+    CancelledError,
     ProcessPoolExecutor,
     as_completed,
     wait,
 )
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from . import homengine
 from .config import BACKEND_CHOICES, EngineConfig
+from .errors import Answer, ResourceExhausted, WorkerFailure, governed_scope
 from .structure import BinaryFact, Structure, UnaryFact
+
+# The failure types that mean "the pool (or one worker) let us down" —
+# the only ones the sharded entry points are allowed to swallow into
+# recovery.  Anything else raised out of a worker is an engine bug and
+# must propagate to the caller, not silently degrade to the serial
+# path.
+_POOL_FAILURES = (
+    BrokenProcessPool,
+    CancelledError,
+    FuturesTimeout,
+    TimeoutError,
+    OSError,
+    pickle.PickleError,
+)
 
 Wire = tuple  # (node_order, unary, binary) — see to_wire
 
@@ -188,12 +212,54 @@ def _freeze_seed(seed) -> tuple | None:
 # lifetime; a task from a differently-configured session swaps it out.
 _WORKER_SESSION: tuple[EngineConfig, object] | None = None
 
+# Fault injection (test-only, driven by ``EngineConfig.fault_plan``):
+# the per-process ordinal counts chunk tasks this worker has started —
+# only while a fault plan ships, so production workers never touch it —
+# and the pending action signals "corrupt" to the chunk function that
+# triggered it.
+_FAULT_ORDINAL = 0
+_FAULT_ACTION: str | None = None
+
+
+def _maybe_inject_fault(config: EngineConfig | None) -> None:
+    """Fire the configured fault, if this worker task is scheduled for
+    one.  ``crash`` hard-exits the worker (simulating a segfault),
+    ``hang`` sleeps far past any sane shard timeout, ``corrupt`` arms
+    :func:`_take_fault` so the chunk function returns a wrong-shaped
+    result.  Never fires in the parent process, so the in-parent serial
+    quarantine path always computes real answers."""
+    global _FAULT_ORDINAL, _FAULT_ACTION
+    _FAULT_ACTION = None
+    if config is None or not config.fault_plan:
+        return
+    if multiprocessing.parent_process() is None:
+        return
+    ordinal = _FAULT_ORDINAL
+    _FAULT_ORDINAL += 1
+    for mode, when in config.fault_plan:
+        if when == ordinal:
+            if mode == "crash":
+                os._exit(86)
+            if mode == "hang":
+                time.sleep(600)
+            _FAULT_ACTION = mode
+            return
+
+
+def _take_fault() -> str | None:
+    """Consume the pending injected fault action, if any."""
+    global _FAULT_ACTION
+    action = _FAULT_ACTION
+    _FAULT_ACTION = None
+    return action
+
 
 def _worker_session(config: EngineConfig | None):
     """The worker-side session honouring the calling session's resolved
     config (``None`` — a task from an old-style caller — falls back to
     the worker's env-built default session)."""
     global _WORKER_SESSION
+    _maybe_inject_fault(config)
     if config is None:
         return None
     if _WORKER_SESSION is not None and _WORKER_SESSION[0] == config:
@@ -212,14 +278,29 @@ def _worker_evaluate_chunk(
     cache_limit: int = 0,
     use_cache: bool | None = None,
     config: EngineConfig | None = None,
-) -> list[bool]:
+) -> "list[bool | str]":
+    session = _worker_session(config)
+    if _take_fault() == "corrupt":
+        return "corrupt"  # type: ignore[return-value]
     query = from_wire_cached(query_wire, cache_limit)
+    if config is not None and config.governed:
+        # One budget per chunk task: each worker gets the full
+        # per-operation fuel/deadline for its shard, and exhaustion
+        # travels back as reason-string entries, not an exception.
+        with governed_scope(session):
+            return homengine.evaluate_batch_governed(
+                query,
+                [from_wire_cached(w, cache_limit) for w in instance_wires],
+                backend=backend,
+                use_cache=use_cache,
+                session=session,
+            )
     return homengine.evaluate_batch(
         query,
         (from_wire_cached(w, cache_limit) for w in instance_wires),
         backend=backend,
         use_cache=use_cache,
-        session=_worker_session(config),
+        session=session,
     )
 
 
@@ -230,21 +311,34 @@ def _worker_ucq_chunk(
     cache_limit: int = 0,
     use_cache: bool | None = None,
     config: EngineConfig | None = None,
-) -> list[bool]:
+) -> "list[bool | str]":
     session = _worker_session(config)
+    if _take_fault() == "corrupt":
+        return "corrupt"  # type: ignore[return-value]
     disjuncts = [from_wire_cached(w, cache_limit) for w in disjunct_wires]
-    answers: list[bool] = []
-    for wire in instance_wires:
-        instance = from_wire_cached(wire, cache_limit)
-        answers.append(
-            any(
-                homengine.has_homomorphism(
-                    d, instance, backend=backend, use_cache=use_cache,
-                    session=session,
+    answers: "list[bool | str]" = []
+    with governed_scope(session) as budget:
+        reason: str | None = None
+        for wire in instance_wires:
+            if reason is not None:
+                answers.append(reason)
+                continue
+            try:
+                if budget is not None:
+                    budget.checkpoint()
+                instance = from_wire_cached(wire, cache_limit)
+                answers.append(
+                    any(
+                        homengine.has_homomorphism(
+                            d, instance, backend=backend,
+                            use_cache=use_cache, session=session,
+                        )
+                        for d in disjuncts
+                    )
                 )
-                for d in disjuncts
-            )
-        )
+            except ResourceExhausted as exc:
+                reason = exc.reason
+                answers.append(reason)
     return answers
 
 
@@ -255,10 +349,21 @@ def _worker_screen_chunk(
     cache_limit: int = 0,
     use_cache: bool | None = None,
     config: EngineConfig | None = None,
-) -> list[list[bool]]:
+) -> "list[list[bool | str]]":
     session = _worker_session(config)
+    if _take_fault() == "corrupt":
+        return []  # wrong row count for any non-empty query pool
     queries = [from_wire_cached(w, cache_limit) for w in query_wires]
     instances = [from_wire_cached(w, cache_limit) for w in instance_wires]
+    if config is not None and config.governed:
+        with governed_scope(session):
+            return [
+                homengine.evaluate_batch_governed(
+                    q, instances, backend=backend, use_cache=use_cache,
+                    session=session,
+                )
+                for q in queries
+            ]
     return [
         homengine.evaluate_batch(
             q, instances, backend=backend, use_cache=use_cache,
@@ -275,19 +380,27 @@ def _worker_covers_chunk(
     cache_limit: int = 0,
     use_cache: bool | None = None,
     config: EngineConfig | None = None,
-) -> bool:
+) -> "bool | str":
     session = _worker_session(config)
+    if _take_fault() == "corrupt":
+        return None  # type: ignore[return-value]
     target = from_wire_cached(target_wire, cache_limit)
-    for source_wire, seed_items in pairs:
-        if homengine.has_homomorphism(
-            from_wire_cached(source_wire, cache_limit),
-            target,
-            seed=dict(seed_items) if seed_items else None,
-            backend=backend,
-            use_cache=use_cache,
-            session=session,
-        ):
-            return True
+    with governed_scope(session) as budget:
+        try:
+            for source_wire, seed_items in pairs:
+                if budget is not None:
+                    budget.checkpoint()
+                if homengine.has_homomorphism(
+                    from_wire_cached(source_wire, cache_limit),
+                    target,
+                    seed=dict(seed_items) if seed_items else None,
+                    backend=backend,
+                    use_cache=use_cache,
+                    session=session,
+                ):
+                    return True
+        except ResourceExhausted as exc:
+            return exc.reason
     return False
 
 
@@ -298,15 +411,41 @@ def _worker_covers_chunk(
 
 @dataclass(frozen=True)
 class PoolInfo:
-    """Configuration and liveness of one session's shard executor."""
+    """Configuration and liveness of one session's shard executor.
+
+    ``broken`` now means *quarantined*: the pool is resting out a
+    cooldown after repeated failures and will be health-probed again
+    once it elapses.  ``last_fallback`` records why the most recent
+    serial fallback or quarantine happened (``None`` if never).
+    """
 
     workers: int
     min_batch: int
     running: bool
     broken: bool
+    failures: int = 0
+    last_fallback: str | None = None
 
 
 _MAX_POOL_FAILURES = 2
+
+# Every live runtime, for the atexit sweep: an interpreter exiting with
+# a still-open session (a REPL, a script that never calls close())
+# must not leave orphaned worker processes behind.  Weak references —
+# garbage-collected runtimes need no sweep, and registering in
+# __init__ must not keep them alive.
+_LIVE_RUNTIMES: "weakref.WeakSet[PoolRuntime]" = weakref.WeakSet()
+
+
+def _shutdown_all_pools() -> None:
+    for rt in list(_LIVE_RUNTIMES):
+        try:
+            rt.shutdown()
+        except Exception:
+            pass
+
+
+atexit.register(_shutdown_all_pools)
 
 
 class PoolRuntime:
@@ -317,20 +456,49 @@ class PoolRuntime:
     worker-side cache limit shipped with every task.  Sessions never
     share a runtime, so two differently-sized pools can coexist in one
     process.
+
+    Failure policy: a worker fault (crash, hang past the shard
+    timeout, corrupt result, broken pool) drops the pool and requeues
+    the failed shards once on a fresh one; a second consecutive
+    failure *quarantines* the runtime — serial execution only — for
+    ``pool_cooldown_ms``, after which the next large batch
+    health-probes a new pool.  Quarantine is a cooldown, not a death
+    sentence: transient faults (an OOM-killed worker, a container
+    hiccup) heal on their own, while a deterministically crashing
+    workload stops burning spawn + wire + recompute on every call.
     """
 
     def __init__(self, config: EngineConfig) -> None:
         self.workers = config.effective_workers()
         self.min_batch = config.parallel_min
         self.worker_cache = config.worker_cache_size
+        self.shard_timeout = (
+            None
+            if config.shard_timeout_ms is None
+            else config.shard_timeout_ms / 1000.0
+        )
+        self.cooldown = config.pool_cooldown_ms / 1000.0
+        self.last_fallback: str | None = None
         self._pool: ProcessPoolExecutor | None = None
         self._pool_size = 0  # max_workers the live pool was created with
-        self._broken = False
+        self._quarantined_until: float | None = None
         self._failures = 0  # consecutive failures since last configure
+        _LIVE_RUNTIMES.add(self)
+
+    def _quarantined(self) -> bool:
+        return (
+            self._quarantined_until is not None
+            and time.monotonic() < self._quarantined_until
+        )
 
     def info(self) -> PoolInfo:
         return PoolInfo(
-            self.workers, self.min_batch, self._pool is not None, self._broken
+            self.workers,
+            self.min_batch,
+            self._pool is not None,
+            self._quarantined(),
+            self._failures,
+            self.last_fallback,
         )
 
     def configure(
@@ -340,8 +508,8 @@ class PoolRuntime:
 
         ``workers <= 1`` disables parallelism.  An existing pool is shut
         down when the worker count changes (the next large batch
-        respawns one); a previously failed spawn is retried after
-        reconfiguration.
+        respawns one); a previously failed spawn or an active
+        quarantine is cleared by reconfiguration.
         """
         if workers is not None and workers != self.workers:
             self.shutdown()
@@ -349,14 +517,20 @@ class PoolRuntime:
         if min_batch is not None:
             self.min_batch = min_batch
         # Any reconfiguration retries a previously failed spawn or a
-        # pool taken out of service by repeated worker failures — the
-        # operator asking for a (re)configuration is the signal to try
-        # again.
-        self._broken = False
+        # quarantined pool — the operator asking for a
+        # (re)configuration is the signal to try again now.
+        self._quarantined_until = None
         self._failures = 0
+        self.last_fallback = None
 
     def shutdown(self) -> None:
-        """Stop the worker processes (they respawn lazily when needed)."""
+        """Stop the worker processes (they respawn lazily when needed).
+
+        Queued futures are cancelled; running shards finish first (a
+        *hung* shard is the one case that would block forever, and
+        :meth:`mark_failed` — which terminates — handles it before any
+        orderly shutdown runs).
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
@@ -370,32 +544,57 @@ class PoolRuntime:
         caps the chunk fan-out, but never creates or resizes the pool
         (call :meth:`configure` for that).
         """
-        if self.workers <= 1 or self._broken:
+        if self.workers <= 1:
             return None
+        if self._quarantined_until is not None:
+            if time.monotonic() < self._quarantined_until:
+                return None
+            # Cooldown elapsed: health-probe by building a fresh pool.
+            self._quarantined_until = None
+            self._failures = 0
         if self._pool is None:
             try:
                 self._pool = ProcessPoolExecutor(max_workers=self.workers)
                 self._pool_size = self.workers
             except (OSError, ValueError):  # no process support here
-                self._broken = True
+                self._quarantine("spawn-failed")
                 return None
         return self._pool
 
-    def mark_failed(self) -> None:
+    def _quarantine(self, reason: str) -> None:
+        self._quarantined_until = time.monotonic() + self.cooldown
+        self.last_fallback = reason
+
+    def mark_failed(self, reason: str | None = None) -> None:
         """Drop a pool that raised; the next large batch respawns a
-        fresh one — but a deterministic failure (e.g. a node type whose
-        module workers cannot import) must not pay spawn + wire +
-        serial-recompute on every call, so repeated failures take the
-        pool out of service until the next :meth:`configure`."""
-        if self._pool is not None:
+        fresh one — but a second consecutive failure quarantines the
+        runtime for the cooldown (see the class docstring).
+
+        Worker processes are terminated outright: a *hung* worker
+        ignores an orderly shutdown, and waiting on it would turn a
+        shard timeout back into the very hang it guards against.
+        """
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
             try:
-                self._pool.shutdown(wait=False, cancel_futures=True)
+                procs = list((getattr(pool, "_processes", None) or {}).values())
+            except Exception:
+                procs = []
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
             except Exception:
                 pass
-            self._pool = None
+            for proc in procs:
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
         self._failures += 1
+        if reason is not None:
+            self.last_fallback = reason
         if self._failures >= _MAX_POOL_FAILURES:
-            self._broken = True
+            self._quarantined_until = time.monotonic() + self.cooldown
 
     def mark_healthy(self) -> None:
         """A completed round clears the consecutive-failure streak."""
@@ -414,6 +613,58 @@ class PoolRuntime:
         if pool is None:
             return None, None
         return pool, _chunk(items, min(eff_workers, self._pool_size) * 2)
+
+    def run_chunks(self, pool, worker, args_list, validate=None):
+        """Run one task per argument tuple with the full fault story.
+
+        Per-shard timeouts (``shard_timeout_ms``), parent-side result
+        validation (a corrupt wire result raises
+        :class:`~repro.core.errors.WorkerFailure`), one retry round of
+        only the failed shards on a rebuilt pool, and — when the retry
+        fails too and the runtime is quarantined — in-parent serial
+        execution of the stragglers, running the *same* chunk
+        functions, where fault injection never fires and engine
+        exceptions propagate normally.  Always returns a full,
+        input-ordered result list.
+        """
+        results: list = [None] * len(args_list)
+        pending = list(range(len(args_list)))
+        for attempt in (0, 1):
+            if pool is None:
+                break
+            still_failed: list[int] = []
+            reason: str | None = None
+            futures: list[tuple[int, object]] = []
+            for i in pending:
+                try:
+                    futures.append((i, pool.submit(worker, *args_list[i])))
+                except (RuntimeError, OSError, pickle.PickleError) as exc:
+                    # submit() after a concurrent shutdown raises
+                    # RuntimeError; unpicklable args surface here too.
+                    reason = f"submit:{type(exc).__name__}"
+                    still_failed.append(i)
+            for i, future in futures:
+                try:
+                    result = future.result(timeout=self.shard_timeout)
+                    if validate is not None and not validate(
+                        result, args_list[i]
+                    ):
+                        raise WorkerFailure("corrupt worker result shape")
+                    results[i] = result
+                except (*_POOL_FAILURES, WorkerFailure) as exc:
+                    reason = type(exc).__name__
+                    future.cancel()
+                    still_failed.append(i)
+            if not still_failed:
+                self.mark_healthy()
+                return results
+            pending = sorted(still_failed)
+            self.mark_failed(reason)
+            pool = self.get_pool() if attempt == 0 else None
+        # Quarantined (or pool gone): finish the stragglers in-parent.
+        for i in pending:
+            results[i] = worker(*args_list[i])
+        return results
 
 
 def _runtime(session) -> PoolRuntime:
@@ -503,30 +754,54 @@ def _chunk(items: Sequence, parts: int) -> list[list]:
     return chunks
 
 
-def _sharded_ordered(rt, items, eff_workers, threshold, worker, make_args):
+# Parent-side result-shape validators, one per chunk function: a
+# worker that returns the wrong shape (the "corrupt wire" fault, or a
+# genuinely garbled pickle round trip) is treated as a WorkerFailure
+# and its shard requeued/quarantined, never silently folded into the
+# answer.  Entries may be reason strings on governed sessions, so only
+# the container shape is checked, not element types.
+
+
+def _validate_row(result, args) -> bool:
+    return isinstance(result, list) and len(result) == len(args[1])
+
+
+def _validate_screen(result, args) -> bool:
+    return (
+        isinstance(result, list)
+        and len(result) == len(args[0])
+        and all(
+            isinstance(row, list) and len(row) == len(args[1])
+            for row in result
+        )
+    )
+
+
+def _validate_covers(result, args) -> bool:
+    return isinstance(result, (bool, str))
+
+
+def _sharded_ordered(
+    rt, items, eff_workers, threshold, worker, make_args, validate=None
+):
     """Run ``worker`` over chunks of ``items``, collecting in order.
 
     The shared scaffolding of the order-preserving entry points:
-    gate/chunk via :meth:`PoolRuntime.shard_chunks`, submit one task per
-    chunk (``make_args(chunk)`` builds the argument tuple, and is only
-    called on the parallel path, so shared wire forms are not built
-    for serial batches), and return the per-chunk results in input
-    order — or ``None`` for the serial path, including when a worker
-    failed mid-run (after :meth:`PoolRuntime.mark_failed` bookkeeping).
+    gate/chunk via :meth:`PoolRuntime.shard_chunks`, build one argument
+    tuple per chunk (``make_args`` is only called on the parallel path,
+    so shared wire forms are not built for serial batches), and
+    delegate to :meth:`PoolRuntime.run_chunks` — which owns the
+    timeout/retry/quarantine fault story and always returns a full
+    input-ordered result list.  Returns ``None`` only for the serial
+    gate (small batch, single worker, no usable pool); worker faults
+    are recovered *inside* ``run_chunks``, and anything else a worker
+    raises is an engine bug that propagates.
     """
     pool, chunks = rt.shard_chunks(items, eff_workers, threshold)
     if pool is None:
         return None
-    try:
-        futures = [
-            pool.submit(worker, *make_args(chunk)) for chunk in chunks
-        ]
-        results = [future.result() for future in futures]
-    except Exception:
-        rt.mark_failed()
-        return None
-    rt.mark_healthy()
-    return results
+    args_list = [make_args(chunk) for chunk in chunks]
+    return rt.run_chunks(pool, worker, args_list, validate)
 
 
 # ----------------------------------------------------------------------
@@ -579,15 +854,24 @@ def parallel_evaluate_batch(
         rt.min_batch if min_batch is None else min_batch,
         _worker_evaluate_chunk,
         make_args,
+        _validate_row,
     )
     if chunk_results is None:
-        # Serial fast path — also the recovery route when a worker
-        # failed mid-run (a broken pool must never take the answer
-        # down with it).
+        # Serial fast path (small batch, single worker, no pool).
+        if wire_config.governed:
+            return [
+                Answer.decode(entry)
+                for entry in homengine.evaluate_batch_governed(
+                    query, instances, backend=backend, session=session
+                )
+            ]
         return homengine.evaluate_batch(
             query, instances, backend=backend, session=session
         )
-    return [answer for chunk in chunk_results for answer in chunk]
+    flat = [answer for chunk in chunk_results for answer in chunk]
+    if wire_config.governed:
+        return [Answer.decode(entry) for entry in flat]
+    return flat
 
 
 def parallel_screen(
@@ -638,17 +922,31 @@ def parallel_screen(
         rt.min_batch if min_batch is None else min_batch,
         _worker_screen_chunk,
         make_args,
+        _validate_screen,
     )
     if chunk_results is None:
+        if wire_config.governed:
+            with governed_scope(session):
+                return [
+                    [
+                        Answer.decode(entry)
+                        for entry in homengine.evaluate_batch_governed(
+                            q, instances, backend=backend, session=session
+                        )
+                    ]
+                    for q in queries
+                ]
         return [
             homengine.evaluate_batch(
                 q, instances, backend=backend, session=session
             )
             for q in queries
         ]
-    results: list[list[bool]] = [[] for _ in queries]
+    results: list[list] = [[] for _ in queries]
     for chunk_answers in chunk_results:
         for qi, answers in enumerate(chunk_answers):
+            if wire_config.governed:
+                answers = [Answer.decode(entry) for entry in answers]
             results[qi].extend(answers)
     return results
 
@@ -696,6 +994,34 @@ def parallel_screen_stream(
     instances = list(instances)
     if not queries or not instances:
         return
+    governed = wire_config.governed
+
+    def _serial_answer(q, instance):
+        if governed:
+            try:
+                return homengine.has_homomorphism(
+                    q, instance, backend=backend, session=session
+                )
+            except ResourceExhausted as exc:
+                return Answer.unknown(exc.reason)
+        return homengine.has_homomorphism(
+            q, instance, backend=backend, session=session
+        )
+
+    def _serial_row(q, chunk):
+        if governed:
+            return tuple(
+                Answer.decode(entry)
+                for entry in homengine.evaluate_batch_governed(
+                    q, chunk, backend=backend, session=session
+                )
+            )
+        return tuple(
+            homengine.evaluate_batch(
+                q, chunk, backend=backend, session=session
+            )
+        )
+
     pool, chunks = rt.shard_chunks(
         instances,
         rt.workers if workers is None else workers,
@@ -706,14 +1032,7 @@ def parallel_screen_stream(
             yield ScreenShard(
                 i,
                 i + 1,
-                tuple(
-                    (
-                        homengine.has_homomorphism(
-                            q, instance, backend=backend, session=session
-                        ),
-                    )
-                    for q in queries
-                ),
+                tuple((_serial_answer(q, instance),) for q in queries),
             )
         return
     query_wires = [to_wire(q) for q in queries]
@@ -724,6 +1043,7 @@ def parallel_screen_stream(
         offset += len(chunk)
     done_spans: set[tuple[int, int]] = set()
     futures: dict = {}
+    failure: str | None = None
     try:
         for chunk, start in zip(chunks, starts):
             future = pool.submit(
@@ -736,33 +1056,35 @@ def parallel_screen_stream(
                 wire_config,
             )
             futures[future] = (start, start + len(chunk))
-        for future in as_completed(futures):
+        # as_completed's timeout is a whole-iteration budget, so the
+        # per-shard allowance is summed over the outstanding shards —
+        # coarser than run_chunks' per-future timeout but enough to
+        # unstick a stream whose tail is a hung worker.
+        stream_timeout = (
+            None
+            if rt.shard_timeout is None
+            else rt.shard_timeout * len(futures)
+        )
+        for future in as_completed(futures, timeout=stream_timeout):
             start, stop = futures[future]
-            answers = future.result()
+            answers = future.result(timeout=rt.shard_timeout)
+            if not (
+                isinstance(answers, list)
+                and len(answers) == len(queries)
+                and all(len(row) == stop - start for row in answers)
+            ):
+                raise WorkerFailure("corrupt worker result shape")
             done_spans.add((start, stop))
+            if governed:
+                answers = [
+                    [Answer.decode(entry) for entry in row]
+                    for row in answers
+                ]
             yield ScreenShard(
                 start, stop, tuple(tuple(row) for row in answers)
             )
-    except Exception:
-        rt.mark_failed()
-        # Serial recovery for every span not already yielded.
-        for chunk, start in zip(chunks, starts):
-            stop = start + len(chunk)
-            if (start, stop) in done_spans:
-                continue
-            yield ScreenShard(
-                start,
-                stop,
-                tuple(
-                    tuple(
-                        homengine.evaluate_batch(
-                            q, chunk, backend=backend, session=session
-                        )
-                    )
-                    for q in queries
-                ),
-            )
-        return
+    except (*_POOL_FAILURES, WorkerFailure) as exc:
+        failure = type(exc).__name__
     finally:
         # A consumer that abandons the stream early (breaks out of the
         # loop, closing the generator) must not leave the remaining
@@ -771,6 +1093,19 @@ def parallel_screen_stream(
         # and for the normal exhausted-stream exit.
         for future in futures:
             future.cancel()
+    if failure is not None:
+        rt.mark_failed(failure)
+        # Serial recovery for every span not already yielded.  Only
+        # pool/worker faults land here — an engine exception raised
+        # inside a worker propagates out of the result() call above.
+        for chunk, start in zip(chunks, starts):
+            stop = start + len(chunk)
+            if (start, stop) in done_spans:
+                continue
+            yield ScreenShard(
+                start, stop, tuple(_serial_row(q, chunk) for q in queries)
+            )
+        return
     rt.mark_healthy()
 
 
@@ -824,10 +1159,14 @@ def parallel_ucq_answers(
         rt.min_batch if min_batch is None else min_batch,
         _worker_ucq_chunk,
         make_args,
+        _validate_row,
     )
     if chunk_results is None:
         return None
-    return [answer for chunk in chunk_results for answer in chunk]
+    flat = [answer for chunk in chunk_results for answer in chunk]
+    if wire_config.governed:
+        return [Answer.decode(entry) for entry in flat]
+    return flat
 
 
 def parallel_covers_any(
@@ -861,6 +1200,7 @@ def parallel_covers_any(
             target, pairs, backend=backend, session=session
         )
     target_wire = to_wire(target)
+    unknown_reason: str | None = None
     try:
         pending = {
             pool.submit(
@@ -882,16 +1222,38 @@ def parallel_covers_any(
         # covers_any does not share _sharded_ordered's collection).
         covered = False
         while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            if any(f.result() for f in done):
+            done, pending = wait(
+                pending,
+                timeout=rt.shard_timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                # Every outstanding shard sat past the shard timeout.
+                raise FuturesTimeout("covers_any shard timed out")
+            for f in done:
+                result = f.result()
+                if not _validate_covers(result, None):
+                    raise WorkerFailure("corrupt worker result shape")
+                if result is True:
+                    covered = True
+                elif isinstance(result, str):
+                    # A governed worker ran out of budget before any
+                    # hit; remember why, but keep draining — another
+                    # chunk may still report a definite hit.
+                    unknown_reason = result
+            if covered:
                 for f in pending:
                     f.cancel()
-                covered = True
                 break
-    except Exception:
-        rt.mark_failed()
+    except (*_POOL_FAILURES, WorkerFailure) as exc:
+        rt.mark_failed(type(exc).__name__)
         return homengine.covers_any(
             target, pairs, backend=backend, session=session
         )
     rt.mark_healthy()
+    if not covered and unknown_reason is not None:
+        # No chunk found a hit and at least one gave up: the overall
+        # answer is unknown, and the caller's governed surface decides
+        # how to report it.
+        raise ResourceExhausted.from_reason(unknown_reason)
     return covered

@@ -40,6 +40,7 @@ from typing import Iterable, Sequence
 from .core import boundedness as _boundedness
 from .core import cactus as _cactus
 from .core import dsirup as _dsirup
+from .core import errors as _errors
 from .core import homengine as _homengine
 from .core import runtime as _runtime
 from .core.config import EngineConfig
@@ -76,6 +77,10 @@ class Session:
         self.hom = _homengine.HomEngine(self.config)
         self.cactus = _cactus.CactusState(self.config)
         self.pool = _runtime.PoolRuntime(self.config)
+        # The operation-wide budget installed by governed_scope() while
+        # a top-level governed operation is running; None otherwise.
+        self.active_budget = None
+        self._closed = False
 
     def __repr__(self) -> str:
         return (
@@ -89,12 +94,17 @@ class Session:
     def close(self) -> None:
         """Release worker processes and drop every cache.
 
-        The session stays usable afterwards (pools respawn lazily);
-        ``close`` exists so scoped usage — ``with session:`` — does not
-        leak process pools.
+        Idempotent: closing an already-closed session is a no-op unless
+        the session was used again in between (pools respawn lazily and
+        engine use refills caches, so renewed use re-arms ``close``).
+        Scoped usage — ``with session:`` — therefore never leaks
+        process pools and double-``close`` never trips.
         """
+        if self._closed and not self.pool.info().running:
+            return
         self.pool.shutdown()
         self.clear_caches()
+        self._closed = True
 
     def __enter__(self) -> "Session":
         return self
@@ -196,10 +206,19 @@ class Session:
 
     def certain_answer(
         self, q: Structure, data: Structure, strategy: str = "auto"
-    ) -> bool:
+    ) -> "bool | _errors.Answer":
         """Certain answer to the d-sirup ``(Δ_q, G)`` over ``data``
-        (:func:`repro.core.dsirup.certain_answer`)."""
-        return _dsirup.evaluate(q, data, strategy, session=self).certain
+        (:func:`repro.core.dsirup.certain_answer`).
+
+        On a governed session (``deadline_ms`` / ``hom_fuel`` set) a
+        tripped budget yields ``Answer.unknown(reason)`` instead of an
+        exception or a hang; ungoverned sessions always return a plain
+        bool.
+        """
+        try:
+            return _dsirup.evaluate(q, data, strategy, session=self).certain
+        except _errors.ResourceExhausted as exc:
+            return _errors.Answer.unknown(exc.reason)
 
     def evaluate(
         self, q: Structure, data: Structure, strategy: str = "auto"
