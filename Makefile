@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint fuzz bench-homengine bench-cactus bench-batch bench-decomp bench check ci
+.PHONY: test lint fuzz bench-homengine bench-cactus bench-batch bench-decomp bench-semiring bench check ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -15,7 +15,7 @@ test:
 ## enforces the configuration architecture: os.environ may only be
 ## read in core/config.py (EngineConfig.from_env is the single
 ## env-var ingestion point).
-lint: lint-env-gate
+lint: lint-env-gate lint-deprecated-gate
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests scripts benchmarks examples; \
 	else \
@@ -32,6 +32,28 @@ lint-env-gate:
 		exit 1; \
 	else \
 		echo "env gate: ok (environment reads confined to core/config.py)"; \
+	fi
+
+## deprecated-name gate: the semiring redesign deprecated the free
+## count_homomorphisms() (use _count_homomorphisms internally or
+## Session.evaluate(q, d, "count")) and dsirup.evaluate() (renamed
+## evaluate_dsirup).  No in-repo caller may use the old names; the
+## shims exist for external callers only.  Defining modules and the
+## shim tests are the only exemptions.
+.PHONY: lint-deprecated-gate
+lint-deprecated-gate:
+	@hits=$$(grep -rnE "(^|[^.[:alnum:]_])count_homomorphisms\(|[._]dsirup\.evaluate\(|homengine\.count_homomorphisms\(" \
+			src tests scripts benchmarks examples --include='*.py' \
+		| grep -v "^src/repro/core/homengine\.py:" \
+		| grep -v "^src/repro/core/dsirup\.py:" \
+		| grep -v "^src/repro/session\.py:" \
+		| grep -v "^tests/test_deprecations\.py:"); \
+	if [ -n "$$hits" ]; then \
+		echo "deprecated-name gate: in-repo use of deprecated APIs:"; \
+		echo "$$hits"; \
+		exit 1; \
+	else \
+		echo "deprecated-name gate: ok (no in-repo deprecated calls)"; \
 	fi
 
 ## differential fuzz smoke: seeded cross-check of all hom backends,
@@ -57,6 +79,11 @@ bench-batch:
 bench-decomp:
 	$(PYTHON) scripts/bench_decomp.py
 
+## semiring surface: COUNT-via-decomp overhead + PROB matvec speedup;
+## writes BENCH_semiring.json
+bench-semiring:
+	$(PYTHON) scripts/bench_semiring.py
+
 ## all experiment benchmarks, default engine configuration
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -67,6 +94,7 @@ check: test
 	$(PYTHON) scripts/bench_cactus.py --check
 	$(PYTHON) scripts/bench_batch.py --check
 	$(PYTHON) scripts/bench_decomp.py --check
+	$(PYTHON) scripts/bench_semiring.py --check
 
 ## everything the CI workflow runs (tests, lint, fuzz smoke, perf gates)
 ci: test lint fuzz
@@ -74,3 +102,4 @@ ci: test lint fuzz
 	$(PYTHON) scripts/bench_cactus.py --check --output /tmp/BENCH_cactus.json
 	$(PYTHON) scripts/bench_batch.py --check --output /tmp/BENCH_batch.json
 	$(PYTHON) scripts/bench_decomp.py --check --output /tmp/BENCH_decomp.json
+	$(PYTHON) scripts/bench_semiring.py --check --output /tmp/BENCH_semiring.json

@@ -117,7 +117,11 @@ def main() -> None:
     #
     #    Migration from the free functions is mechanical:
     #        certain_answer(q, d)        -> session.certain_answer(q, d)
-    #        evaluate(q, d, strategy)    -> session.evaluate(q, d, strategy)
+    #        dsirup.evaluate(q, d, s)    -> session.evaluate_dsirup(q, d, s)
+    #          (session.evaluate() now takes a *semiring* — see sec. 10;
+    #           the old strategy form warns and delegates)
+    #        count_homomorphisms         -> session.count_homomorphisms
+    #          (now a thin wrapper over the COUNT semiring instance)
     #        decide_boundedness(q)       -> session.decide_boundedness(q)
     #        probe_boundedness(cq, d)    -> session.probe_boundedness(cq, d)
     #        ucq_certain_answers(u, f)   -> session.ucq_certain_answers(u, f)
@@ -180,8 +184,8 @@ def main() -> None:
     #      2. target >= 100 nodes, >= 2 edges/node, numpy -> matrix
     #      3. everything else                            -> bitset
     #
-    #    count_homomorphisms(backend="decomp") counts by bag products
-    #    (no enumeration), and chain-shaped boundedness probes (span-1
+    #    session.count_homomorphisms with backend="decomp" counts by
+    #    bag products (no enumeration); chain-shaped probes (span-1
     #    queries, one cactus per depth) warm-start their coverage DP
     #    across depths, exchanging answers with the session hom-cache
     #    (REPRO_PROBE_WARMSTART=0 restores the batch path; bushy
@@ -254,6 +258,68 @@ def main() -> None:
         if unknown is not None:
             print(f"UNKNOWN reason: {unknown.reason!r}; bool() on it "
                   f"raises EngineError rather than guessing")
+
+    # ------------------------------------------------------------------
+    # 10. Semirings: one evaluation surface, every mode.
+    #
+    #    Session.evaluate(q, data, semiring=...) evaluates the CQ q as
+    #    the K-relation provenance value
+    #
+    #        val(q, D) = SUM over homs h of PROD over atoms a of w(h(a))
+    #
+    #    for any registered commutative semiring K and any per-fact
+    #    annotation w (weights={fact: value}; unannotated facts default
+    #    to the semiring's one).  "bool" is the classic existence
+    #    check, "count" the exact hom count, and the same DP backends
+    #    (decomp's bag products, matrix's matvecs) run the weighted
+    #    modes with no new algorithms — only the algebra changes.
+    # ------------------------------------------------------------------
+    from repro.core import BinaryFact, Structure
+
+    # A tuple-independent probabilistic instance: each edge fact holds
+    # independently with the annotated marginal probability.  Under
+    # "prob" the value is the EXPECTED number of witnesses (exact, by
+    # linearity of expectation — witnesses are not disjoint events).
+    edge = path_structure(["", ""])          # one R-edge query
+    diamond = Structure(
+        nodes=("a", "b1", "b2", "c"),
+        unary=(),
+        binary=(
+            BinaryFact("R", "a", "b1"), BinaryFact("R", "a", "b2"),
+            BinaryFact("R", "b1", "c"), BinaryFact("R", "b2", "c"),
+        ),
+    )
+    probs = {f: 0.5 for f in diamond.binary_facts}
+    print()
+    with Session() as s:
+        ev = s.evaluate(edge, diamond, "prob", weights=probs)
+        print(f"expected R-edge witnesses at p=0.5 each: {ev.value} "
+              f"(4 edges x 0.5)")
+
+        # Min-cost witness: annotate costs, read off the cheapest hom.
+        # minplus is *selective* (x + y is one of x, y), so enumeration
+        # carries the arg-best witness along for free.
+        two_hop = path_structure(["", "", ""])
+        costs = {BinaryFact("R", "a", "b1"): 1.0,
+                 BinaryFact("R", "b1", "c"): 1.0,
+                 BinaryFact("R", "a", "b2"): 5.0,
+                 BinaryFact("R", "b2", "c"): 5.0}
+        ev = s.evaluate(two_hop, diamond, "minplus", weights=costs,
+                        backend="bitset")
+        mid = ev.witness["v1"] if ev.witness else "?"
+        print(f"cheapest 2-hop a->c costs {ev.value} (via {mid})")
+
+        # Why-provenance: WHICH fact sets support the answer.  Values
+        # are sets of witness fact-sets; every backend agrees with the
+        # enumeration oracle because the algebra is the same.
+        ev = s.evaluate(edge, diamond, "why")
+        print(f"why-provenance of the R-edge query: "
+              f"{len(ev.value)} singleton witness sets (one per edge)")
+
+        # count_homomorphisms is now literally the COUNT instance:
+        n_paths = s.count_homomorphisms(two_hop, diamond)
+        assert n_paths == s.evaluate(two_hop, diamond, "count").value
+        print(f"2-hop paths through the diamond: {n_paths}")
 
 
 if __name__ == "__main__":

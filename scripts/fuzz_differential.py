@@ -16,6 +16,12 @@ and cross-checks every answer four ways:
 * **Governed sanity** — a fuel-starved governed session must return
   only UNKNOWN or answers identical to the oracle, never a wrong
   known answer.
+* **Semiring agreement** — on small targets the unified evaluation
+  surface must be consistent with the classic answers: COUNT through
+  every backend equals the naive count, BOOL-as-semiring equals
+  ``has_homomorphism``, MINPLUS is finite iff a homomorphism exists,
+  and weighted PROB agrees across the enumeration, decomp-DP and
+  matrix-matvec routes.
 
 Any disagreement prints a self-contained repro (the case seed and the
 wire forms of query and target) and exits 1; a clean run prints a
@@ -34,6 +40,7 @@ exit 0) once exceeded, so the CI smoke job stays within its budget.
 from __future__ import annotations
 
 import argparse
+import math
 import random
 import sys
 import time
@@ -144,6 +151,63 @@ def main() -> int:
                 report(
                     case_seed, "count_homomorphisms", query, target,
                     repr(counts),
+                )
+                return 1
+
+            # Semiring surface: COUNT through every backend must equal
+            # the legacy count; BOOL-as-semiring must equal
+            # has_homomorphism; MINPLUS is finite iff a hom exists.
+            sr_counts = {
+                b: oracle.evaluate(query, target, "count", backend=b).value
+                for b in BACKENDS
+            }
+            checks += len(BACKENDS)
+            if set(sr_counts.values()) != {counts["naive"]}:
+                report(
+                    case_seed, "semiring COUNT", query, target,
+                    f"legacy={counts['naive']} surface={sr_counts!r}",
+                )
+                return 1
+            sr_bool = oracle.evaluate(query, target, "bool").value
+            sr_min = oracle.evaluate(query, target, "minplus").value
+            checks += 2
+            if sr_bool is not answers["naive"]:
+                report(
+                    case_seed, "semiring BOOL", query, target,
+                    f"bool-semiring={sr_bool!r} oracle={answers['naive']!r}",
+                )
+                return 1
+            if (sr_min != math.inf) != answers["naive"]:
+                report(
+                    case_seed, "semiring MINPLUS", query, target,
+                    f"minplus={sr_min!r} oracle={answers['naive']!r}",
+                )
+                return 1
+
+            # Weighted PROB: the enumeration fold, the decomp bag DP
+            # and the matrix matvec must agree on a tuple-independent
+            # annotation (dyadic weights keep float sums exact).
+            probs = {
+                f: case_rng.choice((0.25, 0.5, 1.0))
+                for f in target.binary_facts
+            }
+            vals = {
+                b: oracle.evaluate(
+                    query, target, "prob", weights=probs, backend=b
+                ).value
+                for b in ("bitset", "decomp", "matrix")
+            }
+            want_prob = oracle.evaluate(
+                query, target, "prob", weights=probs, backend="naive"
+            ).value
+            checks += 3
+            if not all(
+                math.isclose(v, want_prob, rel_tol=1e-9, abs_tol=1e-12)
+                for v in vals.values()
+            ):
+                report(
+                    case_seed, "semiring PROB", query, target,
+                    f"naive={want_prob!r} others={vals!r}",
                 )
                 return 1
 

@@ -39,23 +39,32 @@ classifiers and the Lambda-CQ decider), :mod:`repro.circuits` and
 from .core import (
     A,
     Answer,
+    BOOL,
     Budget,
+    COUNT,
     CactusBudgetExceeded,
     DeadlineExceeded,
     EngineConfig,
     EngineError,
+    Evaluation,
     F,
     FuelExhausted,
+    MAXPLUS,
+    MINPLUS,
     OneCQ,
+    PROB,
     Program,
     R,
     ResourceExhausted,
     Rule,
     S,
+    Semiring,
     Structure,
     StructureBuilder,
     T,
+    UnknownSemiring,
     Verdict,
+    WHY,
     WorkerFailure,
     cactus_factory,
     certain_answer,
@@ -71,6 +80,10 @@ from .core import (
     iter_cactuses,
     path_structure,
     probe_boundedness,
+    register_semiring,
+    registered_semirings,
+    resolve_semiring,
+    semiring_evaluate,
     set_default_backend,
     ucq_certain_answers,
     ucq_rewriting,
@@ -87,19 +100,28 @@ __version__ = "1.1.0"
 __all__ = [
     "A",
     "Answer",
+    "BOOL",
     "Budget",
+    "COUNT",
     "CactusBudgetExceeded",
     "DeadlineExceeded",
     "EngineConfig",
     "EngineError",
+    "Evaluation",
     "F",
     "FuelExhausted",
+    "MAXPLUS",
+    "MINPLUS",
     "OneCQ",
+    "PROB",
     "Program",
     "R",
     "ResourceExhausted",
     "Rule",
     "S",
+    "Semiring",
+    "UnknownSemiring",
+    "WHY",
     "WorkerFailure",
     "Session",
     "Structure",
@@ -121,7 +143,11 @@ __all__ = [
     "iter_cactuses",
     "path_structure",
     "probe_boundedness",
+    "register_semiring",
+    "registered_semirings",
     "reset_default_session",
+    "resolve_semiring",
+    "semiring_evaluate",
     "set_default_backend",
     "set_default_session",
     "ucq_certain_answers",

@@ -7,6 +7,12 @@ Commands
 ``decide <query>``
     Decide boundedness of a zoo query (``q2`` .. ``q8``) or of a CQ
     read from a file of ``label(node)`` / ``pred(src, dst)`` lines.
+``eval <query> <data> [--semiring NAME]``
+    Evaluate a CQ over a data instance under a commutative semiring
+    (``bool`` / ``count`` / ``prob`` / ``minplus`` / ``maxplus`` /
+    ``why``) through the unified ``Session.evaluate`` surface; both
+    arguments are zoo names or CQ-file paths, and ``--weights`` reads
+    per-fact annotations from ``atom = value`` lines.
 ``demo``
     Run the Theorem 3 pipeline on the toy alternating Turing machines.
 ``config``
@@ -55,6 +61,45 @@ def _parse_cq_file(path: str) -> Structure:
     return builder.build()
 
 
+def _load_structure(name_or_path: str) -> Structure:
+    """A zoo query by name (``q2`` / ``d1`` ...) or a CQ file."""
+    if hasattr(zoo, name_or_path):
+        return getattr(zoo, name_or_path)()
+    return _parse_cq_file(name_or_path)
+
+
+def _parse_atom(text: str):
+    """``label(node)`` -> UnaryFact, ``pred(a, b)`` -> BinaryFact."""
+    from .core.structure import BinaryFact, UnaryFact
+
+    name, _, rest = text.partition("(")
+    args = [a.strip() for a in rest.rstrip(")").split(",")]
+    if len(args) == 1:
+        return UnaryFact(name.strip(), args[0])
+    if len(args) == 2:
+        return BinaryFact(name.strip(), args[0], args[1])
+    raise ValueError(f"cannot parse atom: {text!r}")
+
+
+def _parse_weights_file(path: str) -> dict:
+    """Read fact annotations from ``atom = value`` lines (value a
+    python number; ``#`` comments and blank lines skipped)."""
+    weights: dict = {}
+    with open(path) as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            atom, sep, value = line.rpartition("=")
+            if not sep:
+                raise ValueError(f"expected 'atom = value': {line!r}")
+            parsed = float(value.strip())
+            weights[_parse_atom(atom.strip())] = (
+                int(parsed) if parsed.is_integer() else parsed
+            )
+    return weights
+
+
 def _session_from_args(args: argparse.Namespace) -> Session:
     """The session every command runs in: environment first, explicit
     global flags on top (the documented env < config precedence)."""
@@ -88,6 +133,38 @@ def _cmd_decide(session: Session, args: argparse.Namespace) -> int:
         q = _parse_cq_file(args.query)
     decision = session.decide_boundedness(q, probe_depth=args.probe_depth)
     print(decision.describe())
+    return 0
+
+
+def _cmd_eval(session: Session, args: argparse.Namespace) -> int:
+    from .core.semiring import resolve_semiring
+
+    q = _load_structure(args.query)
+    data = _load_structure(args.data)
+    weights = (
+        _parse_weights_file(args.weights) if args.weights else None
+    )
+    if weights and resolve_semiring(args.semiring).dtype == "object":
+        print(
+            f"--weights files hold numbers, but semiring "
+            f"{args.semiring!r} has a non-numeric carrier (its values "
+            f"are witness sets); drop --weights or pick a numeric "
+            f"semiring",
+            file=sys.stderr,
+        )
+        return 2
+    ev = session.evaluate(
+        q, data, args.semiring, weights=weights, backend=args.eval_backend
+    )
+    if not ev.known:
+        print(f"UNKNOWN ({ev.reason}) [semiring={ev.semiring}]")
+        return 2
+    print(f"{ev.value!r} [semiring={ev.semiring} backend={ev.backend}]")
+    if ev.witness is not None:
+        mapping = ", ".join(
+            f"{k}->{v}" for k, v in sorted(ev.witness.items(), key=str)
+        )
+        print(f"witness: {mapping}")
     return 0
 
 
@@ -141,6 +218,25 @@ def main(argv: list[str] | None = None) -> int:
         help="probe depth for non-Lambda queries (default 3)",
     )
 
+    ev = commands.add_parser(
+        "eval", help="evaluate a CQ over an instance under a semiring"
+    )
+    ev.add_argument("query", help="zoo name (q1..q8) or path to a CQ file")
+    ev.add_argument("data", help="zoo name (d1, d2) or path to a CQ file")
+    ev.add_argument(
+        "--semiring", default="bool",
+        help="registered semiring name: bool / count / prob / minplus / "
+        "maxplus / why (default bool)",
+    )
+    ev.add_argument(
+        "--weights", default=None, metavar="FILE",
+        help="per-fact annotations, one 'atom = value' line each",
+    )
+    ev.add_argument(
+        "--eval-backend", default=None, choices=BACKEND_CHOICES,
+        help="force one hom backend for this evaluation",
+    )
+
     commands.add_parser("demo", help="run the Theorem 3 toy pipeline")
 
     commands.add_parser(
@@ -151,6 +247,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "zoo": _cmd_zoo,
         "decide": _cmd_decide,
+        "eval": _cmd_eval,
         "demo": _cmd_demo,
         "config": _cmd_config,
     }

@@ -71,6 +71,20 @@ class ProbeResult:
     uncovered: tuple[str, ...]  # shapes of cactuses nothing shallow maps into
     reason: str | None = None  # budget reason when INCONCLUSIVE by exhaustion
 
+    @property
+    def answer(self) -> Answer:
+        """The :class:`~repro.core.errors.Answer`-compatible view of
+        the probe verdict (the unified outermost-surface contract):
+        TRUE for ``BOUNDED``, FALSE for ``UNBOUNDED_EVIDENCE``, and
+        ``UNKNOWN(reason)`` for ``INCONCLUSIVE`` — the budget reason
+        when governance tripped, ``"probe-depth"`` when the probed
+        universe was simply too shallow to decide."""
+        if self.verdict is Verdict.BOUNDED:
+            return Answer.TRUE
+        if self.verdict is Verdict.UNBOUNDED_EVIDENCE:
+            return Answer.FALSE
+        return Answer.unknown(self.reason or "probe-depth")
+
     def describe(self) -> str:
         if self.verdict is Verdict.BOUNDED:
             return (

@@ -60,7 +60,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Iterator, Mapping
 
-from .structure import Node, Structure
+from .structure import BinaryFact, Node, Structure, UnaryFact
 
 Seed = Mapping[Node, Node]
 
@@ -73,6 +73,7 @@ __all__ = [
     "decomp_plan",
     "plan_intern_info",
     "query_width",
+    "semiring_decomp",
     "tree_decomposition",
     "validate_decomposition",
 ]
@@ -968,6 +969,188 @@ def count_decomp(
         count *= sum(weights[b].values())
     witness = next(_iter_relational(plan, index), None)
     return count, witness
+
+
+# ----------------------------------------------------------------------
+# Semiring-generic DP (weighted evaluation over any commutative semiring)
+# ----------------------------------------------------------------------
+#
+# The two counting kernels above are the COUNT specialisation of the
+# functions below: bag products/sums written as ``*``/``+`` over python
+# ints become ``times``/``plus`` over an arbitrary commutative semiring,
+# and each query atom multiplies in the weight of its image fact exactly
+# once — unary labels and self-loops at the variable's own bag, proper
+# atoms at the bag they are assigned to.  Soundness needs only
+# distributivity (which every semiring has), so the arc-consistency
+# pre-filters stay: they remove candidates with no completion, i.e.
+# terms that would contribute ``zero``.  ``count_decomp`` is kept as
+# the integer fast path (no per-tuple weight lookups) and is
+# cross-checked against ``semiring_decomp(COUNT)`` in the tests.
+
+
+def _forest_value(
+    plan: DecompPlan, idx, domains: list[int], sr, weights, budget=None
+):
+    """Bag-value DP over the filtered forest domains: the semiring
+    generalisation of :func:`_count_forest`."""
+    names = idx.nodes
+    weighted = weights is not None or sr.annotate_fact is not None
+    zero = sr.zero
+    vals: list[dict[int, object]] = [None] * plan.n  # type: ignore
+    for var in reversed(plan.forest_order):
+        table: dict[int, object] = {}
+        children = plan.forest_children[var]
+        labels = plan.labels[var]
+        loops = plan.self_loops[var]
+        d = domains[var]
+        while d:
+            bit = d & -d
+            d ^= bit
+            v = bit.bit_length() - 1
+            if budget is not None:
+                budget.charge()  # one DP cell
+            total = sr.one
+            if weighted:
+                name = names[v]
+                for lab in labels:
+                    total = sr.times(
+                        total, sr.weight_of(UnaryFact(lab, name), weights)
+                    )
+                for p in loops:
+                    total = sr.times(
+                        total,
+                        sr.weight_of(BinaryFact(p, name, name), weights),
+                    )
+            dead = False
+            for c in children:
+                cand = domains[c]
+                for p, child_is_src in plan.forest_atoms[c]:
+                    cand &= _edge_support(idx, p, child_is_src, v)
+                sub = zero
+                cc = vals[c]
+                while cand:
+                    b2 = cand & -cand
+                    cand ^= b2
+                    w = b2.bit_length() - 1
+                    cw = cc.get(w)
+                    if cw is None:
+                        continue
+                    if weighted:
+                        ew = sr.one
+                        for p, child_is_src in plan.forest_atoms[c]:
+                            fact = (
+                                BinaryFact(p, names[w], names[v])
+                                if child_is_src
+                                else BinaryFact(p, names[v], names[w])
+                            )
+                            ew = sr.times(ew, sr.weight_of(fact, weights))
+                        cw = sr.times(ew, cw)
+                    sub = sr.plus(sub, cw)
+                if sub == zero:
+                    dead = True
+                    break
+                total = sr.times(total, sub)
+            if not dead and total != zero:
+                table[v] = total
+        vals[var] = table
+    result = sr.one
+    for var in plan.forest_order:
+        if plan.forest_parent[var] < 0:
+            result = sr.times(result, sr.sum(vals[var].values()))
+    return result
+
+
+def _solve_relational_value(
+    plan: DecompPlan, target: Structure, doms, sr, weights, budget=None
+):
+    """Bottom-up semijoin value DP: the semiring generalisation of
+    :func:`_solve_relational`'s counting mode."""
+    weighted = weights is not None or sr.annotate_fact is not None
+    nbags = len(plan.bag_vars)
+    tables: list[dict[tuple, object]] = [None] * nbags  # type: ignore
+    for b in range(nbags):  # ascending = children before parents
+        order = _bag_order(plan, b, doms, frozenset())
+        own = plan.bag_vars[b][0]
+        labels = plan.labels[own]
+        loops = plan.self_loops[own]
+        atoms = plan.bag_atoms[b]
+        wts: dict[tuple, object] = {}
+        for tup in _enum_bag(plan, b, doms, target, order):
+            if budget is not None:
+                budget.charge()  # one semijoin tuple consumed
+            w = sr.one
+            if weighted:
+                img = tup[0]
+                for lab in labels:
+                    w = sr.times(w, sr.weight_of(UnaryFact(lab, img), weights))
+                for p in loops:
+                    w = sr.times(
+                        w, sr.weight_of(BinaryFact(p, img, img), weights)
+                    )
+                for xp, p, yp in atoms:
+                    w = sr.times(
+                        w,
+                        sr.weight_of(BinaryFact(p, tup[xp], tup[yp]), weights),
+                    )
+            dead = False
+            for c in plan.bag_children[b]:
+                cw = tables[c].get(_child_key(plan, c, tup))
+                if cw is None:
+                    dead = True
+                    break
+                w = sr.times(w, cw)
+            if dead:
+                continue
+            sep = tup[1:]
+            prev = wts.get(sep)
+            wts[sep] = w if prev is None else sr.plus(prev, w)
+        if not wts:
+            return sr.zero
+        tables[b] = wts
+    result = sr.one
+    for b in plan.bag_roots:
+        result = sr.times(result, sr.sum(tables[b].values()))
+    return result
+
+
+def semiring_decomp(
+    source: Structure,
+    target: Structure,
+    semiring,
+    weights,
+    seed: dict,
+    restrict_image,
+    node_filter,
+    node_domains,
+    forbid,
+    budget=None,
+):
+    """The value ``⊕_h ⊗_atoms weight(h(atom))`` over all homomorphisms
+    ``source -> target``, by one bottom-up DP pass over the compiled
+    decomposition plan — the weighted analogue of :func:`count_decomp`,
+    generic over any registered commutative semiring."""
+    sr = semiring
+    plan = decomp_plan(source)
+    if plan.n == 0:
+        return sr.one
+    if plan.forest_order is not None:
+        prepared = _mask_domains(
+            plan, target, seed, restrict_image, node_filter,
+            node_domains, forbid,
+        )
+        if prepared is None:
+            return sr.zero
+        domains, idx = prepared
+        if not _forest_filter(plan, idx, domains, budget):
+            return sr.zero
+        return _forest_value(plan, idx, domains, sr, weights, budget)
+    doms = _relational_domains(
+        plan, target, seed, restrict_image, node_filter,
+        node_domains, forbid,
+    )
+    if doms is None:
+        return sr.zero
+    return _solve_relational_value(plan, target, doms, sr, weights, budget)
 
 
 # ----------------------------------------------------------------------

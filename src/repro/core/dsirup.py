@@ -18,7 +18,9 @@ Three evaluation strategies are provided:
   stream the incrementally-built cactuses of ``𝔎_q`` against the data
   until one embeds (the datalog-free evaluation path).
 
-``evaluate`` picks the fastest sound strategy automatically.
+``evaluate_dsirup`` picks the fastest sound strategy automatically
+(``evaluate`` is its deprecated former name — ``Session.evaluate`` now
+names the semiring evaluation surface).
 
 The variant ``Δ⁺_q`` adds the disjointness constraint
 ``⊥ <- T(x), F(x)``; under it, data instances containing an FT-twin node
@@ -28,6 +30,7 @@ are inconsistent and every query is trivially entailed.
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -197,7 +200,10 @@ def evaluate_via_cactuses(
     return DSirupAnswer(certain, None, 0)
 
 
-def evaluate(
+DSIRUP_STRATEGIES = ("auto", "exhaustive", "branching", "pi", "cactus")
+
+
+def evaluate_dsirup(
     q: Structure, data: Structure, strategy: str = "auto", session=None
 ) -> DSirupAnswer:
     """Certain answer to ``(Δ_q, G)`` over ``data``.
@@ -212,7 +218,7 @@ def evaluate(
     to the caller (``Session.certain_answer`` converts it to an
     ``Answer.unknown``).
     """
-    if strategy not in ("auto", "exhaustive", "branching", "pi", "cactus"):
+    if strategy not in DSIRUP_STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}")
     with governed_scope(session):
         if strategy == "exhaustive":
@@ -228,9 +234,30 @@ def evaluate(
         return evaluate_branching(q, data, session)
 
 
+def evaluate(
+    q: Structure, data: Structure, strategy: str = "auto", session=None
+) -> DSirupAnswer:
+    """Deprecated spelling of :func:`evaluate_dsirup`.
+
+    .. deprecated::
+        ``evaluate`` now names the semiring surface
+        (``Session.evaluate(q, data, semiring=...)``); the d-sirup
+        certain-answer procedure is ``Session.evaluate_dsirup`` /
+        :func:`evaluate_dsirup`.
+    """
+    warnings.warn(
+        "dsirup.evaluate() is deprecated; use Session.evaluate_dsirup"
+        "(q, data, strategy) — Session.evaluate(q, data, semiring=...) "
+        "is now the semiring evaluation surface",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return evaluate_dsirup(q, data, strategy, session)
+
+
 def certain_answer(q: Structure, data: Structure, session=None) -> bool:
-    """Boolean convenience wrapper over :func:`evaluate`."""
-    return evaluate(q, data, session=session).certain
+    """Boolean convenience wrapper over :func:`evaluate_dsirup`."""
+    return evaluate_dsirup(q, data, session=session).certain
 
 
 # ----------------------------------------------------------------------

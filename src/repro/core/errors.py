@@ -24,6 +24,31 @@ gives every layer a shared, *cooperative* way to stop early:
   boundedness probe) convert the exception into
   ``Answer.unknown(reason)`` so partial results survive.
 
+The outermost-surface contract
+==============================
+
+Every outermost ``Session`` method returns an *Answer-compatible*
+value — one uniform tri-state convention instead of per-method
+inventions:
+
+* scalar surfaces (``certain_answer``) return a plain ``bool`` when
+  settled and ``Answer.unknown(reason)`` when a governed budget
+  tripped; batch surfaces (``ucq_certain_answers``, governed
+  ``evaluate_batch``) return lists whose settled entries are plain
+  bools and whose unsettled entries are ``Answer`` UNKNOWNs — settled
+  prefixes are never discarded and UNKNOWN is never downgraded to
+  ``False``;
+* structured results expose the same tri-state through an ``answer``
+  property: ``ProbeResult.answer`` (boundedness probes) and
+  ``Evaluation.answer`` (semiring evaluation) yield an :class:`Answer`
+  whose UNKNOWN carries the probe/evaluation's exhaustion reason;
+* ungoverned sessions (no ``deadline_ms``/``hom_fuel``/
+  ``cactus_max_nodes``) always return settled values and never an
+  UNKNOWN; each method's docstring states its governed behaviour.
+
+``tests/test_answer_contract.py`` is the conformance suite for this
+contract.
+
 Budget scoping follows the session: :func:`governed_scope` installs one
 operation-wide budget on ``session.active_budget`` at a top-level
 operation (a d-sirup evaluation, a boundedness probe, a batch sweep),
@@ -47,6 +72,7 @@ __all__ = [
     "EngineError",
     "FuelExhausted",
     "ResourceExhausted",
+    "UnknownSemiring",
     "WorkerFailure",
     "call_budget",
     "governed_scope",
@@ -112,6 +138,12 @@ _REASON_CLASSES = {
 class WorkerFailure(EngineError):
     """A pool worker crashed, hung past its shard timeout, or returned
     a result of the wrong shape (corrupt wire)."""
+
+
+class UnknownSemiring(EngineError):
+    """A ``semiring=`` argument named no registered instance (see
+    :func:`repro.core.semiring.resolve_semiring` /
+    :func:`~repro.core.semiring.register_semiring`)."""
 
 
 # ----------------------------------------------------------------------

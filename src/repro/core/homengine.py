@@ -89,6 +89,7 @@ lazily-built indexes and the cache across the whole batch.
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
@@ -97,7 +98,21 @@ from . import decomp as _decomp
 from .config import BACKEND_CHOICES, EngineConfig, choose_auto_backend
 from .config import BACKENDS as BACKENDS  # re-export: stable engine API
 from .errors import Budget, ResourceExhausted, call_budget
-from .structure import Node, Structure, _canonical_key, numpy_or_none
+from .semiring import (
+    Evaluation,
+    Semiring,
+    freeze_weights,
+    hom_weight,
+    resolve_semiring,
+)
+from .structure import (
+    BinaryFact,
+    Node,
+    Structure,
+    UnaryFact,
+    _canonical_key,
+    numpy_or_none,
+)
 
 Seed = Mapping[Node, Node]
 NodeDomains = Mapping[Node, frozenset[Node]]
@@ -1122,7 +1137,7 @@ def find_homomorphism(
     return hom
 
 
-def count_homomorphisms(
+def _count_homomorphisms(
     source: Structure,
     target: Structure,
     seed: Seed | None = None,
@@ -1136,7 +1151,9 @@ def count_homomorphisms(
     session=None,
     budget: Budget | None = None,
 ) -> int:
-    """The number of homomorphisms from ``source`` to ``target``.
+    """The number of homomorphisms from ``source`` to ``target`` —
+    the exact (arbitrary-precision python int) COUNT kernel behind
+    :func:`semiring_evaluate` and ``Session.count_homomorphisms``.
 
     Enumeration sizes are LRU-cached alongside the find/has answers
     (under a distinct key tag, so a cached witness never masquerades as
@@ -1199,6 +1216,341 @@ def count_homomorphisms(
             find_key, None if first is None else tuple(first.items())
         )
     return count
+
+
+def count_homomorphisms(
+    source: Structure,
+    target: Structure,
+    seed: Seed | None = None,
+    restrict_image: frozenset[Node] | None = None,
+    node_filter: Callable[[Node, Node], bool] | None = None,
+    *,
+    node_domains: NodeDomains | None = None,
+    forbid: frozenset[Node] | None = None,
+    backend: str | None = None,
+    use_cache: bool | None = None,
+    session=None,
+    budget: Budget | None = None,
+) -> int:
+    """Deprecated free-function spelling of homomorphism counting.
+
+    .. deprecated::
+        Use ``Session.count_homomorphisms(...)`` (the thin COUNT
+        wrapper) or ``Session.evaluate(q, data, semiring="count")`` —
+        counting is now the COUNT instance of the semiring surface.
+    """
+    warnings.warn(
+        "count_homomorphisms() is deprecated; use "
+        "Session.count_homomorphisms(...) or "
+        "Session.evaluate(q, data, semiring='count')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _count_homomorphisms(
+        source,
+        target,
+        seed,
+        restrict_image,
+        node_filter,
+        node_domains=node_domains,
+        forbid=forbid,
+        backend=backend,
+        use_cache=use_cache,
+        session=session,
+        budget=budget,
+    )
+
+
+# ----------------------------------------------------------------------
+# Semiring-generic evaluation
+# ----------------------------------------------------------------------
+
+
+def _nfold_sum(sr: Semiring, n: int):
+    """``n``-fold ``⊕`` of ``one`` by doubling: the semiring image of a
+    plain hom count (exact in O(log n) ``plus`` calls)."""
+    if n <= 0:
+        return sr.zero
+    result = None
+    term = sr.one
+    while n:
+        if n & 1:
+            result = term if result is None else sr.plus(result, term)
+        n >>= 1
+        if n:
+            term = sr.plus(term, term)
+    return result
+
+
+def _matrix_forest_value(
+    source: Structure,
+    target: Structure,
+    sr: Semiring,
+    weights,
+    seed: Seed,
+    restrict_image,
+    node_domains,
+    forbid,
+    budget,
+):
+    """Forest-query semiring DP as dense matrix-vector products.
+
+    The semiring generalisation of the ``matrix`` backend's boolean
+    matvec: per query variable a length-``n`` value vector over the
+    target, per query edge one ``M @ vec`` (plus-times carriers:
+    bool/count/prob) or one ``(M + vec).min/max(axis=1)`` tropical
+    reduction (minplus/maxplus), bottom-up over the forest.  Domains
+    are pre-filtered by the decomp bitset semijoin pass, so the dense
+    arithmetic only aggregates values — it never has to search.
+    Callers gate on ``numpy``, a forest-shaped plan (width <= 1), a
+    dense dtype and ``node_filter is None``.
+    """
+    np = numpy_or_none()
+    plan = _decomp.decomp_plan(source)
+    if plan.n == 0:
+        return sr.one
+    prepared = _decomp._mask_domains(
+        plan, target, seed, restrict_image, None, node_domains, forbid
+    )
+    if prepared is None:
+        return sr.zero
+    domains, bidx = prepared
+    if not _decomp._forest_filter(plan, bidx, domains, budget):
+        return sr.zero
+    midx = target.matrix_index
+    n = midx.n
+    additive = sr.name in ("minplus", "maxplus")
+    # COUNT rides int64 here (explicit matrix routing only; the default
+    # COUNT path is the exact python-int decomp/enumeration kernel).
+    dtype = np.int64 if sr.dtype == "int" else np.float64
+    names = bidx.nodes
+    # bit position (bitset interning order) -> matrix row/column
+    pos = [midx.index[name] for name in names]
+
+    def dom_vec(mask: int):
+        v = np.zeros(n, dtype=bool)
+        while mask:
+            b = mask & -mask
+            mask ^= b
+            v[pos[b.bit_length() - 1]] = True
+        return v
+
+    def edge_matrix(p: str, child_is_src: bool):
+        """``M[parent, child] = weight of the oriented atom's fact``
+        (``zero`` — 0 or ±inf — where no such fact exists)."""
+        base = midx.adj_t[p] if child_is_src else midx.adj[p]
+        if additive:
+            mat = np.where(base, 0.0, sr.zero)
+        else:
+            mat = base.astype(dtype)
+        if weights:
+            for fact, val in weights.items():
+                if not isinstance(fact, BinaryFact) or fact.pred != p:
+                    continue
+                i = midx.index.get(fact.src)
+                j = midx.index.get(fact.dst)
+                if i is None or j is None or not midx.adj[p][i, j]:
+                    continue
+                if child_is_src:
+                    mat[j, i] = val
+                else:
+                    mat[i, j] = val
+        return mat
+
+    def unary_vec(var: int, domvec):
+        if additive:
+            u = np.where(domvec, 0.0, sr.zero)
+        else:
+            u = domvec.astype(dtype)
+        if weights:
+            labels = plan.labels[var]
+            loops = plan.self_loops[var]
+            for fact, val in weights.items():
+                if isinstance(fact, UnaryFact):
+                    if fact.label not in labels:
+                        continue
+                    j = midx.index.get(fact.node)
+                elif fact.src == fact.dst and fact.pred in loops:
+                    j = midx.index.get(fact.src)
+                else:
+                    continue
+                if j is None or not domvec[j]:
+                    continue
+                if additive:
+                    u[j] += val
+                else:
+                    u[j] *= val
+        return u
+
+    vals: list = [None] * plan.n
+    for var in reversed(plan.forest_order):
+        domvec = dom_vec(domains[var])
+        if budget is not None:
+            budget.charge(int(domvec.sum()) or 1)
+        u = unary_vec(var, domvec)
+        for c in plan.forest_children[var]:
+            mat = None
+            for p, child_is_src in plan.forest_atoms[c]:
+                m = edge_matrix(p, child_is_src)
+                if mat is None:
+                    mat = m
+                elif additive:
+                    mat = mat + m
+                else:
+                    mat = mat * m
+            shifted = mat + vals[c][None, :] if additive else mat @ vals[c]
+            if additive:
+                contrib = (
+                    shifted.min(axis=1)
+                    if sr.name == "minplus"
+                    else shifted.max(axis=1)
+                )
+                u = u + contrib
+            else:
+                u = u * shifted
+        vals[var] = u
+    terms = []
+    for var in plan.forest_order:
+        if plan.forest_parent[var] < 0:
+            v = vals[var]
+            if additive:
+                terms.append(
+                    float(v.min() if sr.name == "minplus" else v.max())
+                )
+            else:
+                terms.append(v.sum())
+    if additive:
+        return sum(terms)  # tropical ⊗ is +
+    result = terms[0]
+    for t in terms[1:]:
+        result = result * t
+    if sr.dtype == "bool":
+        return bool(result != 0)
+    if sr.dtype == "int":
+        return int(result)
+    return float(result)
+
+
+def semiring_evaluate(
+    source: Structure,
+    target: Structure,
+    semiring: str | Semiring = "bool",
+    seed: Seed | None = None,
+    restrict_image: frozenset[Node] | None = None,
+    node_filter: Callable[[Node, Node], bool] | None = None,
+    *,
+    node_domains: NodeDomains | None = None,
+    forbid: frozenset[Node] | None = None,
+    weights: Mapping | None = None,
+    backend: str | None = None,
+    use_cache: bool | None = None,
+    session=None,
+    budget: Budget | None = None,
+) -> Evaluation:
+    """``⊕_h ⊗_atoms w(h(atom))`` over all homomorphisms, as a typed
+    :class:`~repro.core.semiring.Evaluation`.
+
+    The engine-level kernel behind ``Session.evaluate``: resolves the
+    semiring (name or instance) and the backend, then routes —
+
+    * unweighted idempotent semirings (``bool``, bare ``minplus``/
+      ``maxplus``) ride the cached :func:`find_homomorphism` path and
+      carry the witness;
+    * unweighted ``count`` (and any non-idempotent carrier) rides the
+      exact :func:`_count_homomorphisms` kernel, mapped into the
+      carrier by logarithmic ``⊕``-doubling;
+    * weighted ``decomp`` runs the bag-value DP
+      (:func:`repro.core.decomp.semiring_decomp`);
+    * weighted ``matrix`` on a forest-shaped query with a dense dtype
+      runs :func:`_matrix_forest_value` (semiring matvecs);
+    * everything else — ``naive``/``bitset``, ``why``'s object carrier,
+      ``node_filter`` callables — folds the weighted enumeration
+      oracle, tracking an arg-best witness for selective semirings.
+
+    Values are LRU-cached under ``("semiring", name, frozen-weights)``
+    tagged keys (wire-encoded, so cached ``why`` polynomials stay
+    canonical); unhashable weight values simply bypass the cache.
+    This is an *inner* surface: a tripped budget raises
+    :class:`~repro.core.errors.ResourceExhausted` — ``Session.evaluate``
+    is the governed outermost wrapper that converts it to an
+    ``Evaluation`` with ``reason`` set.
+    """
+    sr = resolve_semiring(semiring)
+    engine = _engine(session)
+    resolved = engine.resolve_backend(backend, target, source)
+    weighted = weights is not None or sr.annotate_fact is not None
+    if not weighted:
+        # Every hom contributes ``one``: the value is determined by
+        # existence (idempotent ⊕) or the exact count (general ⊕).
+        if sr.is_idempotent:
+            hom = find_homomorphism(
+                source, target, seed, restrict_image, node_filter,
+                node_domains=node_domains, forbid=forbid, backend=resolved,
+                use_cache=use_cache, session=session, budget=budget,
+            )
+            value = sr.one if hom is not None else sr.zero
+            return Evaluation(value, sr.name, resolved, witness=hom)
+        count = _count_homomorphisms(
+            source, target, seed, restrict_image, node_filter,
+            node_domains=node_domains, forbid=forbid, backend=resolved,
+            use_cache=use_cache, session=session, budget=budget,
+        )
+        value = count if sr.name == "count" else _nfold_sum(sr, count)
+        return Evaluation(value, sr.name, resolved)
+    frozen = freeze_weights(weights) if weights is not None else ()
+    cacheable = (
+        node_filter is None
+        and use_cache is not False
+        and engine.cache_enabled
+        and (weights is None or frozen is not None)
+    )
+    if cacheable:
+        key = ("semiring", sr.name, frozen) + _cache_key(
+            resolved, source, target, seed, restrict_image,
+            node_domains, forbid,
+        )
+        hit = engine._cache_get(key)
+        if hit is not _MISS:
+            return Evaluation(sr.decode(hit), sr.name, resolved)
+    if budget is None:
+        budget = call_budget(session)
+    witness = None
+    if resolved == "decomp":
+        value = _decomp.semiring_decomp(
+            source, target, sr, weights, dict(seed or {}), restrict_image,
+            node_filter, node_domains, forbid, budget,
+        )
+    elif (
+        resolved == "matrix"
+        and node_filter is None
+        and sr.dtype in ("bool", "int", "float")
+        and numpy_or_none() is not None
+        and _decomp.decomp_plan(source).forest_order is not None
+    ):
+        value = _matrix_forest_value(
+            source, target, sr, weights, dict(seed or {}), restrict_image,
+            node_domains, forbid, budget,
+        )
+    else:
+        # Weighted enumeration: the oracle tier every dense path is
+        # cross-validated against (and the only route for ``why``'s
+        # object carrier or opaque node_filter callables).
+        value = sr.zero
+        for hom in iter_homomorphisms(
+            source, target, seed, restrict_image, node_filter,
+            node_domains=node_domains, forbid=forbid, backend=resolved,
+            session=session, budget=budget,
+        ):
+            w = hom_weight(source, hom, sr, weights)
+            if w == sr.zero:
+                continue
+            new = sr.plus(value, w)
+            if witness is None or (sr.is_selective and new != value):
+                witness = hom
+            value = new
+    if cacheable:
+        engine._cache_put(key, sr.encode(value))
+    return Evaluation(value, sr.name, resolved, witness=witness)
 
 
 def has_homomorphism(

@@ -86,7 +86,14 @@ from typing import Iterable, Iterator, Sequence
 
 from . import homengine
 from .config import BACKEND_CHOICES, EngineConfig
-from .errors import Answer, ResourceExhausted, WorkerFailure, governed_scope
+from .errors import (
+    Answer,
+    ResourceExhausted,
+    UnknownSemiring,
+    WorkerFailure,
+    governed_scope,
+)
+from .semiring import Evaluation, Semiring, resolve_semiring
 from .structure import BinaryFact, Structure, UnaryFact
 
 # The failure types that mean "the pool (or one worker) let us down" —
@@ -116,6 +123,7 @@ __all__ = [
     "parallel_evaluate_batch",
     "parallel_screen",
     "parallel_screen_stream",
+    "parallel_semiring_batch",
     "parallel_ucq_answers",
     "pool_info",
     "shutdown_pool",
@@ -302,6 +310,61 @@ def _worker_evaluate_chunk(
         use_cache=use_cache,
         session=session,
     )
+
+
+def _worker_semiring_chunk(
+    query_wire: Wire,
+    instance_wires: list[Wire],
+    semiring_name: str,
+    weights_wire: tuple | None,
+    backend: str | None,
+    cache_limit: int = 0,
+    use_cache: bool | None = None,
+    config: EngineConfig | None = None,
+) -> "list[tuple]":
+    """One semiring-tagged shard: evaluate the query over a chunk of
+    instances under a named (registry-resolved) semiring.
+
+    Answers travel per-dtype through the semiring's wire codec:
+    entries are ``("ok", sr.encode(value))`` or — once a governed
+    budget trips — ``("x", reason)`` for every remaining slot, the
+    semiring analogue of the reason-string tail of
+    :func:`~repro.core.homengine.evaluate_batch_governed`.
+    """
+    session = _worker_session(config)
+    if _take_fault() == "corrupt":
+        return "corrupt"  # type: ignore[return-value]
+    sr = resolve_semiring(semiring_name)
+    weights = (
+        None
+        if weights_wire is None
+        else {fact: sr.decode(val) for fact, val in weights_wire}
+    )
+    query = from_wire_cached(query_wire, cache_limit)
+    out: "list[tuple]" = []
+    reason: str | None = None
+    with governed_scope(session) as budget:
+        for wire in instance_wires:
+            if reason is not None:
+                out.append(("x", reason))
+                continue
+            try:
+                if budget is not None:
+                    budget.checkpoint()
+                ev = homengine.semiring_evaluate(
+                    query,
+                    from_wire_cached(wire, cache_limit),
+                    sr,
+                    weights=weights,
+                    backend=backend,
+                    use_cache=use_cache,
+                    session=session,
+                )
+                out.append(("ok", sr.encode(ev.value)))
+            except ResourceExhausted as exc:
+                reason = exc.reason
+                out.append(("x", reason))
+    return out
 
 
 def _worker_ucq_chunk(
@@ -872,6 +935,122 @@ def parallel_evaluate_batch(
     if wire_config.governed:
         return [Answer.decode(entry) for entry in flat]
     return flat
+
+
+def _validate_semiring_row(result, args) -> bool:
+    return (
+        isinstance(result, list)
+        and len(result) == len(args[1])
+        and all(isinstance(e, tuple) and len(e) == 2 for e in result)
+    )
+
+
+def parallel_semiring_batch(
+    query: Structure,
+    instances: Iterable[Structure],
+    semiring: "str | Semiring" = "bool",
+    *,
+    weights=None,
+    backend: str | None = None,
+    workers: int | None = None,
+    min_batch: int | None = None,
+    session=None,
+) -> "list[Evaluation]":
+    """One weighted query over many instances, sharded: the semiring
+    analogue of :func:`parallel_evaluate_batch`.
+
+    Returns one :class:`~repro.core.semiring.Evaluation` per instance,
+    input order.  Weights ship once per chunk as ``(fact,
+    encoded-value)`` pairs and values come back through the semiring's
+    per-dtype wire codec, so worker answers are canonical (``why``
+    polynomials sort their witness sets).  Only *registered* semirings
+    can cross the process boundary — a bespoke unregistered
+    :class:`~repro.core.semiring.Semiring` instance (or an opaque
+    ``node_filter``-free call with unpicklable weights) quietly takes
+    the serial path, identical answers included.  Governed behaviour
+    matches the outermost-surface contract: entries computed before a
+    budget trips are kept, later entries carry ``reason``.
+    """
+    rt = _runtime(session)
+    wire_backend, wire_cache, wire_config = _worker_opts(session, backend)
+    sr = resolve_semiring(semiring)
+    instances = list(instances)
+
+    def serial() -> "list[Evaluation]":
+        out: "list[Evaluation]" = []
+        reason: str | None = None
+        with governed_scope(session) as budget:
+            for data in instances:
+                if reason is not None:
+                    out.append(
+                        Evaluation(None, sr.name, wire_backend, reason=reason)
+                    )
+                    continue
+                try:
+                    if budget is not None:
+                        budget.checkpoint()
+                    out.append(
+                        homengine.semiring_evaluate(
+                            query, data, sr, weights=weights,
+                            backend=backend, session=session,
+                        )
+                    )
+                except ResourceExhausted as exc:
+                    reason = exc.reason
+                    out.append(
+                        Evaluation(None, sr.name, wire_backend, reason=reason)
+                    )
+        return out
+
+    try:
+        shippable = resolve_semiring(sr.name) is sr
+    except UnknownSemiring:
+        shippable = False
+    weights_wire = None
+    if shippable and weights is not None:
+        try:
+            weights_wire = tuple(
+                (fact, sr.encode(val)) for fact, val in weights.items()
+            )
+            pickle.dumps(weights_wire)
+        except (TypeError, pickle.PickleError, AttributeError):
+            shippable = False
+    if not shippable:
+        return serial()
+    shared: dict = {}
+
+    def make_args(chunk):
+        if "query" not in shared:
+            shared["query"] = to_wire(query)
+        return (
+            shared["query"],
+            [to_wire(s) for s in chunk],
+            sr.name,
+            weights_wire,
+            wire_backend,
+            rt.worker_cache,
+            wire_cache,
+            wire_config,
+        )
+
+    chunk_results = _sharded_ordered(
+        rt,
+        instances,
+        rt.workers if workers is None else workers,
+        rt.min_batch if min_batch is None else min_batch,
+        _worker_semiring_chunk,
+        make_args,
+        _validate_semiring_row,
+    )
+    if chunk_results is None:
+        return serial()
+    out: "list[Evaluation]" = []
+    for tag, payload in (e for chunk in chunk_results for e in chunk):
+        if tag == "ok":
+            out.append(Evaluation(sr.decode(payload), sr.name, wire_backend))
+        else:
+            out.append(Evaluation(None, sr.name, wire_backend, reason=payload))
+    return out
 
 
 def parallel_screen(

@@ -35,6 +35,7 @@ constructs a session keeps working unchanged.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Sequence
 
 from .core import boundedness as _boundedness
@@ -43,6 +44,7 @@ from .core import dsirup as _dsirup
 from .core import errors as _errors
 from .core import homengine as _homengine
 from .core import runtime as _runtime
+from .core import semiring as _semiring
 from .core.config import EngineConfig
 from .core.structure import Structure
 
@@ -150,8 +152,16 @@ class Session:
         )
 
     def count_homomorphisms(self, source, target, *args, **kwargs) -> int:
-        """:func:`repro.core.homengine.count_homomorphisms` in this session."""
-        return _homengine.count_homomorphisms(
+        """The number of homomorphisms ``source -> target`` — a thin
+        wrapper over the COUNT instance of the semiring surface
+        (``self.evaluate(source, target, semiring="count")``), kept as
+        a method because exact integer counting is the engine's most
+        common non-Boolean ask.  Ungoverned sessions return a plain
+        int; a governed budget that trips *raises*
+        :class:`~repro.core.errors.ResourceExhausted` (counts have no
+        partial value — use :meth:`evaluate` for the tri-state view).
+        """
+        return _homengine._count_homomorphisms(
             source, target, *args, session=self, **kwargs
         )
 
@@ -161,11 +171,25 @@ class Session:
             target, sources, *args, session=self, **kwargs
         )
 
-    def evaluate_batch(self, query, instances, **kwargs) -> list[bool]:
-        """Sharded one-query/many-instances evaluation
-        (:func:`repro.core.runtime.parallel_evaluate_batch`)."""
-        return _runtime.parallel_evaluate_batch(
-            query, instances, session=self, **kwargs
+    def evaluate_batch(self, query, instances, *, semiring=None, **kwargs):
+        """Sharded one-query/many-instances evaluation.
+
+        With ``semiring=None`` (default), the Boolean fast path
+        (:func:`repro.core.runtime.parallel_evaluate_batch`): a list of
+        bools — on a governed session, settled entries stay plain bools
+        and entries after a tripped budget are ``Answer`` UNKNOWNs
+        (the outermost-surface contract).  With a ``semiring=`` (name
+        or instance, plus optional ``weights=``), one
+        :class:`~repro.core.semiring.Evaluation` per instance via
+        :func:`repro.core.runtime.parallel_semiring_batch`, tripped
+        entries carrying ``reason`` instead.
+        """
+        if semiring is None:
+            return _runtime.parallel_evaluate_batch(
+                query, instances, session=self, **kwargs
+            )
+        return _runtime.parallel_semiring_batch(
+            query, instances, semiring, session=self, **kwargs
         )
 
     def cactus_factory(self, one_cq):
@@ -210,22 +234,103 @@ class Session:
         """Certain answer to the d-sirup ``(Δ_q, G)`` over ``data``
         (:func:`repro.core.dsirup.certain_answer`).
 
-        On a governed session (``deadline_ms`` / ``hom_fuel`` set) a
-        tripped budget yields ``Answer.unknown(reason)`` instead of an
-        exception or a hang; ungoverned sessions always return a plain
-        bool.
+        Outermost-surface contract: on a governed session
+        (``deadline_ms`` / ``hom_fuel`` set) a tripped budget yields
+        ``Answer.unknown(reason)`` instead of an exception or a hang;
+        ungoverned sessions always return a plain bool.
         """
         try:
-            return _dsirup.evaluate(q, data, strategy, session=self).certain
+            return _dsirup.evaluate_dsirup(
+                q, data, strategy, session=self
+            ).certain
         except _errors.ResourceExhausted as exc:
             return _errors.Answer.unknown(exc.reason)
 
     def evaluate(
+        self,
+        q: Structure,
+        data: Structure,
+        semiring: "str | _semiring.Semiring" = "bool",
+        *,
+        weights=None,
+        backend: str | None = None,
+        seed=None,
+        restrict_image=None,
+        use_cache: bool | None = None,
+        strategy: str | None = None,
+    ) -> "_semiring.Evaluation":
+        """Evaluate the CQ ``q`` over ``data`` under a commutative
+        semiring — the unified evaluation surface.
+
+        ``semiring`` is a registered name (``"bool"``, ``"count"``,
+        ``"prob"``, ``"minplus"``, ``"maxplus"``, ``"why"``) or a
+        :class:`~repro.core.semiring.Semiring` instance; ``weights``
+        optionally annotates individual facts of ``data``.  Returns a
+        typed :class:`~repro.core.semiring.Evaluation` whose ``value``
+        is ``⊕`` over all homomorphisms of the ``⊗`` of per-atom fact
+        weights, with ``.answer`` giving the
+        :class:`~repro.core.errors.Answer`-compatible tri-state view.
+
+        Outermost-surface contract: on a governed session a tripped
+        budget never raises — the returned ``Evaluation`` has
+        ``value=None`` and ``reason`` set (so ``.answer`` is
+        UNKNOWN(reason)); ungoverned sessions always return a settled
+        value.
+
+        .. deprecated::
+            ``Session.evaluate(q, data, strategy)`` (the d-sirup
+            certain-answer procedure) moved to
+            :meth:`evaluate_dsirup`; passing a d-sirup strategy name or
+            a ``strategy=`` keyword here warns and delegates.
+        """
+        if strategy is not None or (
+            isinstance(semiring, str)
+            and semiring in _dsirup.DSIRUP_STRATEGIES
+        ):
+            warnings.warn(
+                "Session.evaluate(q, data, strategy) is deprecated; "
+                "use Session.evaluate_dsirup(q, data, strategy) — "
+                "evaluate() now takes a semiring",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.evaluate_dsirup(
+                q, data, strategy if strategy is not None else semiring
+            )
+        sr = _semiring.resolve_semiring(semiring)
+        try:
+            with _errors.governed_scope(self):
+                return _homengine.semiring_evaluate(
+                    q,
+                    data,
+                    sr,
+                    seed,
+                    restrict_image,
+                    weights=weights,
+                    backend=backend,
+                    use_cache=use_cache,
+                    session=self,
+                )
+        except _errors.ResourceExhausted as exc:
+            return _semiring.Evaluation(
+                None,
+                sr.name,
+                backend if backend is not None else self.hom.default_backend,
+                reason=exc.reason,
+            )
+
+    def evaluate_dsirup(
         self, q: Structure, data: Structure, strategy: str = "auto"
     ):
-        """Full d-sirup evaluation with countermodel bookkeeping
-        (:func:`repro.core.dsirup.evaluate`)."""
-        return _dsirup.evaluate(q, data, strategy, session=self)
+        """Full d-sirup certain-answer evaluation with countermodel
+        bookkeeping (:func:`repro.core.dsirup.evaluate_dsirup`) — the
+        renamed former ``Session.evaluate``.
+
+        An *inner* structured surface: a governed budget that trips
+        raises :class:`~repro.core.errors.ResourceExhausted`; use
+        :meth:`certain_answer` for the tri-state outermost view.
+        """
+        return _dsirup.evaluate_dsirup(q, data, strategy, session=self)
 
     def decide_boundedness(self, q, probe_depth: int = 3):
         """Route ``q`` to the strongest boundedness decider

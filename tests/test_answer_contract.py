@@ -1,0 +1,144 @@
+"""Conformance suite for the outermost-surface contract.
+
+One tri-state convention (documented in :mod:`repro.core.errors`)
+across every outermost ``Session`` surface:
+
+* scalar surfaces return a plain ``bool`` when settled and
+  ``Answer.unknown(reason)`` when a governed budget trips — never an
+  exception, never a silent ``False``;
+* batch surfaces return lists whose settled entries are plain bools
+  and whose unsettled entries are ``Answer`` UNKNOWNs, preserving the
+  settled prefix;
+* structured results expose the same tri-state through an ``answer``
+  property (``ProbeResult.answer``, ``Evaluation.answer``);
+* ungoverned sessions always return settled values.
+"""
+
+import pytest
+
+from repro import Answer, EngineConfig, Session, path_structure, zoo
+from repro.core.boundedness import ProbeResult, Verdict
+from repro.core.errors import EngineError, ResourceExhausted
+from repro.core.semiring import Evaluation
+from repro.workloads.generators import instance_family
+
+
+def _starved() -> Session:
+    """A session whose budget trips almost immediately (fuel 1)."""
+    return Session(EngineConfig(hom_fuel=1))
+
+
+def _path_q():
+    """Unlabeled 3-node R-path: never quick-rejects, so governed
+    evaluation always reaches the search and burns fuel."""
+    return path_structure(["", "", ""])
+
+
+def _dense_instances(count=3):
+    return instance_family(count, 30, 120, seed=3)
+
+
+class TestScalarSurfaces:
+    def test_certain_answer_ungoverned_is_plain_bool(self):
+        s = Session()
+        out = s.certain_answer(zoo.q2(), zoo.d2())
+        assert isinstance(out, bool) and out is True
+
+    def test_certain_answer_governed_returns_unknown(self):
+        s = _starved()
+        out = s.certain_answer(zoo.q2(), zoo.d2())
+        assert isinstance(out, Answer) and not out.known
+        assert out.reason == "fuel"
+        with pytest.raises(EngineError):
+            bool(out)  # UNKNOWN refuses to lean either way
+
+    def test_evaluate_governed_never_raises(self):
+        s = _starved()
+        ev = s.evaluate(_path_q(), _dense_instances(1)[0], "count")
+        assert isinstance(ev, Evaluation)
+        assert ev.value is None and ev.reason == "fuel"
+        assert isinstance(ev.answer, Answer) and not ev.answer.known
+
+    def test_evaluate_ungoverned_always_settled(self):
+        s = Session()
+        ev = s.evaluate(zoo.q1(), zoo.d1())
+        assert ev.known and ev.reason is None
+        assert ev.answer.known
+
+
+class TestBatchSurfaces:
+    def test_evaluate_batch_governed_entries(self):
+        s = _starved()
+        instances = _dense_instances(4)
+        out = s.evaluate_batch(_path_q(), instances)
+        assert len(out) == len(instances)
+        for entry in out:
+            # Settled entries are plain bools; unsettled ones are
+            # Answer UNKNOWNs — never a downgraded False.
+            assert isinstance(entry, bool) or (
+                isinstance(entry, Answer) and not entry.known
+            )
+        assert any(isinstance(e, Answer) for e in out)
+
+    def test_evaluate_batch_ungoverned_all_bools(self):
+        s = Session()
+        instances = _dense_instances(4)
+        out = s.evaluate_batch(_path_q(), instances)
+        assert all(isinstance(e, bool) for e in out)
+
+    def test_semiring_batch_entries_expose_answer(self):
+        s = _starved()
+        instances = _dense_instances(3)
+        out = s.evaluate_batch(_path_q(), instances, semiring="count")
+        assert all(isinstance(e, Evaluation) for e in out)
+        assert any(e.reason for e in out)
+        assert all(not e.answer.known for e in out if e.reason)
+
+    def test_ucq_certain_answers_governed_entries(self):
+        s = _starved()
+        out = s.ucq_certain_answers([_path_q()], _dense_instances(3))
+        assert len(out) == 3
+        for entry in out:
+            assert isinstance(entry, bool) or (
+                isinstance(entry, Answer) and not entry.known
+            )
+        assert any(isinstance(e, Answer) for e in out)
+
+
+class TestStructuredResults:
+    def test_probe_result_answer_mapping(self):
+        bounded = ProbeResult(Verdict.BOUNDED, 1, 3, 4, ())
+        assert bounded.answer == Answer.TRUE and bool(bounded.answer)
+        unbounded = ProbeResult(
+            Verdict.UNBOUNDED_EVIDENCE, None, 3, 4, ("s",)
+        )
+        assert unbounded.answer == Answer.FALSE
+        shallow = ProbeResult(Verdict.INCONCLUSIVE, None, 1, 1, ("s",))
+        assert not shallow.answer.known
+        assert shallow.answer.reason == "probe-depth"
+        starved = ProbeResult(
+            Verdict.INCONCLUSIVE, None, 1, 0, (), reason="deadline"
+        )
+        assert starved.answer.reason == "deadline"
+
+    def test_probe_answer_agrees_with_verdict_end_to_end(self):
+        from repro.core.cq import OneCQ
+
+        s = Session()
+        probe = s.probe_boundedness(OneCQ.from_structure(zoo.q2()), 3)
+        assert (probe.answer == Answer.TRUE) == (
+            probe.verdict is Verdict.BOUNDED
+        )
+
+    def test_evaluation_answer_nonzero_semantics(self):
+        s = Session()
+        ev = s.evaluate(zoo.q1(), zoo.d1(), "count")
+        assert ev.answer == (ev.value > 0)
+
+    def test_inner_surfaces_still_raise(self):
+        # The contract is about *outermost* methods: the structured
+        # d-sirup evaluator is an inner surface and must keep raising,
+        # so callers composing it can share one budget.
+        s = _starved()
+        with pytest.raises(ResourceExhausted):
+            s.evaluate_dsirup(zoo.q2(), zoo.d2())

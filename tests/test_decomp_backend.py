@@ -27,7 +27,7 @@ from repro.core.config import (
 from repro.core.cq import OneCQ
 from repro.core.homengine import (
     BACKENDS,
-    count_homomorphisms,
+    _count_homomorphisms,
     evaluate_batch,
     find_homomorphism,
     has_homomorphism,
@@ -177,7 +177,7 @@ class TestFourWayCrossValidation:
         }
         assert len(set(verdicts.values())) == 1
         counts = {
-            b: count_homomorphisms(q, d, backend=b, use_cache=False)
+            b: _count_homomorphisms(q, d, backend=b, use_cache=False)
             for b in BACKENDS
         }
         assert len(set(counts.values())) == 1
@@ -203,7 +203,7 @@ class TestFourWayCrossValidation:
         q = b.build()
         d = random_instance(30, 40, seed=5)
         assert (
-            count_homomorphisms(q, d, backend="decomp", use_cache=False)
+            _count_homomorphisms(q, d, backend="decomp", use_cache=False)
             == len(d.nodes) ** 12
         )
 

@@ -18,7 +18,7 @@ from repro.core.dsirup import (
     a_nodes,
     complete,
     data_consistent_with_disjointness,
-    evaluate,
+    evaluate_dsirup,
 )
 from repro.core.structure import A, F, Structure, T
 
@@ -65,7 +65,7 @@ class TestEvaluationStrategies:
         q = q_ftt()
         d = data_path(["T", "F", "F"])
         for strategy in ("exhaustive", "branching", "pi"):
-            assert not evaluate(q, d, strategy).certain
+            assert not evaluate_dsirup(q, d, strategy).certain
 
     def test_case_split_yes(self):
         # T T A F: if A=T then (v1,v2,v3) no wait—if A=T, T T at v1,v2?
@@ -103,11 +103,11 @@ class TestEvaluationStrategies:
     def test_auto_strategy_dispatch(self):
         q = q_ftt()
         d = data_path(["T", "A", "F"])
-        assert evaluate(q, d, "auto").certain == evaluate_exhaustive(q, d).certain
+        assert evaluate_dsirup(q, d, "auto").certain == evaluate_exhaustive(q, d).certain
 
     def test_unknown_strategy(self):
         with pytest.raises(ValueError):
-            evaluate(q_ftt(), data_path(["T"]), "magic")
+            evaluate_dsirup(q_ftt(), data_path(["T"]), "magic")
 
     def test_certain_answer_wrapper(self):
         assert certain_answer(q_ftt(), data_path(["T", "T", "F"]))

@@ -13,7 +13,7 @@ from repro.core import homengine
 from repro.core.homengine import (
     BACKENDS,
     clear_hom_cache,
-    count_homomorphisms,
+    _count_homomorphisms,
     covers_any,
     evaluate_batch,
     find_homomorphism,
@@ -357,7 +357,7 @@ class TestCountCache:
             expected = len(list(iter_homomorphisms(q, d)))
             for backend in BACKENDS:
                 assert (
-                    count_homomorphisms(
+                    _count_homomorphisms(
                         q, d, backend=backend, use_cache=False
                     )
                     == expected
@@ -366,9 +366,9 @@ class TestCountCache:
     def test_second_count_hits_cache(self, fresh_cache):
         q = path_structure(["T", ""])
         d = path_structure(["T", "", ""])
-        first = count_homomorphisms(q, d)
+        first = _count_homomorphisms(q, d)
         hits_before = hom_cache_info().hits
-        assert count_homomorphisms(q, d) == first
+        assert _count_homomorphisms(q, d) == first
         assert hom_cache_info().hits == hits_before + 1
 
     def test_count_seeds_find_cache(self, fresh_cache):
@@ -376,7 +376,7 @@ class TestCountCache:
         # same arguments is filled with the first witness for free.
         q = path_structure(["T", ""])
         d = path_structure(["T", "", ""])
-        assert count_homomorphisms(q, d) > 0
+        assert _count_homomorphisms(q, d) > 0
         hits_before = hom_cache_info().hits
         assert find_homomorphism(q, d) is not None
         assert hom_cache_info().hits == hits_before + 1
@@ -384,7 +384,7 @@ class TestCountCache:
     def test_zero_count_seeds_negative_answer(self, fresh_cache):
         q = path_structure(["T"])
         d = path_structure(["F"])
-        assert count_homomorphisms(q, d) == 0
+        assert _count_homomorphisms(q, d) == 0
         hits_before = hom_cache_info().hits
         assert not has_homomorphism(q, d)
         assert hom_cache_info().hits == hits_before + 1
@@ -395,7 +395,7 @@ class TestCountCache:
         q = path_structure(["", ""], prefix="q")
         d = path_structure(["", "", ""], prefix="d")
         assert find_homomorphism(q, d) is not None
-        assert count_homomorphisms(q, d) == 2  # a fresh enumeration
+        assert _count_homomorphisms(q, d) == 2  # a fresh enumeration
         assert find_homomorphism(q, d) is not None
 
     def test_count_with_node_filter_bypasses_cache(self, fresh_cache):
@@ -403,7 +403,7 @@ class TestCountCache:
         d = path_structure(["", ""], prefix="d")
         size_before = hom_cache_info().size
         assert (
-            count_homomorphisms(q, d, node_filter=lambda x, v: v == "d1")
+            _count_homomorphisms(q, d, node_filter=lambda x, v: v == "d1")
             == 1
         )
         assert hom_cache_info().size == size_before
@@ -411,8 +411,8 @@ class TestCountCache:
     def test_count_per_backend_keys(self, fresh_cache):
         q = path_structure(["T", ""])
         d = path_structure(["T", "", ""])
-        assert count_homomorphisms(q, d, backend="bitset") == (
-            count_homomorphisms(q, d, backend="naive")
+        assert _count_homomorphisms(q, d, backend="bitset") == (
+            _count_homomorphisms(q, d, backend="naive")
         )
         # Two backends, two count entries (plus the seeded find entries).
         assert hom_cache_info().size >= 4

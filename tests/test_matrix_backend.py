@@ -17,7 +17,7 @@ from hypothesis import strategies as st
 from repro.core import structure as structure_mod
 from repro.core.homengine import (
     BACKENDS,
-    count_homomorphisms,
+    _count_homomorphisms,
     has_homomorphism,
     iter_homomorphisms,
     matrix_backend_available,
@@ -139,7 +139,7 @@ class TestThreeWayCrossValidation:
         }
         assert len(set(verdicts.values())) == 1
         counts = {
-            b: count_homomorphisms(q, d, backend=b, use_cache=False)
+            b: _count_homomorphisms(q, d, backend=b, use_cache=False)
             for b in BACKENDS
         }
         assert len(set(counts.values())) == 1

@@ -221,7 +221,7 @@ class TestSessionIsolation:
         q, d = zoo.q2(), zoo.d2()
         with Session(EngineConfig(backend="naive")) as s:
             for strategy in ("auto", "exhaustive", "branching", "pi"):
-                assert s.evaluate(q, d, strategy).certain is True
+                assert s.evaluate_dsirup(q, d, strategy).certain is True
 
     def test_close_clears_state(self):
         q = path_structure(["T"])
