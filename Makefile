@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint fuzz bench-homengine bench-cactus bench-batch bench-decomp bench-semiring bench check ci
+.PHONY: test lint fuzz bench-homengine bench-cactus bench-batch bench-decomp bench-semiring bench-store bench check ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -59,9 +59,15 @@ lint-deprecated-gate:
 ## differential fuzz smoke: seeded cross-check of all hom backends,
 ## serial-vs-parallel sharding, and governed-session sanity.  The
 ## fixed seed makes CI failures replayable locally with the same
-## arguments; --seconds caps the job even on throttled runners.
+## arguments; --seconds caps the job even on throttled runners.  The
+## second leg reruns with the durable store enabled, cross-checking
+## disk-replayed answers against the in-memory path and ending with a
+## full checksum sweep.
 fuzz:
 	$(PYTHON) scripts/fuzz_differential.py --seed 0 --cases 2000 --seconds 25
+	rm -rf /tmp/repro-fuzz-store
+	$(PYTHON) scripts/fuzz_differential.py --seed 7 --cases 500 --seconds 15 \
+		--cache-dir /tmp/repro-fuzz-store
 
 ## hom-engine backend comparison (naive vs bitset); writes BENCH_homengine.json
 bench-homengine:
@@ -84,6 +90,11 @@ bench-decomp:
 bench-semiring:
 	$(PYTHON) scripts/bench_semiring.py
 
+## durable-store warm restarts across process boundaries; writes
+## BENCH_store.json
+bench-store:
+	$(PYTHON) scripts/bench_store.py
+
 ## all experiment benchmarks, default engine configuration
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -95,6 +106,7 @@ check: test
 	$(PYTHON) scripts/bench_batch.py --check
 	$(PYTHON) scripts/bench_decomp.py --check
 	$(PYTHON) scripts/bench_semiring.py --check
+	$(PYTHON) scripts/bench_store.py --check
 
 ## everything the CI workflow runs (tests, lint, fuzz smoke, perf gates)
 ci: test lint fuzz
@@ -103,3 +115,4 @@ ci: test lint fuzz
 	$(PYTHON) scripts/bench_batch.py --check --output /tmp/BENCH_batch.json
 	$(PYTHON) scripts/bench_decomp.py --check --output /tmp/BENCH_decomp.json
 	$(PYTHON) scripts/bench_semiring.py --check --output /tmp/BENCH_semiring.json
+	$(PYTHON) scripts/bench_store.py --check --output /tmp/BENCH_store.json

@@ -22,6 +22,17 @@ and cross-checks every answer four ways:
   ``has_homomorphism``, MINPLUS is finite iff a homomorphism exists,
   and weighted PROB agrees across the enumeration, decomp-DP and
   matrix-matvec routes.
+* **Durable-store agreement** (``--cache-dir``) — a disk-backed
+  session answers every case alongside the oracle, and is closed and
+  reopened every ~40 cases with the recent cases replayed against the
+  fresh session, so the replays are answered from *disk* (two-tier
+  promotion) and must still match the in-memory path.  The run ends
+  with a full checksum sweep of the store (``verify`` must drop 0).
+
+The query rotation includes hostile treewidth-3 k-tree CQs and the
+target rotation includes dense multigraph instances (parallel edges
+under several predicates plus self-loops) — the adversarial families
+from ``repro.workloads.generators``.
 
 Any disagreement prints a self-contained repro (the case seed and the
 wire forms of query and target) and exits 1; a clean run prints a
@@ -32,6 +43,7 @@ Usage::
 
     python scripts/fuzz_differential.py [--seed N] [--cases N]
                                         [--seconds S] [--workers N]
+                                        [--cache-dir DIR]
 
 ``--seconds`` is a soft wall-clock cap: the loop stops early (still
 exit 0) once exceeded, so the CI smoke job stays within its budget.
@@ -57,8 +69,10 @@ from repro.core.runtime import (  # noqa: E402
 )
 from repro.workloads.generators import (  # noqa: E402
     block_dag_instance,
+    dense_multigraph_instance,
     random_ditree_cq,
     random_instance,
+    random_ktree_cq,
     random_lambda_cq,
 )
 
@@ -66,10 +80,11 @@ BACKENDS = ("naive", "bitset", "matrix", "decomp")
 
 
 def draw_query(rng: random.Random):
-    """A small random query: ditree CQs, Λ-CQs and dense digraph CQs
-    in rotation, so the sweep hits both the tree-shaped decomp fast
-    path and the cyclic general case."""
-    kind = rng.randrange(3)
+    """A small random query: ditree CQs, Λ-CQs, treewidth-3 k-tree CQs
+    and dense digraph CQs in rotation, so the sweep hits the
+    tree-shaped decomp fast path, the min-fill fallback (k-trees sit
+    past the exact-decomposition range) and the cyclic general case."""
+    kind = rng.randrange(4)
     seed = rng.randrange(1 << 30)
     if kind == 0:
         q = random_ditree_cq(rng.randint(3, 6), seed)
@@ -79,14 +94,19 @@ def draw_query(rng: random.Random):
         q = random_lambda_cq(rng.randint(3, 6), seed, span=rng.randint(1, 2))
         if q is not None:
             return q
+    if kind == 2:
+        return random_ktree_cq(rng.randint(5, 6), seed)
     n = rng.randint(2, 5)
     return random_instance(n, rng.randint(n, 2 * n), seed)
 
 
 def draw_target(rng: random.Random):
     seed = rng.randrange(1 << 30)
-    if rng.randrange(4) == 0:
+    shape = rng.randrange(5)
+    if shape == 0:
         return block_dag_instance(rng.randint(8, 24), rng.randint(3, 5), seed)
+    if shape == 1:
+        return dense_multigraph_instance(rng.randint(6, 14), seed)
     n = rng.randint(4, 28)
     return random_instance(n, rng.randint(n, 3 * n), seed)
 
@@ -103,6 +123,12 @@ def main() -> int:
     ap.add_argument("--cases", type=int, default=200)
     ap.add_argument("--seconds", type=float, default=None)
     ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="enable the durable-store leg: a disk-backed session "
+        "cross-checked against the oracle, reopened every ~40 cases "
+        "so replayed answers come from disk",
+    )
     args = ap.parse_args()
 
     rng = random.Random(args.seed)
@@ -116,6 +142,15 @@ def main() -> int:
         EngineConfig(backend="bitset", workers=args.workers, parallel_min=8)
     )
     serial = Session(EngineConfig(backend="bitset", workers=1))
+
+    def fresh_durable():
+        return Session(
+            EngineConfig(backend="bitset", cache_dir=args.cache_dir)
+        )
+
+    durable = fresh_durable() if args.cache_dir else None
+    durable_cases = 0
+    replay: list = []  # (query, target, oracle answer) since last reopen
 
     checks = 0
     cases = 0
@@ -211,6 +246,34 @@ def main() -> int:
                 )
                 return 1
 
+        if durable is not None:
+            d = durable.has_homomorphism(query, target)
+            checks += 1
+            if d != answers["naive"]:
+                report(
+                    case_seed, "durable-store has_homomorphism", query,
+                    target, f"durable={d!r} oracle={answers['naive']!r}",
+                )
+                return 1
+            replay.append((query, target, answers["naive"]))
+            durable_cases += 1
+            if durable_cases % 40 == 0:
+                # Reopen so the replays below are answered from disk
+                # (store hit promoted into the fresh memory tier), not
+                # from the warm LRU they were computed into.
+                durable.close()
+                durable = fresh_durable()
+                for rq, rt, want in replay:
+                    got = durable.has_homomorphism(rq, rt)
+                    checks += 1
+                    if got != want:
+                        report(
+                            case_seed, "durable-store disk replay", rq, rt,
+                            f"disk={got!r} oracle={want!r}",
+                        )
+                        return 1
+                replay.clear()
+
         # A bare governed engine call raises on exhaustion; any answer
         # it *does* return must match the oracle.
         try:
@@ -259,6 +322,16 @@ def main() -> int:
                 return 1
             batch_queries.clear()
             batch_targets.clear()
+
+    if durable is not None:
+        store = durable.store
+        if store is not None:
+            checked, dropped = store.verify()
+            print(f"store verify: {checked} entries checked, {dropped} dropped")
+            if dropped:
+                print("durable store verify dropped corrupt rows")
+                return 1
+        durable.close()
 
     for s in (*sessions.values(), governed, parallel, serial):
         s.close()

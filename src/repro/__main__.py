@@ -18,14 +18,22 @@ Commands
 ``config``
     Print the resolved :class:`~repro.core.config.EngineConfig` — the
     environment, the global flags, and the defaults merged in
-    precedence order (env < flag).
+    precedence order (env < flag) — plus the resolved durable-store
+    path (``cache_path``).
+``cache stats|clear|verify``
+    Operate on the durable store (``REPRO_CACHE_DIR`` /
+    ``--cache-dir``): ``stats`` prints entry counts, bytes, lifetime
+    hit rates and quarantine history; ``clear`` drops every entry;
+    ``verify`` recomputes every row checksum, dropping (and reporting)
+    corrupt rows — exit status 1 when any were found.
 
 Global flags (before the command) configure the session every command
 runs in: ``--backend`` picks the hom backend (``naive`` / ``bitset`` /
-``matrix`` / ``auto``), ``--workers`` sizes the shard executor and
-``--no-cache`` disables the hom-cache.  The CLI is a thin veneer over
-the public :class:`~repro.session.Session` API; anything serious
-should import :mod:`repro` directly.
+``matrix`` / ``auto``), ``--workers`` sizes the shard executor,
+``--no-cache`` disables the hom-cache and ``--cache-dir`` points the
+durable store at a directory.  The CLI is a thin veneer over the
+public :class:`~repro.session.Session` API; anything serious should
+import :mod:`repro` directly.
 """
 
 from __future__ import annotations
@@ -110,6 +118,8 @@ def _session_from_args(args: argparse.Namespace) -> Session:
         overrides["workers"] = args.workers
     if args.no_cache:
         overrides["hom_cache"] = False
+    if args.cache_dir is not None:
+        overrides["cache_dir"] = args.cache_dir or None
     return Session(EngineConfig.from_env(**overrides))
 
 
@@ -183,8 +193,33 @@ def _cmd_demo(_session: Session, _args: argparse.Namespace) -> int:
 
 
 def _cmd_config(session: Session, _args: argparse.Namespace) -> int:
+    from .core.store import resolve_store_path
+
     print(session.config.describe())
+    path = resolve_store_path(session.config.cache_dir)
+    print(f"cache_path={str(path) if path else None!r}")
     return 0
+
+
+def _cmd_cache(session: Session, args: argparse.Namespace) -> int:
+    store = session.store
+    if store is None:
+        print(
+            "no durable store configured: set REPRO_CACHE_DIR or pass "
+            "--cache-dir",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "stats":
+        print(store.stats().describe())
+        return 0
+    if args.action == "clear":
+        dropped = store.clear()
+        print(f"cleared {dropped} entries from {store.path}")
+        return 0
+    checked, dropped = store.verify()
+    print(f"verified {checked} entries, dropped {dropped} corrupt")
+    return 1 if dropped else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -204,6 +239,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the homomorphism cache for this run",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="durable-store directory (overrides REPRO_CACHE_DIR; "
+        "empty string disables the disk tier)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -243,6 +283,15 @@ def main(argv: list[str] | None = None) -> int:
         "config", help="print the resolved engine configuration"
     )
 
+    cache = commands.add_parser(
+        "cache", help="inspect or maintain the durable store"
+    )
+    cache.add_argument(
+        "action", choices=("stats", "clear", "verify"),
+        help="stats: occupancy + hit rates; clear: drop every entry; "
+        "verify: full checksum sweep (exit 1 if corrupt rows found)",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "zoo": _cmd_zoo,
@@ -250,6 +299,7 @@ def main(argv: list[str] | None = None) -> int:
         "eval": _cmd_eval,
         "demo": _cmd_demo,
         "config": _cmd_config,
+        "cache": _cmd_cache,
     }
     with _session_from_args(args) as session:
         return handlers[args.command](session, args)

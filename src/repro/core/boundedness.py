@@ -170,6 +170,65 @@ def _covered_by(
     )
 
 
+def _probe_ckpt(session, one_cq, probe_depth, require_focus, max_cactuses):
+    """The probe's checkpoint home ``(store, ns)``, or ``None``.
+
+    The namespace digests everything that pins the probe's answers —
+    query fingerprint, depth, Σ-variant flag, cactus cap — so a
+    resumed probe finds exactly its own rows."""
+    if session is None:
+        from ..session import default_session
+
+        session = default_session()
+    store = getattr(session, "store", None)
+    if (
+        store is None
+        or not store.enabled
+        or not session.config.durable_checkpoints
+    ):
+        return None
+    from .store import op_digest
+
+    ns = "ckpt:" + op_digest(
+        "probe",
+        one_cq.query.fingerprint,
+        probe_depth,
+        bool(require_focus),
+        max_cactuses,
+    )
+    return store, ns
+
+
+def _encode_probe_result(result: ProbeResult) -> tuple:
+    return (
+        "probe-result",
+        result.verdict.value,
+        result.depth,
+        result.probe_depth,
+        result.cactuses_examined,
+        tuple(result.uncovered),
+        result.reason,
+    )
+
+
+def _decode_probe_result(value) -> "ProbeResult | None":
+    """Rebuild a persisted :class:`ProbeResult`; ``None`` (recompute)
+    for anything malformed — a stale checkpoint is never trusted."""
+    if not (
+        isinstance(value, tuple)
+        and len(value) == 7
+        and value[0] == "probe-result"
+    ):
+        return None
+    try:
+        verdict = Verdict(value[1])
+    except ValueError:
+        return None
+    return ProbeResult(
+        verdict, value[2], value[3], value[4], tuple(value[5]), value[6]
+    )
+
+
 def probe_boundedness(
     one_cq: OneCQ,
     probe_depth: int,
@@ -198,7 +257,57 @@ def probe_boundedness(
     every coverage check — shares one budget; when it trips, the probe
     returns ``INCONCLUSIVE`` with ``reason`` set (``"deadline"``,
     ``"fuel"``, ``"cactus-nodes"``) instead of hanging.
+
+    With a durable store attached, the probe checkpoints each depth it
+    settles as non-covering and persists its final settled result: a
+    process killed (or deadline-tripped) mid-probe resumes past the
+    settled depths, and an identical re-probe returns instantly from
+    disk.  Budget-tripped INCONCLUSIVE results are never persisted —
+    they depend on the budget, not the query.
     """
+    ckpt = _probe_ckpt(
+        session, one_cq, probe_depth, require_focus, max_cactuses
+    )
+    settled_depths: set[int] = set()
+    if ckpt is not None:
+        store, ns = ckpt
+        from .store import MISS
+
+        stored = store.get(ns, "result")
+        if stored is not MISS:
+            prior = _decode_probe_result(stored)
+            if prior is not None:
+                return prior
+        for key, value in store.load_ns(ns).items():
+            if (
+                isinstance(key, tuple)
+                and len(key) == 2
+                and key[0] == "depth"
+                and isinstance(key[1], int)
+                and value is False
+            ):
+                settled_depths.add(key[1])
+    result = _probe_run(
+        one_cq, probe_depth, require_focus, max_cactuses, session,
+        ckpt, settled_depths,
+    )
+    if ckpt is not None and result.reason is None:
+        store, ns = ckpt
+        store.write_rows(ns, [("result", _encode_probe_result(result))])
+    return result
+
+
+def _probe_run(
+    one_cq: OneCQ,
+    probe_depth: int,
+    require_focus: bool,
+    max_cactuses: int | None,
+    session,
+    ckpt,
+    settled_depths: set[int],
+) -> ProbeResult:
+    """The probe body (see :func:`probe_boundedness`); ``ckpt`` and
+    ``settled_depths`` carry the checkpoint/resume state."""
     cactuses: list[Cactus] = []
     try:
         with governed_scope(session) as budget:
@@ -231,6 +340,12 @@ def probe_boundedness(
             coverage = _probe_coverage(session, one_cq)
 
             for d in range(0, probe_depth):
+                if d in settled_depths:
+                    # A previous identical probe durably settled this
+                    # depth as non-covering; the cactus universe is a
+                    # pure function of the probe inputs, so re-checking
+                    # would reproduce the same False.
+                    continue
                 shallow = [c for c in cactuses if c.depth <= d]
                 deep = [c for c in cactuses if c.depth > d]
                 if not deep:
@@ -248,6 +363,10 @@ def probe_boundedness(
                     return ProbeResult(
                         Verdict.BOUNDED, d, probe_depth, len(cactuses), ()
                     )
+                if ckpt is not None:
+                    # This depth is settled non-covering: durably so,
+                    # before the (much more expensive) next depth runs.
+                    ckpt[0].write_rows(ckpt[1], [(("depth", d), False)])
 
             # No d works.  Check whether the deepest layer is covered by
             # anything at all shallower; if not, this is evidence of

@@ -64,6 +64,24 @@ Environment variables
     How long a pool that failed repeatedly stays quarantined before the
     next large batch probes it again (default 5000); replaces the old
     permanently-broken behaviour.
+``REPRO_CACHE_DIR``
+    Directory for the durable store (:mod:`repro.core.store`): hom
+    answers, semiring evaluations, decomp plans and screen/probe
+    checkpoints persist there across restarts and are shared by pool
+    workers.  Unset or empty (the default): no disk tier, memory LRUs
+    only.
+``REPRO_CACHE_BYTES``
+    Byte cap on the durable store file (default 256 MiB); past it the
+    oldest entries are evicted FIFO.  ``0`` means uncapped.
+``REPRO_DURABILITY``
+    ``best-effort`` (default): a missing, full, read-only or corrupt
+    store degrades/quarantines silently and the engine recomputes.
+    ``strict``: the same conditions raise
+    :class:`~repro.core.errors.StoreCorruption` instead.
+``REPRO_DURABLE_CHECKPOINTS``
+    Enable (default) checkpoint/resume for ``Session.screen`` and the
+    boundedness probe when a durable store is attached; ``0`` keeps
+    the store as a pure cache tier with no checkpoint rows.
 """
 
 from __future__ import annotations
@@ -78,6 +96,10 @@ BACKENDS = ("naive", "bitset", "matrix", "decomp")
 BACKEND_CHOICES = BACKENDS + ("auto",)
 
 _FALSY = ("0", "off", "false", "no")
+
+#: Accepted values for ``EngineConfig.durability`` (see
+#: :mod:`repro.core.store` for the contract each implies).
+DURABILITY_CHOICES = ("best-effort", "strict")
 
 # Calibration of the auto heuristic, from the committed BENCH_batch.json
 # backend duel: the ``matrix`` backend's boolean-semiring matvecs win
@@ -197,10 +219,19 @@ class EngineConfig:
     # quarantined before it is probed again.
     shard_timeout_ms: int | None = None
     pool_cooldown_ms: int = 5000
+    # durable state tier (repro.core.store).  cache_dir=None (the
+    # default) disables the disk tier entirely; durable_checkpoints
+    # additionally gates the screen/probe checkpoint rows, keeping the
+    # store a pure cache when off.
+    cache_dir: str | None = None
+    cache_bytes: int = 256 * 1024 * 1024
+    durability: str = "best-effort"
+    durable_checkpoints: bool = True
     # Test-only fault injection: ((mode, worker_task_ordinal), ...)
-    # with mode in {"crash", "hang", "corrupt"}.  Consulted only inside
-    # pool worker processes (runtime._worker_session); empty in
-    # production.
+    # with mode in {"crash", "hang", "corrupt", "kill"}.  Consulted
+    # only inside pool worker processes (runtime._worker_session);
+    # empty in production.  "kill" is SIGKILL (uncatchable, unlike
+    # "crash"'s os._exit), for proving checkpoint durability.
     fault_plan: tuple = ()
 
     def __post_init__(self) -> None:
@@ -217,9 +248,15 @@ class EngineConfig:
             "cactus_cache_size",
             "structure_intern_size",
             "pool_cooldown_ms",
+            "cache_bytes",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
+        if self.durability not in DURABILITY_CHOICES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_CHOICES}, "
+                f"got {self.durability!r}"
+            )
         for name in (
             "deadline_ms",
             "hom_fuel",
@@ -231,7 +268,7 @@ class EngineConfig:
                 raise ValueError(f"{name} must be positive (or None)")
         for entry in self.fault_plan:
             mode, when = entry  # ValueError on malformed entries
-            if mode not in ("crash", "hang", "corrupt") or when < 0:
+            if mode not in ("crash", "hang", "corrupt", "kill") or when < 0:
                 raise ValueError(f"bad fault_plan entry {entry!r}")
 
     @property
@@ -259,6 +296,12 @@ class EngineConfig:
             raise ValueError(
                 f"REPRO_HOM_BACKEND must be one of {BACKEND_CHOICES}, "
                 f"got {backend!r}"
+            )
+        durability = env.get("REPRO_DURABILITY", defaults.durability)
+        if durability not in DURABILITY_CHOICES:
+            raise ValueError(
+                f"REPRO_DURABILITY must be one of {DURABILITY_CHOICES}, "
+                f"got {durability!r}"
             )
         values = dict(
             backend=backend,
@@ -297,6 +340,14 @@ class EngineConfig:
             ),
             pool_cooldown_ms=_env_int(
                 env, "REPRO_POOL_COOLDOWN_MS", defaults.pool_cooldown_ms
+            ),
+            cache_dir=env.get("REPRO_CACHE_DIR") or defaults.cache_dir,
+            cache_bytes=_env_int(
+                env, "REPRO_CACHE_BYTES", defaults.cache_bytes
+            ),
+            durability=durability,
+            durable_checkpoints=_env_bool(
+                env, "REPRO_DURABLE_CHECKPOINTS", defaults.durable_checkpoints
             ),
         )
         values.update(overrides)

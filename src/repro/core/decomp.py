@@ -446,16 +446,58 @@ class DecompPlan:
 _PLAN_INTERN: OrderedDict[str, DecompPlan] = OrderedDict()
 _PLAN_INTERN_SIZE = 512
 
+# Optional disk tier under the intern: a session with a durable store
+# registers it here (like the intern itself, process-wide — plans are
+# immutable content-derived values, so any attached store is as good as
+# any other), and intern misses fall through to disk before compiling.
+_PLAN_STORE = None
+
+
+def set_plan_store(store) -> None:
+    """Attach a :class:`~repro.core.store.DurableStore` under the plan
+    intern so compiled plans survive restarts and ship to workers."""
+    global _PLAN_STORE
+    _PLAN_STORE = store
+
+
+def clear_plan_store(store=None) -> None:
+    """Detach the plan store (only if it is ``store``, when given —
+    closing one session must not unhook another session's store)."""
+    global _PLAN_STORE
+    if store is None or _PLAN_STORE is store:
+        _PLAN_STORE = None
+
+
+def _plan_from_store(fp: str, source: Structure) -> "DecompPlan | None":
+    if _PLAN_STORE is None:
+        return None
+    from .store import MISS
+
+    cand = _PLAN_STORE.get("plan", fp)
+    if cand is MISS or not isinstance(cand, DecompPlan):
+        return None
+    # Fingerprints are content hashes; a (vanishingly unlikely)
+    # collision or a stale payload must never misplan a query, so the
+    # stored plan is sanity-checked against the live structure.
+    if list(cand.nodes) != list(source.node_order):
+        return None
+    return cand
+
 
 def decomp_plan(source: Structure) -> DecompPlan:
     """The compiled :class:`DecompPlan` of ``source`` (cached on the
-    structure, interned per content fingerprint)."""
+    structure, interned per content fingerprint, persisted to the
+    durable store when one is attached)."""
     plan = source._decomp_plan
     if plan is None:
         fp = source.fingerprint
         plan = _PLAN_INTERN.get(fp)
         if plan is None:
-            plan = DecompPlan(source)
+            plan = _plan_from_store(fp, source)
+            if plan is None:
+                plan = DecompPlan(source)
+                if _PLAN_STORE is not None:
+                    _PLAN_STORE.put("plan", fp, plan)
             _PLAN_INTERN[fp] = plan
             while len(_PLAN_INTERN) > _PLAN_INTERN_SIZE:
                 _PLAN_INTERN.popitem(last=False)

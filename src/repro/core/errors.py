@@ -72,6 +72,7 @@ __all__ = [
     "EngineError",
     "FuelExhausted",
     "ResourceExhausted",
+    "StoreCorruption",
     "UnknownSemiring",
     "WorkerFailure",
     "call_budget",
@@ -144,6 +145,20 @@ class UnknownSemiring(EngineError):
     """A ``semiring=`` argument named no registered instance (see
     :func:`repro.core.semiring.resolve_semiring` /
     :func:`~repro.core.semiring.register_semiring`)."""
+
+
+class StoreCorruption(EngineError):
+    """The durable store failed an integrity check: a torn or truncated
+    sqlite file, a per-row checksum mismatch, or a schema-version tag
+    from an incompatible engine build.
+
+    Under the default ``durability="best-effort"`` policy the store
+    handles this itself — the bad file is quarantined (renamed aside,
+    never trusted) and a fresh store rebuilt, or the store degrades to
+    the in-memory tier — and this exception is never raised.  Under
+    ``durability="strict"`` the same conditions raise it, so operators
+    who want to *know* about corruption instead of silently recomputing
+    can fail loudly."""
 
 
 # ----------------------------------------------------------------------

@@ -165,6 +165,16 @@ class HomEngine:
         self._cache: OrderedDict[tuple, tuple | None] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        # Optional disk tier under the LRU (repro.core.store): misses
+        # fall through to it and promote on hit, puts write through.
+        self._store = None
+
+    def attach_store(self, store) -> None:
+        """Layer a :class:`~repro.core.store.DurableStore` under the
+        in-memory LRU (memory -> disk lookup, write-through puts).
+        Cache keys are content-fingerprint tuples, so entries are valid
+        across processes and restarts."""
+        self._store = store
 
     # -- backend resolution --------------------------------------------
 
@@ -226,7 +236,10 @@ class HomEngine:
                 self._cache.popitem(last=False)
 
     def clear_cache(self) -> None:
-        """Drop all cached homomorphism answers and reset the counters."""
+        """Drop all *in-memory* cached answers and reset the counters.
+        A durable store attached under the LRU is deliberately left
+        alone — disk state outlives the session (use
+        ``DurableStore.clear`` / ``repro cache clear`` for that)."""
         self._cache.clear()
         self._hits = 0
         self._misses = 0
@@ -245,17 +258,29 @@ class HomEngine:
         try:
             value = self._cache[key]
         except KeyError:
+            if self._store is not None:
+                from .store import MISS as _STORE_MISS
+
+                value = self._store.get("hom", key)
+                if value is not _STORE_MISS:
+                    # Disk hit: promote into the LRU without writing
+                    # the entry straight back to disk.
+                    self._cache_put(key, value, write_through=False)
+                    self._hits += 1
+                    return value
             self._misses += 1
             return _MISS
         self._cache.move_to_end(key)
         self._hits += 1
         return value
 
-    def _cache_put(self, key: tuple, value) -> None:
+    def _cache_put(self, key: tuple, value, write_through: bool = True):
         self._cache[key] = value
         self._cache.move_to_end(key)
         while len(self._cache) > self.cache_maxsize:
             self._cache.popitem(last=False)
+        if write_through and self._store is not None:
+            self._store.put("hom", key, value)
 
 
 def _engine(session) -> HomEngine:

@@ -69,6 +69,7 @@ import atexit
 import multiprocessing
 import os
 import pickle
+import signal
 import time
 import weakref
 from collections import OrderedDict
@@ -232,10 +233,12 @@ _FAULT_ACTION: str | None = None
 def _maybe_inject_fault(config: EngineConfig | None) -> None:
     """Fire the configured fault, if this worker task is scheduled for
     one.  ``crash`` hard-exits the worker (simulating a segfault),
-    ``hang`` sleeps far past any sane shard timeout, ``corrupt`` arms
-    :func:`_take_fault` so the chunk function returns a wrong-shaped
-    result.  Never fires in the parent process, so the in-parent serial
-    quarantine path always computes real answers."""
+    ``kill`` SIGKILLs it (uncatchable — no atexit, no buffered-write
+    flush — the honest ``kill -9``), ``hang`` sleeps far past any sane
+    shard timeout, ``corrupt`` arms :func:`_take_fault` so the chunk
+    function returns a wrong-shaped result.  Never fires in the parent
+    process, so the in-parent serial quarantine path always computes
+    real answers."""
     global _FAULT_ORDINAL, _FAULT_ACTION
     _FAULT_ACTION = None
     if config is None or not config.fault_plan:
@@ -248,6 +251,8 @@ def _maybe_inject_fault(config: EngineConfig | None) -> None:
         if when == ordinal:
             if mode == "crash":
                 os._exit(86)
+            if mode == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
             if mode == "hang":
                 time.sleep(600)
             _FAULT_ACTION = mode
@@ -677,7 +682,8 @@ class PoolRuntime:
             return None, None
         return pool, _chunk(items, min(eff_workers, self._pool_size) * 2)
 
-    def run_chunks(self, pool, worker, args_list, validate=None):
+    def run_chunks(self, pool, worker, args_list, validate=None,
+                   on_result=None):
         """Run one task per argument tuple with the full fault story.
 
         Per-shard timeouts (``shard_timeout_ms``), parent-side result
@@ -689,6 +695,10 @@ class PoolRuntime:
         functions, where fault injection never fires and engine
         exceptions propagate normally.  Always returns a full,
         input-ordered result list.
+
+        ``on_result(i, result)``, when given, fires once per shard as
+        its *validated* result lands — the checkpoint hook: a crash
+        later in the round cannot un-settle shards already reported.
         """
         results: list = [None] * len(args_list)
         pending = list(range(len(args_list)))
@@ -714,6 +724,8 @@ class PoolRuntime:
                     ):
                         raise WorkerFailure("corrupt worker result shape")
                     results[i] = result
+                    if on_result is not None:
+                        on_result(i, result)
                 except (*_POOL_FAILURES, WorkerFailure) as exc:
                     reason = type(exc).__name__
                     future.cancel()
@@ -727,6 +739,8 @@ class PoolRuntime:
         # Quarantined (or pool gone): finish the stragglers in-parent.
         for i in pending:
             results[i] = worker(*args_list[i])
+            if on_result is not None:
+                on_result(i, results[i])
         return results
 
 
@@ -845,7 +859,8 @@ def _validate_covers(result, args) -> bool:
 
 
 def _sharded_ordered(
-    rt, items, eff_workers, threshold, worker, make_args, validate=None
+    rt, items, eff_workers, threshold, worker, make_args, validate=None,
+    on_chunk=None,
 ):
     """Run ``worker`` over chunks of ``items``, collecting in order.
 
@@ -859,12 +874,27 @@ def _sharded_ordered(
     gate (small batch, single worker, no usable pool); worker faults
     are recovered *inside* ``run_chunks``, and anything else a worker
     raises is an engine bug that propagates.
+
+    ``on_chunk(start, chunk, result)``, when given, fires per settled
+    chunk with the chunk's offset into ``items`` (the checkpoint hook
+    threaded down to :meth:`PoolRuntime.run_chunks`'s ``on_result``).
     """
     pool, chunks = rt.shard_chunks(items, eff_workers, threshold)
     if pool is None:
         return None
     args_list = [make_args(chunk) for chunk in chunks]
-    return rt.run_chunks(pool, worker, args_list, validate)
+    on_result = None
+    if on_chunk is not None:
+        starts = []
+        pos = 0
+        for chunk in chunks:
+            starts.append(pos)
+            pos += len(chunk)
+
+        def on_result(i, result):
+            on_chunk(starts[i], chunks[i], result)
+
+    return rt.run_chunks(pool, worker, args_list, validate, on_result)
 
 
 # ----------------------------------------------------------------------
@@ -1053,6 +1083,61 @@ def parallel_semiring_batch(
     return out
 
 
+def _screen_ckpt(session, queries, instances, wire_backend):
+    """The checkpoint home for one screen: ``((store, ns), done)``, or
+    ``(None, {})`` when checkpointing is unavailable or off.
+
+    The namespace digests the full operation identity — every query
+    and instance fingerprint plus the backend — so resuming finds
+    exactly its own rows and any other screen cannot.  ``done`` maps
+    instance index -> settled per-query bool column; rows of the wrong
+    shape (a stale or damaged checkpoint) are ignored, never trusted.
+    """
+    if session is None:
+        from ..session import default_session
+
+        session = default_session()
+    store = getattr(session, "store", None)
+    if (
+        store is None
+        or not store.enabled
+        or not session.config.durable_checkpoints
+    ):
+        return None, {}
+    from .store import op_digest
+
+    ns = "ckpt:" + op_digest(
+        "screen",
+        tuple(q.fingerprint for q in queries),
+        tuple(s.fingerprint for s in instances),
+        wire_backend,
+    )
+    nq = len(queries)
+    done: dict[int, tuple] = {}
+    for key, value in store.load_ns(ns).items():
+        if (
+            isinstance(key, int)
+            and 0 <= key < len(instances)
+            and isinstance(value, tuple)
+            and len(value) == nq
+            and all(isinstance(v, bool) for v in value)
+        ):
+            done[key] = value
+    return (store, ns), done
+
+
+def _settled_rows(result, chunk_len, index_map, start=0):
+    """The checkpoint rows of one settled screen chunk: for each fully
+    Boolean column (no governed reason entries), ``(original_index,
+    column)``.  ``result`` is the chunk's per-query answer lists."""
+    rows = []
+    for j in range(chunk_len):
+        col = tuple(row[j] for row in result)
+        if all(isinstance(v, bool) for v in col):
+            rows.append((index_map[start + j], col))
+    return rows
+
+
 def parallel_screen(
     queries: Sequence[Structure],
     instances: Iterable[Structure],
@@ -1073,6 +1158,13 @@ def parallel_screen(
     and index-rebuild cost is amortised over the whole query pool.
     This is the bulk-classification traffic shape (a zoo of queries
     screened over one :func:`~repro.workloads.generators.instance_family`).
+
+    With a durable store attached (``cache_dir`` +
+    ``durable_checkpoints``), settled instance columns are persisted
+    as they complete: a process killed mid-screen — or a governed
+    screen whose budget tripped partway — resumes from the checkpoint
+    on the next identical call, recomputing only the unsettled
+    instances and returning answers identical to an uninterrupted run.
     """
     rt = _runtime(session)
     wire_backend, wire_cache, wire_config = _worker_opts(session, backend)
@@ -1080,6 +1172,9 @@ def parallel_screen(
     instances = list(instances)
     if not queries:
         return []
+    ckpt, ckpt_done = _screen_ckpt(session, queries, instances, wire_backend)
+    missing = [i for i in range(len(instances)) if i not in ckpt_done]
+    sub = [instances[i] for i in missing]
     shared: dict = {}
 
     def make_args(chunk):
@@ -1094,39 +1189,82 @@ def parallel_screen(
             wire_config,
         )
 
-    chunk_results = _sharded_ordered(
-        rt,
-        instances,
-        rt.workers if workers is None else workers,
-        rt.min_batch if min_batch is None else min_batch,
-        _worker_screen_chunk,
-        make_args,
-        _validate_screen,
-    )
+    on_chunk = None
+    if ckpt is not None:
+        store, ns = ckpt
+
+        def on_chunk(start, chunk, result):
+            store.write_rows(
+                ns, _settled_rows(result, len(chunk), missing, start)
+            )
+
+    chunk_results = None
+    if sub:
+        chunk_results = _sharded_ordered(
+            rt,
+            sub,
+            rt.workers if workers is None else workers,
+            rt.min_batch if min_batch is None else min_batch,
+            _worker_screen_chunk,
+            make_args,
+            _validate_screen,
+            on_chunk=on_chunk,
+        )
     if chunk_results is None:
         if wire_config.governed:
             with governed_scope(session):
-                return [
-                    [
-                        Answer.decode(entry)
-                        for entry in homengine.evaluate_batch_governed(
-                            q, instances, backend=backend, session=session
-                        )
-                    ]
+                sub_rows = [
+                    homengine.evaluate_batch_governed(
+                        q, sub, backend=backend, session=session
+                    )
                     for q in queries
                 ]
-        return [
-            homengine.evaluate_batch(
-                q, instances, backend=backend, session=session
-            )
-            for q in queries
-        ]
-    results: list[list] = [[] for _ in queries]
-    for chunk_answers in chunk_results:
-        for qi, answers in enumerate(chunk_answers):
-            if wire_config.governed:
-                answers = [Answer.decode(entry) for entry in answers]
-            results[qi].extend(answers)
+            # Settled columns checkpoint even when the budget tripped
+            # partway: the resumed screen finishes only the UNKNOWNs.
+            if on_chunk is not None:
+                on_chunk(0, sub, sub_rows)
+            sub_rows = [
+                [Answer.decode(entry) for entry in row] for row in sub_rows
+            ]
+        elif on_chunk is not None:
+            # Checkpointing serial path: instance-major so each settled
+            # column is durable before the next instance starts —
+            # kill -9 between instances loses at most the one in
+            # flight.
+            sub_rows = [[] for _ in queries]
+            for pos, instance in zip(missing, sub):
+                col = tuple(
+                    homengine.has_homomorphism(
+                        q, instance, backend=backend, session=session
+                    )
+                    for q in queries
+                )
+                for qi, v in enumerate(col):
+                    sub_rows[qi].append(v)
+                store.write_rows(ns, [(pos, col)])
+        else:
+            sub_rows = [
+                homengine.evaluate_batch(
+                    q, sub, backend=backend, session=session
+                )
+                for q in queries
+            ]
+    else:
+        sub_rows = [[] for _ in queries]
+        for chunk_answers in chunk_results:
+            for qi, answers in enumerate(chunk_answers):
+                if wire_config.governed:
+                    answers = [Answer.decode(entry) for entry in answers]
+                sub_rows[qi].extend(answers)
+    if not ckpt_done:
+        return sub_rows
+    results: list[list] = [[None] * len(instances) for _ in queries]
+    for i, col in ckpt_done.items():
+        for qi in range(len(queries)):
+            results[qi][i] = col[qi]
+    for j, pos in enumerate(missing):
+        for qi in range(len(queries)):
+            results[qi][pos] = sub_rows[qi][j]
     return results
 
 
@@ -1166,6 +1304,11 @@ def parallel_screen_stream(
     substrate.  A worker failure mid-stream falls back to serial
     evaluation of the not-yet-yielded suffix; indices already yielded
     are never re-yielded.
+
+    With a durable store attached, previously checkpointed instance
+    columns are yielded first as synthesized shards (no recompute),
+    then the remaining instances stream normally, checkpointing each
+    settled shard as it lands.
     """
     rt = _runtime(session)
     wire_backend, wire_cache, wire_config = _worker_opts(session, backend)
@@ -1173,6 +1316,70 @@ def parallel_screen_stream(
     instances = list(instances)
     if not queries or not instances:
         return
+    nq = len(queries)
+    ckpt, ckpt_done = _screen_ckpt(session, queries, instances, wire_backend)
+    if ckpt_done:
+        # Replay the checkpoint as contiguous synthesized shards.
+        for start, stop in _contiguous_runs(sorted(ckpt_done)):
+            yield ScreenShard(
+                start,
+                stop,
+                tuple(
+                    tuple(ckpt_done[i][qi] for i in range(start, stop))
+                    for qi in range(nq)
+                ),
+            )
+    missing = [i for i in range(len(instances)) if i not in ckpt_done]
+    if not missing:
+        return
+    sub = [instances[i] for i in missing]
+    for shard in _screen_stream_raw(
+        rt, queries, sub, backend, workers, min_batch, session,
+        wire_backend, wire_cache, wire_config,
+    ):
+        span = shard.stop - shard.start
+        result = [list(row) for row in shard.answers]
+        if ckpt is not None:
+            store, ns = ckpt
+            store.write_rows(
+                ns, _settled_rows(result, span, missing, shard.start)
+            )
+        # Remap sub-coordinate shards back to original indices,
+        # splitting where checkpointed instances interleave.
+        j = shard.start
+        while j < shard.stop:
+            k = j
+            while k + 1 < shard.stop and missing[k + 1] == missing[k] + 1:
+                k += 1
+            yield ScreenShard(
+                missing[j],
+                missing[k] + 1,
+                tuple(
+                    tuple(row[j - shard.start : k + 1 - shard.start])
+                    for row in result
+                ),
+            )
+            j = k + 1
+
+
+def _contiguous_runs(indices):
+    """``(start, stop)`` spans of consecutive ints in a sorted list."""
+    runs = []
+    for i in indices:
+        if runs and i == runs[-1][1]:
+            runs[-1][1] = i + 1
+        else:
+            runs.append([i, i + 1])
+    return [(a, b) for a, b in runs]
+
+
+def _screen_stream_raw(
+    rt, queries, instances, backend, workers, min_batch, session,
+    wire_backend, wire_cache, wire_config,
+) -> Iterator[ScreenShard]:
+    """The pre-checkpoint streaming screen body: completion-ordered
+    shards over exactly the given instances (coordinates are positions
+    in ``instances`` — :func:`parallel_screen_stream` remaps them)."""
     governed = wire_config.governed
 
     def _serial_answer(q, instance):

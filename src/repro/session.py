@@ -40,11 +40,13 @@ from typing import Iterable, Sequence
 
 from .core import boundedness as _boundedness
 from .core import cactus as _cactus
+from .core import decomp as _decomp
 from .core import dsirup as _dsirup
 from .core import errors as _errors
 from .core import homengine as _homengine
 from .core import runtime as _runtime
 from .core import semiring as _semiring
+from .core import store as _store
 from .core.config import EngineConfig
 from .core.structure import Structure
 
@@ -79,6 +81,19 @@ class Session:
         self.hom = _homengine.HomEngine(self.config)
         self.cactus = _cactus.CactusState(self.config)
         self.pool = _runtime.PoolRuntime(self.config)
+        # Durable disk tier (None unless cache_dir is configured):
+        # layered under the hom LRU and the decomp plan intern, and the
+        # home of screen/probe checkpoint rows.  Workers build their
+        # own Session from the shipped config and thus open the same
+        # store file (sqlite WAL makes that safe).
+        self.store = _store.DurableStore.open(
+            self.config.cache_dir,
+            self.config.cache_bytes,
+            self.config.durability,
+        )
+        if self.store is not None:
+            self.hom.attach_store(self.store)
+            _decomp.set_plan_store(self.store)
         # The operation-wide budget installed by governed_scope() while
         # a top-level governed operation is running; None otherwise.
         self.active_budget = None
@@ -106,6 +121,9 @@ class Session:
             return
         self.pool.shutdown()
         self.clear_caches()
+        if self.store is not None:
+            self.store.close()
+            _decomp.clear_plan_store(self.store)
         self._closed = True
 
     def __enter__(self) -> "Session":

@@ -153,6 +153,124 @@ def random_ditree_cq(
     return q
 
 
+def random_ktree_cq(
+    n: int,
+    seed: int,
+    width: int = 3,
+    preds: tuple[str, ...] = ("R",),
+) -> Structure:
+    """A hostile high-treewidth CQ: a randomly oriented partial
+    ``width``-tree.
+
+    Built by the textbook k-tree construction — start from a
+    ``(width + 1)``-clique, then attach each new node to all members of
+    a randomly chosen existing ``width``-clique — so the underlying
+    graph has treewidth exactly ``width``; every edge gets a random
+    orientation and predicate.  For ``width >= 3`` this lands the
+    query squarely past the decomp backend's exact-decomposition range
+    ("an upper bound above 2, exact below"), forcing the min-fill
+    fallback heuristic and giving every backtracking backend dense,
+    cyclic constraint structure with no tree shortcut.  One solitary F
+    and one solitary T (on distinct nodes) keep it a well-formed
+    sirup body.
+    """
+    if n < width + 1:
+        n = width + 1
+    rng = random.Random(seed)
+    b = StructureBuilder()
+    f_node, t_node = rng.sample(range(n), 2)
+    for i in range(n):
+        if i == f_node:
+            b.add_node(i, F)
+        elif i == t_node:
+            b.add_node(i, T)
+        else:
+            b.add_node(i)
+
+    def orient(u: int, v: int) -> None:
+        if rng.random() < 0.5:
+            u, v = v, u
+        b.add_edge(u, v, rng.choice(preds))
+
+    base = list(range(width + 1))
+    for ai in range(len(base)):
+        for bi in range(ai + 1, len(base)):
+            orient(base[ai], base[bi])
+    # Every width-subset of the initial clique is a clique to grow from.
+    cliques: list[tuple[int, ...]] = [
+        tuple(c for c in base if c != drop) for drop in base
+    ]
+    for i in range(width + 1, n):
+        attach = rng.choice(cliques)
+        for v in attach:
+            orient(v, i)
+        # The new node forms a fresh width-clique with each
+        # (width-1)-subset of its attachment clique.
+        for drop in attach:
+            cliques.append(
+                tuple(c for c in attach if c != drop) + (i,)
+            )
+    return b.build()
+
+
+def dense_multigraph_instance(
+    n: int,
+    seed: int,
+    preds: tuple[str, ...] = ("R", "S"),
+    density: float = 6.0,
+    label_weights: dict[str, int] | None = None,
+) -> Structure:
+    """A hostile dense, high-multiplicity data instance.
+
+    Draws ``~density * n`` node pairs and gives each a random
+    *non-empty subset* of ``preds`` (parallel edges under different
+    predicates — the multiplicity), plus a sprinkling of self-loops.
+    High edge density keeps per-variable domains large through AC-3
+    (little to prune), and multi-predicate parallel edges defeat
+    single-relation index tricks — the worst-case traffic shape for
+    the backtracking backends and the matrix backend's dense home
+    turf.
+    """
+    rng = random.Random(seed)
+    weights = label_weights or {"T": 2, "F": 2, "A": 3, "": 3, "FT": 1}
+    population = [lab for lab, w in weights.items() for _ in range(w)]
+    b = StructureBuilder()
+    for i in range(n):
+        label = rng.choice(population)
+        if label == "FT":
+            b.add_node(i, F, T)
+        elif label:
+            b.add_node(i, label)
+        else:
+            b.add_node(i)
+    for _ in range(int(density * n)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        chosen = [p for p in preds if rng.random() < 0.6] or [
+            rng.choice(preds)
+        ]
+        for p in chosen:
+            b.add_edge(u, v, p)
+    for _ in range(max(1, n // 8)):
+        u = rng.randrange(n)
+        b.add_edge(u, u, rng.choice(preds))
+    return b.build()
+
+
+def hostile_family(
+    count: int,
+    n: int,
+    seed: int,
+    preds: tuple[str, ...] = ("R", "S"),
+    density: float = 6.0,
+) -> list[Structure]:
+    """A reproducible family of :func:`dense_multigraph_instance`
+    targets (the hostile counterpart of :func:`instance_family`)."""
+    return [
+        dense_multigraph_instance(n, seed * 71993 + i, preds, density)
+        for i in range(count)
+    ]
+
+
 def random_lambda_cq(n: int, seed: int, span: int = 1) -> Structure | None:
     """A random Λ-CQ: ditree, one solitary F, ``span`` solitary Ts, all
     ≺-incomparable with the F node; ``None`` when the draw degenerates."""

@@ -309,6 +309,35 @@ class TestFaultInjection:
             EngineConfig(fault_plan=(("explode", 0),))
         with pytest.raises(ValueError):
             EngineConfig(fault_plan=(("crash", -1),))
+        # "kill" (uncatchable SIGKILL, unlike "crash"'s os._exit) is a
+        # valid mode.
+        assert EngineConfig(fault_plan=(("kill", 0),)).fault_plan
+
+    def test_kill_9_worker_recovers_identically(self):
+        # SIGKILL is uncatchable: the worker dies without unwinding,
+        # the pool breaks, and recovery must still reproduce the
+        # serial answers exactly.
+        queries = [QUERY, path_structure(["T", "F"])]
+        want = serial_screen(queries, FAMILY)
+        with faulty_session((("kill", 0),)) as s:
+            got = parallel_screen(queries, FAMILY, session=s)
+            info = s.pool_info()
+        assert got == want
+        assert info.last_fallback is not None
+
+    def test_kill_9_worker_with_store_stays_consistent(self, tmp_path):
+        # A worker SIGKILLed while sharing the durable store must not
+        # tear it: answers match the serial oracle and a full checksum
+        # sweep afterwards drops nothing (WAL atomicity).
+        queries = [QUERY, path_structure(["T", "F"])]
+        want = serial_screen(queries, FAMILY)
+        with faulty_session(
+            (("kill", 0),), cache_dir=str(tmp_path / "cache")
+        ) as s:
+            got = parallel_screen(queries, FAMILY, session=s)
+            checked, dropped = s.store.verify()
+        assert got == want
+        assert dropped == 0 and checked > 0
 
 
 # ----------------------------------------------------------------------
