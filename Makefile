@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint fuzz bench-homengine bench-cactus bench-batch bench-decomp bench-semiring bench-store bench check ci
+.PHONY: test lint fuzz bench-homengine bench-cactus bench-batch bench-decomp bench-semiring bench-store bench-service bench check ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -95,6 +95,11 @@ bench-semiring:
 bench-store:
 	$(PYTHON) scripts/bench_store.py
 
+## the job service under concurrent load + kill -9 resume; writes
+## BENCH_service.json
+bench-service:
+	$(PYTHON) scripts/bench_service.py
+
 ## all experiment benchmarks, default engine configuration
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -107,6 +112,7 @@ check: test
 	$(PYTHON) scripts/bench_decomp.py --check
 	$(PYTHON) scripts/bench_semiring.py --check
 	$(PYTHON) scripts/bench_store.py --check
+	$(PYTHON) scripts/bench_service.py --check
 
 ## everything the CI workflow runs (tests, lint, fuzz smoke, perf gates)
 ci: test lint fuzz
@@ -116,3 +122,4 @@ ci: test lint fuzz
 	$(PYTHON) scripts/bench_decomp.py --check --output /tmp/BENCH_decomp.json
 	$(PYTHON) scripts/bench_semiring.py --check --output /tmp/BENCH_semiring.json
 	$(PYTHON) scripts/bench_store.py --check --output /tmp/BENCH_store.json
+	$(PYTHON) scripts/bench_service.py --check --output /tmp/BENCH_service.json

@@ -365,6 +365,86 @@ def main() -> None:
                   f"(hom cache misses after restart: "
                   f"{warm.hom.cache_info().misses})")
 
+    # ------------------------------------------------------------------
+    # 12. The service tier: async jobs over HTTP with streaming results.
+    #
+    #    `python -m repro serve` exposes sessions as a multi-tenant job
+    #    API: POST /v1/jobs accepts decide/evaluate/probe/screen work,
+    #    GET /v1/jobs/<id>/events streams a screen's shards as
+    #    server-sent events while the matrix fills in, and every job
+    #    transition lands in the durable store.  So a server killed
+    #    -9 mid-job reports — and *resumes* — that job after restart:
+    #    the engine's shard checkpoints turn the re-run into a replay,
+    #    and the answers come back digest-identical.
+    # ------------------------------------------------------------------
+    import os
+    import signal
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+    from repro.service import (
+        ServiceClient,
+        answer_to_json,
+        structure_to_json,
+    )
+
+    def serve(state_dir):
+        """One `python -m repro serve` subprocess on a free port."""
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "--cache-dir", state_dir,
+             "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        port = int(proc.stdout.readline().strip().rsplit(":", 1)[1])
+        return proc, ServiceClient("127.0.0.1", port)
+
+    print()
+    screen_queries = [zoo.q3(), zoo.q5()]
+    big_family = instance_family(24, 400, 1200, seed=11)
+    payload = {
+        "queries": [structure_to_json(q) for q in screen_queries],
+        "instances": [structure_to_json(i) for i in big_family],
+    }
+    with Session(EngineConfig(workers=0)) as oracle:
+        want = [[answer_to_json(a) for a in row]
+                for row in oracle.screen(screen_queries, big_family)]
+
+    with tempfile.TemporaryDirectory() as state_dir:
+        proc, client = serve(state_dir)
+        try:
+            job_id = client.submit("screen", payload)["id"]
+            streamed = 0
+            for event, _data in client.watch(job_id, timeout=120):
+                if event == "shard":
+                    streamed += 1
+                    if streamed >= 2:
+                        break  # enough streaming: crash the server
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+        print(f"server killed -9 mid-screen; job {job_id} had streamed "
+              f"{streamed} shards over SSE")
+
+        # A fresh server over the same state directory recovers the
+        # in-flight job from its durable record and re-runs it — the
+        # checkpointed shards replay from disk instead of recomputing.
+        proc, client = serve(state_dir)
+        try:
+            final = client.wait(job_id, timeout=120)
+            resumed = client.metrics()["service"]["recovered"]
+            print(f"restarted server resumed {resumed} job(s): "
+                  f"status {final['status']}, matrix identical to a "
+                  f"direct Session.screen: "
+                  f"{final['result']['matrix'] == want}")
+        finally:
+            proc.terminate()
+            proc.wait()
+
 
 if __name__ == "__main__":
     main()

@@ -1,0 +1,528 @@
+#!/usr/bin/env python
+"""Benchmark harness: the job service under load, seeded into
+``BENCH_service.json`` at the repo root.
+
+Three legs, each against a *real* ``python -m repro serve`` subprocess
+(nothing shared with the measuring process but the wire):
+
+* **Concurrent screen jobs** — 8 client threads submit one screen job
+  each (distinct tenants, distinct instance families) and poll to
+  completion.  Reported: per-job p50/p99 latency and aggregate
+  throughput (answers/s).  Gate: throughput no worse than 0.8x a
+  direct in-process ``Session.screen`` of the same total work, and
+  every job's matrix identical to the direct oracle's.
+* **Kill -9 restart resume** — a screen job is submitted, the server
+  is SIGKILLed after the first shards settle, a new server over the
+  same ``--cache-dir`` recovers the in-flight job from its durable
+  record, and the engine's shard checkpoints replay the settled spans.
+  Gate: the resumed matrix is digest-identical to the direct oracle.
+* **Smoke** (``--smoke``) — the CI liveness leg: boot, healthz,
+  config, one small screen job watched over SSE (shards must cover
+  the family contiguously), metrics.  No thresholds; exit status is
+  the assertion.
+
+The engine inside the server runs serial (``REPRO_HOM_WORKERS=0``);
+concurrency comes from the service's job executor, so the comparison
+isolates the service tier's overhead rather than pool scheduling.
+
+Usage::
+
+    python scripts/bench_service.py [--check] [--output PATH] [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = Path(__file__).resolve()
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+MIN_THROUGHPUT_RATIO = 0.8
+
+CLIENTS = 8
+
+# The screening matrix is deliberately query-heavy over dense hostile
+# instances: hom-search time scales with |queries| x |facts| while the
+# wire decode scales with |facts| alone, so this shape keeps the
+# service's per-job codec work small next to the engine work the
+# throughput gate compares against.
+QUERY_COUNT = 80
+QUERY_SIZE = 12
+FAMILY_COUNT = 12
+FAMILY_NODES = 80
+FAMILY_DENSITY = 8.0
+FAMILY_SEED = 100  # client i screens family seed FAMILY_SEED + i
+
+KILL_COUNT = 24
+KILL_NODES = 60
+KILL_DENSITY = 6.0
+KILL_SEED = 500
+KILL_AFTER_EVENTS = 2
+
+
+def _digest(payload: object) -> str:
+    return hashlib.blake2b(
+        repr(payload).encode(), digest_size=16
+    ).hexdigest()
+
+
+def _queries():
+    from repro.workloads.generators import random_ditree_cq
+
+    queries = []
+    seed = 0
+    while len(queries) < QUERY_COUNT and seed < 10_000:
+        q = random_ditree_cq(QUERY_SIZE, seed)
+        if q is not None:
+            queries.append(q)
+        seed += 1
+    return queries
+
+
+def _family(
+    count: int,
+    seed: int,
+    nodes: int = FAMILY_NODES,
+    density: float = FAMILY_DENSITY,
+):
+    from repro.workloads.generators import hostile_family
+
+    return hostile_family(count, nodes, seed=seed, density=density)
+
+
+def _screen_payload(
+    count: int,
+    seed: int,
+    nodes: int = FAMILY_NODES,
+    density: float = FAMILY_DENSITY,
+) -> dict:
+    from repro.service.wire import structure_to_json
+
+    return {
+        "queries": [structure_to_json(q) for q in _queries()],
+        "instances": [
+            structure_to_json(i)
+            for i in _family(count, seed, nodes, density)
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# The direct (no service) oracle, in a fresh interpreter
+# ----------------------------------------------------------------------
+
+
+def _worker_direct() -> dict:
+    """Screen every bench family directly through one serial Session;
+    the timing covers the 8 concurrency families, the kill family is
+    digested untimed.
+
+    The oracle runs the *same* engine configuration the service is
+    required to run — durable store attached, shard checkpointing on —
+    so the throughput ratio isolates the service tier (HTTP, job
+    queue, wire codecs) instead of charging the service for the
+    durability the kill -9 gate demands of it.
+    """
+    from repro import EngineConfig, Session
+
+    queries = _queries()
+    families = [
+        _family(FAMILY_COUNT, FAMILY_SEED + i) for i in range(CLIENTS)
+    ]
+    with tempfile.TemporaryDirectory(
+        prefix="repro-bench-direct-"
+    ) as cache_dir, Session(
+        EngineConfig(workers=0, cache_dir=cache_dir)
+    ) as session:
+        start = time.perf_counter()
+        digests = [
+            _digest(session.screen(queries, family))
+            for family in families
+        ]
+        elapsed = time.perf_counter() - start
+        kill_digest = _digest(
+            session.screen(
+                queries,
+                _family(KILL_COUNT, KILL_SEED, KILL_NODES, KILL_DENSITY),
+            )
+        )
+    return {
+        "elapsed": elapsed,
+        "digests": digests,
+        "kill_digest": kill_digest,
+        "answers": CLIENTS * FAMILY_COUNT * len(queries),
+    }
+
+
+def _run_direct() -> dict:
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--worker", "direct"],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench child (direct) failed rc={proc.returncode}:\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+# ----------------------------------------------------------------------
+# Server lifecycle
+# ----------------------------------------------------------------------
+
+
+def _start_server(cache_dir: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_HOM_WORKERS"] = "0"  # engine-serial inside the service
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro",
+            "--cache-dir", cache_dir,
+            "serve", "--port", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=str(REPO_ROOT),
+        env=env,
+    )
+    line = proc.stdout.readline()
+    if "listening" not in line:
+        proc.kill()
+        raise RuntimeError(f"server failed to start: {line!r}")
+    port = int(line.strip().rsplit(":", 1)[1])
+    return proc, port
+
+
+def _stop_server(proc: subprocess.Popen) -> None:
+    if proc.poll() is None:
+        proc.terminate()
+        try:
+            proc.wait(10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(10)
+
+
+# ----------------------------------------------------------------------
+# Leg 1: concurrent screen-job clients
+# ----------------------------------------------------------------------
+
+
+def bench_concurrent(cache_dir: str) -> dict:
+    from repro.service.client import ServiceClient
+
+    # payload construction is request *preparation*, not service work:
+    # build every submission before the timed window opens
+    payloads = [
+        _screen_payload(FAMILY_COUNT, FAMILY_SEED + i)
+        for i in range(CLIENTS)
+    ]
+    proc, port = _start_server(cache_dir)
+    try:
+        client = ServiceClient("127.0.0.1", port, timeout=60.0)
+        latencies = [0.0] * CLIENTS
+        matrices: list = [None] * CLIENTS
+        errors: list = []
+
+        def one(i: int) -> None:
+            # results arrive over the SSE stream (event: done carries
+            # the final record), so completion is pushed, not polled —
+            # 8 clients hammering GET /v1/jobs/<id> would steal GIL
+            # time from the very engine threads being measured
+            try:
+                started = time.perf_counter()
+                record = client.submit(
+                    "screen", payloads[i], tenant=f"bench{i}"
+                )
+                final = None
+                for event, data in client.watch(
+                    record["id"], timeout=600.0
+                ):
+                    if event == "done":
+                        final = data
+                latencies[i] = time.perf_counter() - started
+                if not final or final["status"] != "done":
+                    raise RuntimeError(
+                        f"job {record['id']} did not stream to done: "
+                        f"{final!r}"
+                    )
+                matrices[i] = final["result"]["matrix"]
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(f"client {i}: {exc}")
+
+        threads = [
+            threading.Thread(target=one, args=(i,))
+            for i in range(CLIENTS)
+        ]
+        wall_start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - wall_start
+        if errors:
+            raise RuntimeError("; ".join(errors))
+    finally:
+        _stop_server(proc)
+
+    answers = CLIENTS * FAMILY_COUNT * QUERY_COUNT
+    ordered = sorted(latencies)
+    return {
+        "clients": CLIENTS,
+        "answers": answers,
+        "wall_s": wall,
+        "throughput_per_s": answers / wall,
+        "p50_ms": ordered[len(ordered) // 2] * 1e3,
+        "p99_ms": ordered[
+            min(len(ordered) - 1, int(len(ordered) * 0.99))
+        ] * 1e3,
+        "digests": [_digest(m) for m in matrices],
+    }
+
+
+# ----------------------------------------------------------------------
+# Leg 2: kill -9 and resume from the store
+# ----------------------------------------------------------------------
+
+
+def bench_kill9(cache_dir: str) -> dict:
+    from repro.service.client import ServiceClient
+
+    payload = _screen_payload(
+        KILL_COUNT, KILL_SEED, KILL_NODES, KILL_DENSITY
+    )
+    proc, port = _start_server(cache_dir)
+    job_id = None
+    try:
+        client = ServiceClient("127.0.0.1", port, timeout=60.0)
+        record = client.submit("screen", payload, tenant="kill")
+        job_id = record["id"]
+        # wait for the first shards to settle (checkpoint rows exist),
+        # then SIGKILL the server mid-job
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            got = client.job(job_id)
+            if got["events"] >= KILL_AFTER_EVENTS:
+                break
+            if got["status"] in ("done", "failed"):
+                break
+            time.sleep(0.02)
+        events_at_kill = client.job(job_id)["events"]
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(10)
+
+    restart = time.perf_counter()
+    proc, port = _start_server(cache_dir)
+    try:
+        client = ServiceClient("127.0.0.1", port, timeout=60.0)
+        final = client.wait(job_id, timeout=600.0)
+        resume_s = time.perf_counter() - restart
+        recovered = client.metrics()["service"]["recovered"]
+    finally:
+        _stop_server(proc)
+    if final["status"] != "done":
+        raise RuntimeError(
+            f"resumed job {job_id} {final['status']}: "
+            f"{final.get('error')}"
+        )
+    return {
+        "instances": KILL_COUNT,
+        "events_at_kill": events_at_kill,
+        "resume_s": resume_s,
+        "recovered_jobs": recovered,
+        "digest": _digest(final["result"]["matrix"]),
+    }
+
+
+# ----------------------------------------------------------------------
+# Smoke (the CI liveness leg)
+# ----------------------------------------------------------------------
+
+
+def smoke() -> int:
+    from repro.service.client import ServiceClient
+
+    with tempfile.TemporaryDirectory(prefix="repro-svc-smoke-") as tmp:
+        proc, port = _start_server(tmp)
+        try:
+            client = ServiceClient("127.0.0.1", port, timeout=30.0)
+            health = client.healthz()
+            assert health["status"] == "ok", health
+            config = client.config()
+            assert config["cache_path"].endswith(
+                "repro_store.sqlite"
+            ), config
+            record = client.submit(
+                "screen",
+                _screen_payload(4, FAMILY_SEED, nodes=24, density=4.0),
+            )
+            spans = []
+            final = None
+            for event, data in client.watch(record["id"]):
+                if event == "shard":
+                    spans.append((data["start"], data["stop"]))
+                else:
+                    final = data
+            assert final and final["status"] == "done", final
+            spans.sort()
+            assert spans[0][0] == 0 and spans[-1][1] == 4, spans
+            assert all(
+                a[1] == b[0] for a, b in zip(spans, spans[1:])
+            ), spans
+            metrics = client.metrics()
+            assert metrics["service"]["completed"] == 1, metrics
+            print(
+                f"[bench_service] smoke OK: {len(spans)} shards, "
+                f"healthz/config/metrics served on port {port}"
+            )
+            return 0
+        finally:
+            _stop_server(proc)
+
+
+# ----------------------------------------------------------------------
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_service.json",
+        help="where to write the results",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless every criterion holds",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI liveness leg only: boot, submit, stream, assert",
+    )
+    parser.add_argument(
+        "--worker",
+        choices=("direct",),
+        default=None,
+        help=argparse.SUPPRESS,  # internal: the oracle measurement
+    )
+    args = parser.parse_args()
+
+    if args.worker is not None:
+        print(json.dumps(_worker_direct()))
+        return 0
+    if args.smoke:
+        return smoke()
+
+    direct = _run_direct()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as tmp:
+        concurrent = bench_concurrent(str(Path(tmp) / "concurrent"))
+        kill9 = bench_kill9(str(Path(tmp) / "kill9"))
+
+    direct_throughput = direct["answers"] / direct["elapsed"]
+    ratio = concurrent["throughput_per_s"] / direct_throughput
+    answers_match = concurrent["digests"] == direct["digests"]
+    resume_match = kill9["digest"] == direct["kill_digest"]
+
+    print(
+        f"[bench_service] {CLIENTS} concurrent screen jobs: "
+        f"p50 {concurrent['p50_ms']:.0f}ms, "
+        f"p99 {concurrent['p99_ms']:.0f}ms, "
+        f"{concurrent['throughput_per_s']:.1f} answers/s "
+        f"({ratio:.2f}x direct), answers "
+        f"{'identical' if answers_match else 'DIVERGED'}"
+    )
+    print(
+        f"[bench_service] kill -9 resume: {kill9['events_at_kill']} "
+        f"shards settled at kill, resumed in {kill9['resume_s']:.2f}s, "
+        f"answers {'identical' if resume_match else 'DIVERGED'}"
+    )
+
+    criteria = {
+        "throughput_ge_0_8x_direct": {
+            "enforced": True,
+            "skip_reason": None,
+            "value": ratio,
+            "pass": ratio >= MIN_THROUGHPUT_RATIO,
+        },
+        "concurrent_answers_identical": {
+            "enforced": True,
+            "skip_reason": None,
+            "value": answers_match,
+            "pass": answers_match,
+        },
+        "kill9_resume_answers_identical": {
+            "enforced": True,
+            "skip_reason": None,
+            "value": resume_match,
+            "pass": resume_match,
+        },
+    }
+
+    report = {
+        "description": (
+            "the job service under load against a real `repro serve` "
+            "subprocess: 8 concurrent screen-job clients (p50/p99 "
+            "latency, throughput vs one direct serial Session.screen "
+            "of the same work) and a kill -9 mid-job restart that "
+            "recovers the job from the durable store and replays "
+            "checkpointed shards to a digest-identical matrix"
+        ),
+        "cpu_count": os.cpu_count() or 1,
+        "queries": {
+            "generator": "random_ditree_cq",
+            "count": QUERY_COUNT,
+            "size": QUERY_SIZE,
+        },
+        "instances": {
+            "generator": "hostile_family",
+            "per_job": FAMILY_COUNT,
+            "nodes": FAMILY_NODES,
+            "density": FAMILY_DENSITY,
+        },
+        "direct": {
+            "elapsed_s": direct["elapsed"],
+            "throughput_per_s": direct_throughput,
+        },
+        "concurrent": concurrent,
+        "kill9": kill9,
+        "criteria": criteria,
+    }
+    args.output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"[bench_service] wrote {args.output}")
+    failures = 0
+    for name, crit in criteria.items():
+        if not crit["enforced"]:
+            print(f"  criterion {name}: SKIPPED ({crit['skip_reason']})")
+        elif crit["pass"]:
+            print(f"  criterion {name}: PASS")
+        else:
+            print(f"  criterion {name}: FAIL (value {crit['value']})")
+            failures += 1
+    if args.check and failures:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,11 +15,24 @@ Commands
     per-fact annotations from ``atom = value`` lines.
 ``demo``
     Run the Theorem 3 pipeline on the toy alternating Turing machines.
-``config``
+``config [--json]``
     Print the resolved :class:`~repro.core.config.EngineConfig` — the
     environment, the global flags, and the defaults merged in
     precedence order (env < flag) — plus the resolved durable-store
-    path (``cache_path``).
+    path (``cache_path``).  ``--json`` emits the same resolution as
+    machine-readable JSON through the service wire serializer, so
+    scripted callers and ``GET /v1/config`` read one format.
+``serve``
+    Run the multi-tenant job service (:mod:`repro.service`) until
+    interrupted; ``--host`` / ``--port`` / ``--tenants`` / ``--threads``
+    / ``--queue-depth`` / ``--tenant-jobs`` override the
+    ``REPRO_SERVICE_*`` environment.
+``jobs submit|get|watch``
+    Client for a running service: ``submit`` posts a
+    decide/evaluate/probe/screen job built from zoo names, CQ files or
+    a generated ``--family``; ``get`` prints the job record; ``watch``
+    streams the SSE shard feed.  Exit status 1 when the job failed,
+    3 when its tri-state outcome is UNKNOWN.
 ``cache stats|clear|verify``
     Operate on the durable store (``REPRO_CACHE_DIR`` /
     ``--cache-dir``): ``stats`` prints entry counts, bytes, lifetime
@@ -39,6 +52,7 @@ import :mod:`repro` directly.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import zoo
@@ -108,9 +122,10 @@ def _parse_weights_file(path: str) -> dict:
     return weights
 
 
-def _session_from_args(args: argparse.Namespace) -> Session:
-    """The session every command runs in: environment first, explicit
-    global flags on top (the documented env < config precedence)."""
+def _config_from_args(args: argparse.Namespace) -> EngineConfig:
+    """The resolved config every command runs under: environment
+    first, explicit flags on top (the documented env < config
+    precedence).  Service flags only exist on ``serve``."""
     overrides: dict = {}
     if args.backend is not None:
         overrides["backend"] = args.backend
@@ -120,7 +135,22 @@ def _session_from_args(args: argparse.Namespace) -> Session:
         overrides["hom_cache"] = False
     if args.cache_dir is not None:
         overrides["cache_dir"] = args.cache_dir or None
-    return Session(EngineConfig.from_env(**overrides))
+    for flag, field in (
+        ("host", "service_host"),
+        ("port", "service_port"),
+        ("tenants", "service_tenants"),
+        ("threads", "service_threads"),
+        ("queue_depth", "service_queue_depth"),
+        ("tenant_jobs", "service_tenant_jobs"),
+    ):
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[field] = value
+    return EngineConfig.from_env(**overrides)
+
+
+def _session_from_args(args: argparse.Namespace) -> Session:
+    return Session(_config_from_args(args))
 
 
 def _cmd_zoo(_session: Session, _args: argparse.Namespace) -> int:
@@ -167,8 +197,10 @@ def _cmd_eval(session: Session, args: argparse.Namespace) -> int:
         q, data, args.semiring, weights=weights, backend=args.eval_backend
     )
     if not ev.known:
+        # Exit 3 is the governed-UNKNOWN code (2 stays usage errors),
+        # so scripts can tell UNKNOWN from FALSE and from bad flags.
         print(f"UNKNOWN ({ev.reason}) [semiring={ev.semiring}]")
-        return 2
+        return 3
     print(f"{ev.value!r} [semiring={ev.semiring} backend={ev.backend}]")
     if ev.witness is not None:
         mapping = ", ".join(
@@ -192,9 +224,14 @@ def _cmd_demo(_session: Session, _args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_config(session: Session, _args: argparse.Namespace) -> int:
+def _cmd_config(session: Session, args: argparse.Namespace) -> int:
     from .core.store import resolve_store_path
 
+    if args.json:
+        from .service.wire import config_to_json
+
+        print(json.dumps(config_to_json(session.config), indent=2))
+        return 0
     print(session.config.describe())
     path = resolve_store_path(session.config.cache_dir)
     print(f"cache_path={str(path) if path else None!r}")
@@ -220,6 +257,127 @@ def _cmd_cache(session: Session, args: argparse.Namespace) -> int:
     checked, dropped = store.verify()
     print(f"verified {checked} entries, dropped {dropped} corrupt")
     return 1 if dropped else 0
+
+
+def _cmd_serve(config: EngineConfig, _args: argparse.Namespace) -> int:
+    from .service.server import run
+
+    run(config)
+    return 0
+
+
+def _parse_server(spec: str | None, config: EngineConfig) -> tuple[str, int]:
+    if not spec:
+        return config.service_host, config.service_port
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--server needs HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
+def _submit_payload(args: argparse.Namespace) -> dict:
+    """Build the job payload from zoo names / CQ files / ``--family``."""
+    from .service.wire import structure_to_json
+
+    queries = [
+        structure_to_json(_load_structure(q)) for q in (args.query or ())
+    ]
+    instances = [
+        structure_to_json(_load_structure(d)) for d in (args.data or ())
+    ]
+    if args.family:
+        from .workloads.generators import instance_family
+
+        try:
+            count, nodes, edges, seed = (
+                int(x) for x in args.family.split(",")
+            )
+        except ValueError:
+            raise SystemExit(
+                f"--family needs COUNT,NODES,EDGES,SEED, got "
+                f"{args.family!r}"
+            ) from None
+        instances.extend(
+            structure_to_json(s)
+            for s in instance_family(count, nodes, edges, seed=seed)
+        )
+    if args.kind == "screen":
+        if not queries or not instances:
+            raise SystemExit(
+                "screen needs at least one --query and one --data/--family"
+            )
+        payload: dict = {"queries": queries, "instances": instances}
+    else:
+        if len(queries) != 1:
+            raise SystemExit(f"{args.kind} needs exactly one --query")
+        payload = {"query": queries[0]}
+        if args.kind == "evaluate":
+            if len(instances) != 1:
+                raise SystemExit("evaluate needs exactly one --data")
+            payload["data"] = instances[0]
+            payload["semiring"] = args.semiring
+        else:
+            payload["probe_depth"] = args.probe_depth
+    return payload
+
+
+def _job_exit_code(record: dict) -> int:
+    """0 settled-known, 1 failed, 3 any tri-state UNKNOWN in the result
+    (the same code ``repro eval`` uses for a governed UNKNOWN)."""
+    if record.get("status") != "done":
+        return 1
+    result = record.get("result") or {}
+    if isinstance(result, dict):
+        answer = result.get("answer")
+        if isinstance(answer, dict) and "unknown" in answer:
+            return 3
+        if result.get("bounded") is None and "bounded" in result:
+            return 3
+        matrix = result.get("matrix") or []
+        for row in matrix:
+            if any(isinstance(a, dict) and "unknown" in a for a in row):
+                return 3
+    return 0
+
+
+def _watch_job(client, job_id: str) -> int:
+    final: dict = {}
+    for event, data in client.watch(job_id):
+        if event == "shard":
+            print(
+                f"shard [{data['start']},{data['stop']}) "
+                f"{json.dumps(data['answers'])}"
+            )
+        elif event == "done":
+            final = data or {}
+    status = final.get("status", "unknown")
+    print(f"job {job_id}: {status}")
+    if final.get("error"):
+        print(final["error"], file=sys.stderr)
+    return _job_exit_code(final)
+
+
+def _cmd_jobs(config: EngineConfig, args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    host, port = _parse_server(args.server, config)
+    client = ServiceClient(host, port)
+    try:
+        if args.jobs_command == "submit":
+            record = client.submit(
+                args.kind, _submit_payload(args), tenant=args.tenant
+            )
+            print(f"job {record['id']}: {record['status']}")
+            if args.watch:
+                return _watch_job(client, record["id"])
+            return 0
+        if args.jobs_command == "get":
+            print(json.dumps(client.job(args.job_id), indent=2))
+            return 0
+        return _watch_job(client, args.job_id)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -279,9 +437,89 @@ def main(argv: list[str] | None = None) -> int:
 
     commands.add_parser("demo", help="run the Theorem 3 toy pipeline")
 
-    commands.add_parser(
+    config_cmd = commands.add_parser(
         "config", help="print the resolved engine configuration"
     )
+    config_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON (the /v1/config wire format)",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the multi-tenant job service"
+    )
+    serve.add_argument(
+        "--host", default=None,
+        help="bind address (overrides REPRO_SERVICE_HOST)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="bind port, 0 for ephemeral (overrides REPRO_SERVICE_PORT)",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=None,
+        help="session-registry LRU capacity (REPRO_SERVICE_TENANTS)",
+    )
+    serve.add_argument(
+        "--threads", type=int, default=None,
+        help="job executor threads (REPRO_SERVICE_THREADS)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=None,
+        help="backlog cap before 429 (REPRO_SERVICE_QUEUE_DEPTH)",
+    )
+    serve.add_argument(
+        "--tenant-jobs", type=int, default=None,
+        help="per-tenant running-job cap (REPRO_SERVICE_TENANT_JOBS)",
+    )
+
+    jobs = commands.add_parser(
+        "jobs", help="submit to / query a running job service"
+    )
+    jobs.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="service endpoint (default: the resolved service host/port)",
+    )
+    jobs_commands = jobs.add_subparsers(dest="jobs_command", required=True)
+    submit = jobs_commands.add_parser(
+        "submit", help="post a job: decide / evaluate / probe / screen"
+    )
+    submit.add_argument(
+        "kind", choices=("decide", "evaluate", "probe", "screen"),
+    )
+    submit.add_argument(
+        "--query", action="append", metavar="Q",
+        help="zoo name or CQ file (repeatable for screen)",
+    )
+    submit.add_argument(
+        "--data", action="append", metavar="D",
+        help="zoo name or CQ file (repeatable for screen instances)",
+    )
+    submit.add_argument(
+        "--family", default=None, metavar="COUNT,NODES,EDGES,SEED",
+        help="generate screen instances with workloads.instance_family",
+    )
+    submit.add_argument(
+        "--semiring", default="bool",
+        help="semiring for evaluate jobs (default bool)",
+    )
+    submit.add_argument(
+        "--probe-depth", type=int, default=3,
+        help="probe depth for decide/probe jobs (default 3)",
+    )
+    submit.add_argument(
+        "--tenant", default="default", help="tenant to run the job as"
+    )
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="stream the job's SSE feed after submitting",
+    )
+    get = jobs_commands.add_parser("get", help="print one job record")
+    get.add_argument("job_id")
+    watch = jobs_commands.add_parser(
+        "watch", help="stream a job's SSE shard feed"
+    )
+    watch.add_argument("job_id")
 
     cache = commands.add_parser(
         "cache", help="inspect or maintain the durable store"
@@ -301,6 +539,10 @@ def main(argv: list[str] | None = None) -> int:
         "config": _cmd_config,
         "cache": _cmd_cache,
     }
+    if args.command == "serve":
+        return _cmd_serve(_config_from_args(args), args)
+    if args.command == "jobs":
+        return _cmd_jobs(_config_from_args(args), args)
     with _session_from_args(args) as session:
         return handlers[args.command](session, args)
 

@@ -82,6 +82,25 @@ Environment variables
     Enable (default) checkpoint/resume for ``Session.screen`` and the
     boundedness probe when a durable store is attached; ``0`` keeps
     the store as a pure cache tier with no checkpoint rows.
+``REPRO_SERVICE_HOST`` / ``REPRO_SERVICE_PORT``
+    Bind address of the job service (:mod:`repro.service`); default
+    ``127.0.0.1:8765``.  Port ``0`` binds an ephemeral port (printed
+    by ``repro serve`` on startup).
+``REPRO_SERVICE_TENANTS``
+    Capacity of the service's tenant -> :class:`~repro.session.Session`
+    LRU (default 8); the least recently used tenant session is closed
+    on eviction.
+``REPRO_SERVICE_THREADS``
+    Worker threads of the service's job executor (default 4) — the
+    bound on jobs *running* concurrently across all tenants.
+``REPRO_SERVICE_QUEUE_DEPTH``
+    Admission cap on jobs queued or running (default 64); a submit
+    past it is rejected (HTTP 429), the service analogue of the pool
+    runtime's serial degradation.
+``REPRO_SERVICE_TENANT_JOBS``
+    Per-tenant concurrency cap (default 2): a tenant with that many
+    jobs running has further jobs *queued* (not rejected) until one
+    finishes.
 """
 
 from __future__ import annotations
@@ -227,6 +246,16 @@ class EngineConfig:
     cache_bytes: int = 256 * 1024 * 1024
     durability: str = "best-effort"
     durable_checkpoints: bool = True
+    # Job service (repro.service).  These knobs only matter to a
+    # process running `repro serve` (or embedding ServiceServer);
+    # library sessions ignore them, so they ride along in the frozen
+    # config and ship unchanged to any worker.
+    service_host: str = "127.0.0.1"
+    service_port: int = 8765
+    service_tenants: int = 8
+    service_threads: int = 4
+    service_queue_depth: int = 64
+    service_tenant_jobs: int = 2
     # Test-only fault injection: ((mode, worker_task_ordinal), ...)
     # with mode in {"crash", "hang", "corrupt", "kill"}.  Consulted
     # only inside pool worker processes (runtime._worker_session);
@@ -249,9 +278,18 @@ class EngineConfig:
             "structure_intern_size",
             "pool_cooldown_ms",
             "cache_bytes",
+            "service_port",
+            "service_queue_depth",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
+        for name in (
+            "service_tenants",
+            "service_threads",
+            "service_tenant_jobs",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
         if self.durability not in DURABILITY_CHOICES:
             raise ValueError(
                 f"durability must be one of {DURABILITY_CHOICES}, "
@@ -348,6 +386,22 @@ class EngineConfig:
             durability=durability,
             durable_checkpoints=_env_bool(
                 env, "REPRO_DURABLE_CHECKPOINTS", defaults.durable_checkpoints
+            ),
+            service_host=env.get("REPRO_SERVICE_HOST", defaults.service_host),
+            service_port=_env_int(
+                env, "REPRO_SERVICE_PORT", defaults.service_port
+            ),
+            service_tenants=_env_int(
+                env, "REPRO_SERVICE_TENANTS", defaults.service_tenants
+            ),
+            service_threads=_env_int(
+                env, "REPRO_SERVICE_THREADS", defaults.service_threads
+            ),
+            service_queue_depth=_env_int(
+                env, "REPRO_SERVICE_QUEUE_DEPTH", defaults.service_queue_depth
+            ),
+            service_tenant_jobs=_env_int(
+                env, "REPRO_SERVICE_TENANT_JOBS", defaults.service_tenant_jobs
             ),
         )
         values.update(overrides)

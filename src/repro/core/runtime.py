@@ -1145,6 +1145,7 @@ def parallel_screen(
     backend: str | None = None,
     workers: int | None = None,
     min_batch: int | None = None,
+    on_shard=None,
     session=None,
 ) -> list[list[bool]]:
     """Evaluate a pool of Boolean CQs over one instance family, sharded.
@@ -1165,6 +1166,14 @@ def parallel_screen(
     screen whose budget tripped partway — resumes from the checkpoint
     on the next identical call, recomputing only the unsettled
     instances and returning answers identical to an uninterrupted run.
+
+    ``on_shard(shard)``, when given, fires one :class:`ScreenShard` per
+    settled span *as it completes* — the shard-completion hook the
+    service tier's job progress reporting hangs off.  Shards arrive in
+    completion order (checkpoint-replayed spans first), carry decoded
+    tri-state answers, and jointly cover ``range(len(instances))``
+    exactly once, the same contract :func:`parallel_screen_stream`
+    yields under.
     """
     rt = _runtime(session)
     wire_backend, wire_cache, wire_config = _worker_opts(session, backend)
@@ -1172,9 +1181,50 @@ def parallel_screen(
     instances = list(instances)
     if not queries:
         return []
+    nq = len(queries)
     ckpt, ckpt_done = _screen_ckpt(session, queries, instances, wire_backend)
     missing = [i for i in range(len(instances)) if i not in ckpt_done]
     sub = [instances[i] for i in missing]
+
+    def emit(start: int, rows) -> None:
+        """Fire ``on_shard`` for one settled block of sub-coordinates
+        ``start..start+len``, remapped to original instance indices and
+        split where checkpointed instances interleave."""
+        if on_shard is None or not rows or not rows[0]:
+            return
+        if wire_config.governed:
+            rows = [[Answer.decode(entry) for entry in row] for row in rows]
+        span = len(rows[0])
+        j = 0
+        while j < span:
+            k = j
+            while (
+                k + 1 < span
+                and missing[start + k + 1] == missing[start + k] + 1
+            ):
+                k += 1
+            on_shard(
+                ScreenShard(
+                    missing[start + j],
+                    missing[start + k] + 1,
+                    tuple(tuple(row[j : k + 1]) for row in rows),
+                )
+            )
+            j = k + 1
+
+    if on_shard is not None and ckpt_done:
+        # Checkpoint-replayed spans complete first, by definition.
+        for start, stop in _contiguous_runs(sorted(ckpt_done)):
+            on_shard(
+                ScreenShard(
+                    start,
+                    stop,
+                    tuple(
+                        tuple(ckpt_done[i][qi] for i in range(start, stop))
+                        for qi in range(nq)
+                    ),
+                )
+            )
     shared: dict = {}
 
     def make_args(chunk):
@@ -1190,13 +1240,15 @@ def parallel_screen(
         )
 
     on_chunk = None
-    if ckpt is not None:
-        store, ns = ckpt
+    if ckpt is not None or on_shard is not None:
 
         def on_chunk(start, chunk, result):
-            store.write_rows(
-                ns, _settled_rows(result, len(chunk), missing, start)
-            )
+            if ckpt is not None:
+                store, ns = ckpt
+                store.write_rows(
+                    ns, _settled_rows(result, len(chunk), missing, start)
+                )
+            emit(start, result)
 
     chunk_results = None
     if sub:
@@ -1227,12 +1279,12 @@ def parallel_screen(
                 [Answer.decode(entry) for entry in row] for row in sub_rows
             ]
         elif on_chunk is not None:
-            # Checkpointing serial path: instance-major so each settled
-            # column is durable before the next instance starts —
-            # kill -9 between instances loses at most the one in
-            # flight.
+            # Checkpointing/reporting serial path: instance-major so
+            # each settled column is durable (and reported) before the
+            # next instance starts — kill -9 between instances loses
+            # at most the one in flight.
             sub_rows = [[] for _ in queries]
-            for pos, instance in zip(missing, sub):
+            for j, instance in enumerate(sub):
                 col = tuple(
                     homengine.has_homomorphism(
                         q, instance, backend=backend, session=session
@@ -1241,7 +1293,7 @@ def parallel_screen(
                 )
                 for qi, v in enumerate(col):
                     sub_rows[qi].append(v)
-                store.write_rows(ns, [(pos, col)])
+                on_chunk(j, [instance], [[v] for v in col])
         else:
             sub_rows = [
                 homengine.evaluate_batch(

@@ -54,11 +54,13 @@ written (:meth:`DurableStore.write_rows`).
 
 from __future__ import annotations
 
+import functools
 import glob
 import hashlib
 import os
 import pickle
 import sqlite3
+import threading
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -66,6 +68,7 @@ from pathlib import Path
 from .errors import StoreCorruption
 
 __all__ = [
+    "JOB_NS",
     "MISS",
     "DurableStore",
     "StoreStats",
@@ -82,6 +85,12 @@ MISS = object()
 SCHEMA_VERSION = 1
 
 STORE_FILENAME = "repro_store.sqlite"
+
+#: Namespace of the job service's durable job records
+#: (:mod:`repro.service.jobs`).  Versioned separately from the store
+#: schema: a record layout change bumps this tag, orphaning (not
+#: corrupting) records written by older services.
+JOB_NS = "job:v1"
 
 # Buffered puts are flushed every this many entries (and on close /
 # checkpoint / stats).  WAL commits are cheap, but one transaction per
@@ -171,6 +180,19 @@ class StoreStats:
         return "\n".join(lines)
 
 
+def _locked(method):
+    """Serialize a store operation on the instance lock: one sqlite
+    connection is shared across threads (``check_same_thread=False``),
+    so every touch of ``_conn`` / ``_pending`` must be exclusive."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
 class DurableStore:
     """The disk tier: a checksummed key-value store over sqlite WAL.
 
@@ -179,7 +201,10 @@ class DurableStore:
     config) may hold instances over the *same* file — WAL plus a busy
     timeout makes concurrent readers/writers safe, and content-keyed
     entries make lost races harmless (both sides write the same
-    value).
+    value).  Within a process the instance is thread-safe: the service
+    tier's job manager persists records from executor threads, so the
+    single connection is shared (``check_same_thread=False``) and every
+    operation serializes on an internal lock.
 
     Use :meth:`open` — it applies the durability policy — rather than
     the constructor.
@@ -202,6 +227,7 @@ class DurableStore:
         self._misses = 0
         self._writes = 0
         self._corrupt_dropped = 0
+        self._lock = threading.RLock()
         self._connect_or_recover()
 
     # -- lifecycle ------------------------------------------------------
@@ -236,7 +262,9 @@ class DurableStore:
         for attempt in (0, 1):
             try:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
-                conn = sqlite3.connect(str(self.path), timeout=5.0)
+                conn = sqlite3.connect(
+                    str(self.path), timeout=5.0, check_same_thread=False
+                )
                 conn.execute("PRAGMA journal_mode=WAL")
                 conn.execute("PRAGMA synchronous=NORMAL")
                 conn.execute("PRAGMA busy_timeout=5000")
@@ -330,6 +358,7 @@ class DurableStore:
         self.enabled = False
         self._pending.clear()
 
+    @_locked
     def close(self) -> None:
         """Flush buffered writes and counters, then drop the connection.
         Idempotent; a closed store answers every ``get`` with MISS."""
@@ -397,6 +426,7 @@ class DurableStore:
 
     # -- the key-value tier ---------------------------------------------
 
+    @_locked
     def get(self, ns: str, key):
         """The stored payload for ``(ns, key)``, or :data:`MISS`."""
         if not self.enabled:
@@ -427,6 +457,7 @@ class DurableStore:
         self._hits += 1
         return value
 
+    @_locked
     def put(self, ns: str, key, value, flush: bool = False) -> None:
         """Buffer ``(ns, key) -> value`` for write-through; ``flush``
         commits the whole buffer transactionally now."""
@@ -442,6 +473,7 @@ class DurableStore:
         if flush or len(self._pending) >= _FLUSH_EVERY:
             self.flush()
 
+    @_locked
     def flush(self) -> None:
         """Commit buffered puts and persist the traffic counters."""
         if not self.enabled or self._conn is None:
@@ -500,6 +532,7 @@ class DurableStore:
 
     # -- checkpoint rows ------------------------------------------------
 
+    @_locked
     def write_rows(self, ns: str, rows) -> None:
         """Durably commit ``(key, value)`` rows in one transaction.
 
@@ -526,6 +559,7 @@ class DurableStore:
         except _STORE_FAILURES as exc:
             self._failed(exc)
 
+    @_locked
     def load_ns(self, ns: str) -> dict:
         """Every checksum-verified ``key -> value`` in a namespace
         (corrupt rows dropped), e.g. one operation's checkpoint rows."""
@@ -549,6 +583,7 @@ class DurableStore:
                 continue
         return out
 
+    @_locked
     def clear_ns(self, ns: str) -> int:
         """Drop one namespace; returns the number of rows removed."""
         if not self.enabled:
@@ -566,8 +601,49 @@ class DurableStore:
             self._failed(exc)
             return 0
 
+    # -- job records (the service tier's durable state) -----------------
+
+    def job_put(self, job_id: str, record: dict) -> None:
+        """Durably commit one job record (see :data:`JOB_NS`).
+
+        Job state transitions use the checkpoint write path
+        (:meth:`write_rows`), never the buffered one: a service killed
+        right after marking a job done must still report it done after
+        restart.
+        """
+        self.write_rows(JOB_NS, [(job_id, record)])
+
+    def job_get(self, job_id: str) -> dict | None:
+        """The stored record of one job, or ``None``."""
+        value = self.get(JOB_NS, job_id)
+        return None if value is MISS or not isinstance(value, dict) else value
+
+    def job_list(self) -> dict[str, dict]:
+        """Every stored ``job_id -> record`` (corrupt rows dropped)."""
+        return {
+            key: value
+            for key, value in self.load_ns(JOB_NS).items()
+            if isinstance(key, str) and isinstance(value, dict)
+        }
+
+    @_locked
+    def job_delete(self, job_id: str) -> None:
+        """Drop one job record (a no-op when absent)."""
+        if not self.enabled:
+            return
+        try:
+            key_blob = self._encode_key(job_id)
+            with self._conn:
+                self._conn.execute(
+                    "DELETE FROM kv WHERE ns = ? AND key = ?",
+                    (JOB_NS, key_blob),
+                )
+        except _STORE_FAILURES as exc:
+            self._failed(exc)
+
     # -- maintenance (the CLI surface) ----------------------------------
 
+    @_locked
     def clear(self) -> int:
         """Drop every entry (the ``repro cache clear`` action); the
         file and its schema stay."""
@@ -582,6 +658,7 @@ class DurableStore:
             self._failed(exc)
             return 0
 
+    @_locked
     def verify(self) -> tuple[int, int]:
         """Full checksum sweep: ``(rows_checked, rows_dropped)``.
 
@@ -613,6 +690,7 @@ class DurableStore:
             self._failed(exc)
             return (0, 0)
 
+    @_locked
     def stats(self) -> StoreStats:
         """Occupancy + lifetime traffic counters (see
         :class:`StoreStats`)."""

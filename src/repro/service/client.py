@@ -1,0 +1,153 @@
+"""Blocking HTTP client for the job service (stdlib ``http.client``).
+
+The client speaks exactly the wire JSON of
+:mod:`repro.service.server`; ``repro jobs ...`` and the service bench
+both go through it.  :meth:`ServiceClient.watch` parses the SSE stream
+incrementally and yields ``(event, data)`` pairs, so shard answers
+surface as they settle instead of after the job completes.
+
+Tri-state discipline: answers stay in wire form (``true`` / ``false``
+/ ``{"unknown": reason}``); :func:`~repro.service.wire.answer_from_json`
+decodes them when a caller wants :class:`~repro.core.errors.Answer`
+objects back.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator
+
+from ..core.errors import EngineError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(EngineError):
+    """A non-2xx service response, carrying the HTTP ``status``."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint; connections are per-call (the server is
+    ``Connection: close``), so a client object is freely shareable."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None if payload is None else json.dumps(payload)
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"}
+                if body is not None
+                else {},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw.decode() or "{}")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                data = {"error": raw[:200].decode("latin-1")}
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status, str(data.get("error", data))
+                )
+            return data
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def config(self) -> dict:
+        return self._request("GET", "/v1/config")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def submit(
+        self, kind: str, payload: dict, tenant: str = "default"
+    ) -> dict:
+        """Submit a job; returns the 202 job record (no payload echo).
+        Raises :class:`ServiceError` with ``status=429`` on backlog."""
+        return self._request(
+            "POST",
+            "/v1/jobs",
+            {"kind": kind, "tenant": tenant, "payload": payload},
+        )
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.05
+    ) -> dict:
+        """Poll every ``poll`` seconds until the job settles; returns
+        the final record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.get("status") in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    504, f"job {job_id} still {record.get('status')!r} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def watch(
+        self, job_id: str, timeout: float = 300.0
+    ) -> Iterator[tuple[str, Any]]:
+        """Stream the job's SSE feed as ``(event, data)`` pairs.
+
+        Yields ``("shard", {...})`` per settled shard and finally
+        ``("done", record)``; the connection closes after ``done``.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw.decode()).get("error", "")
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    message = raw[:200].decode("latin-1")
+                raise ServiceError(response.status, str(message))
+            event, data_lines = None, []
+            for raw_line in response:
+                line = raw_line.decode().rstrip("\n").rstrip("\r")
+                if line.startswith("event:"):
+                    event = line[len("event:") :].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:") :].strip())
+                elif not line and event is not None:
+                    payload = json.loads("\n".join(data_lines) or "null")
+                    yield event, payload
+                    if event == "done":
+                        return
+                    event, data_lines = None, []
+        finally:
+            conn.close()

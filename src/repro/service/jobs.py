@@ -1,0 +1,458 @@
+"""Async job manager: bounded execution over tenant sessions.
+
+Jobs are the unit of work the service accepts: ``decide`` /
+``evaluate`` / ``probe`` (one structure in, one result out) and
+``screen`` (a query pool over an instance family, streamed as
+:class:`~repro.core.runtime.ScreenShard` events).  Each job runs on a
+bounded thread executor against its tenant's session; asyncio handlers
+never block on engine work.
+
+Admission control mirrors the pool's degradation ladder:
+
+* global backlog (queued + running) at ``service_queue_depth`` →
+  :class:`AdmissionError` (HTTP 429, the client backs off);
+* a tenant at its ``service_tenant_jobs`` concurrency cap → the job
+  *queues* instead of running, and dispatch resumes the moment one of
+  the tenant's jobs settles — throttled, not rejected, exactly how
+  ``PoolRuntime`` degrades to serial rather than failing.
+
+Every state transition persists the job record under the ``job:v1``
+namespace of the shared :class:`~repro.core.store.DurableStore`.  A
+restarted server replays the namespace: settled jobs are served from
+the record, in-flight jobs are re-enqueued under their original ids —
+and because the screen runtime checkpoints settled shards under the
+same store, the re-run replays finished spans from disk instead of
+recomputing them (digest-identical answers, the bench pins this).
+
+Tri-state discipline: answers cross the manager only through
+:func:`~repro.service.wire.answer_to_json`, so an UNKNOWN produced by
+a governed budget arrives at the client as ``{"unknown": reason}``,
+never coerced to a boolean.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+
+from ..core.config import EngineConfig
+from ..core.cq import OneCQ
+from ..core.errors import EngineError
+from ..core.runtime import ScreenShard
+from ..core.store import JOB_NS, DurableStore
+from . import wire
+from .registry import SessionRegistry
+
+__all__ = ["AdmissionError", "Job", "JobManager", "JOB_KINDS"]
+
+JOB_KINDS = ("decide", "evaluate", "probe", "screen")
+
+_QUEUED = "queued"
+_RUNNING = "running"
+_DONE = "done"
+_FAILED = "failed"
+
+
+class AdmissionError(EngineError):
+    """Service backlog full — the job was rejected, not queued (429)."""
+
+    status = 429
+
+
+def _new_job_id() -> str:
+    return secrets.token_hex(6)
+
+
+def validate_payload(kind: str, payload: dict) -> None:
+    """Eager request validation: raise WireError on a bad submission
+    so the server can 400 instead of enqueueing a doomed job.
+
+    Structures are shape-checked (:func:`wire.check_structure_json`),
+    not decoded — the full index build happens exactly once, inside
+    :meth:`JobManager._execute` on the worker thread.
+    """
+    if kind not in JOB_KINDS:
+        raise wire.WireError(
+            f"unknown job kind {kind!r}; expected one of {JOB_KINDS}"
+        )
+    if not isinstance(payload, dict):
+        raise wire.WireError("job payload must be a JSON object")
+    if kind == "screen":
+        queries = payload.get("queries")
+        instances = payload.get("instances")
+        if not isinstance(queries, list) or not queries:
+            raise wire.WireError("screen payload needs non-empty 'queries'")
+        if not isinstance(instances, list) or not instances:
+            raise wire.WireError("screen payload needs non-empty 'instances'")
+        for obj in (*queries, *instances):
+            wire.check_structure_json(obj)
+        return
+    query = payload.get("query")
+    if query is None:
+        raise wire.WireError(f"{kind} payload needs 'query'")
+    wire.check_structure_json(query)
+    if kind == "evaluate":
+        data = payload.get("data")
+        if data is None:
+            raise wire.WireError("evaluate payload needs 'data'")
+        wire.check_structure_json(data)
+
+
+class Job:
+    """One submitted job: state machine + event buffer + waiters."""
+
+    def __init__(
+        self, job_id: str, tenant: str, kind: str, payload: dict
+    ) -> None:
+        self.id = job_id
+        self.tenant = tenant
+        self.kind = kind
+        self.payload = payload
+        self.status = _QUEUED
+        self.created = time.time()
+        self.started: float | None = None
+        self.finished: float | None = None
+        self.result = None
+        self.error: str | None = None
+        self.progress_done = 0
+        self.progress_total = (
+            len(payload["instances"]) if kind == "screen" else 1
+        )
+        self.events: list[dict] = []
+        self._cond = threading.Condition()
+
+    @property
+    def settled(self) -> bool:
+        return self.status in (_DONE, _FAILED)
+
+    def add_event(self, event: dict, advance: int = 0) -> None:
+        with self._cond:
+            self.events.append(event)
+            self.progress_done += advance
+            self._cond.notify_all()
+
+    def _transition(self, status: str) -> None:
+        with self._cond:
+            self.status = status
+            if status == _RUNNING:
+                self.started = time.time()
+            elif status in (_DONE, _FAILED):
+                self.finished = time.time()
+            self._cond.notify_all()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job settles; True iff it did in time."""
+        with self._cond:
+            return self._cond.wait_for(lambda: self.settled, timeout)
+
+    def events_since(
+        self, cursor: int, timeout: float | None = None
+    ) -> tuple[list[dict], bool]:
+        """Events past ``cursor`` (blocking up to ``timeout`` for news)
+        and whether the job has settled."""
+        with self._cond:
+            if timeout:
+                self._cond.wait_for(
+                    lambda: len(self.events) > cursor or self.settled,
+                    timeout,
+                )
+            return list(self.events[cursor:]), self.settled
+
+    def snapshot(self) -> dict:
+        """The JSON job record (also the persisted store row)."""
+        with self._cond:
+            return {
+                "id": self.id,
+                "tenant": self.tenant,
+                "kind": self.kind,
+                "status": self.status,
+                "created": self.created,
+                "started": self.started,
+                "finished": self.finished,
+                "progress": {
+                    "done": self.progress_done,
+                    "total": self.progress_total,
+                },
+                "result": self.result,
+                "error": self.error,
+                "events": len(self.events),
+                "payload": self.payload,
+            }
+
+
+class JobManager:
+    """Bounded executor + admission control + durable job records."""
+
+    def __init__(
+        self,
+        registry: SessionRegistry,
+        store: DurableStore | None = None,
+        config: EngineConfig | None = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config if config is not None else registry.base_config
+        self.store = store
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.service_threads,
+            thread_name_prefix="repro-job",
+        )
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._queue: deque[str] = deque()
+        self._running: set[str] = set()
+        self._tenant_running: dict[str, int] = {}
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.recovered = 0
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        payload: dict,
+        tenant: str = "default",
+        job_id: str | None = None,
+    ) -> Job:
+        """Accept a job (or raise): WireError on a bad payload,
+        AdmissionError when the backlog is at ``service_queue_depth``."""
+        validate_payload(kind, payload)
+        job = Job(job_id or _new_job_id(), tenant, kind, payload)
+        with self._lock:
+            backlog = len(self._queue) + len(self._running)
+            if backlog >= self.config.service_queue_depth:
+                self.rejected += 1
+                raise AdmissionError(
+                    f"job backlog full ({backlog} >= "
+                    f"{self.config.service_queue_depth}); retry later"
+                )
+            if job.id in self._jobs:
+                raise wire.WireError(f"duplicate job id {job.id!r}")
+            self._jobs[job.id] = job
+            self._queue.append(job.id)
+        self._persist(job, with_payload=True)
+        self._dispatch()
+        return job
+
+    def _dispatch(self) -> None:
+        """Start every queued job whose tenant has a free slot."""
+        started: list[Job] = []
+        with self._lock:
+            cap = self.config.service_tenant_jobs
+            skipped: deque[str] = deque()
+            while self._queue:
+                jid = self._queue.popleft()
+                job = self._jobs[jid]
+                if self._tenant_running.get(job.tenant, 0) >= cap:
+                    skipped.append(jid)
+                    continue
+                self._tenant_running[job.tenant] = (
+                    self._tenant_running.get(job.tenant, 0) + 1
+                )
+                self._running.add(jid)
+                started.append(job)
+            self._queue = skipped
+        for job in started:
+            self._executor.submit(self._run, job)
+
+    # -- execution -----------------------------------------------------
+
+    def _run(self, job: Job) -> None:
+        job._transition(_RUNNING)
+        self._persist(job)
+        try:
+            job.result = self._execute(job)
+            job._transition(_DONE)
+        except Exception as exc:  # job isolation: one failure, one record
+            job.error = f"{type(exc).__name__}: {exc}"
+            job._transition(_FAILED)
+        finally:
+            with self._lock:
+                self._running.discard(job.id)
+                left = self._tenant_running.get(job.tenant, 0) - 1
+                if left > 0:
+                    self._tenant_running[job.tenant] = left
+                else:
+                    self._tenant_running.pop(job.tenant, None)
+                if job.status == _DONE:
+                    self.completed += 1
+                else:
+                    self.failed += 1
+            self._persist(job)
+            self._dispatch()
+
+    def _execute(self, job: Job):
+        session = self.registry.get(job.tenant)
+        payload = job.payload
+        if job.kind == "screen":
+            queries = [
+                wire.structure_from_json(q) for q in payload["queries"]
+            ]
+            instances = [
+                wire.structure_from_json(i) for i in payload["instances"]
+            ]
+            matrix: list[list] = [
+                [None] * len(instances) for _ in queries
+            ]
+            for shard in session.screen(
+                queries,
+                instances,
+                stream=True,
+                backend=payload.get("backend"),
+            ):
+                for qi, row in enumerate(shard.answers):
+                    matrix[qi][shard.start : shard.stop] = row
+                job.add_event(
+                    wire.shard_to_json(shard),
+                    advance=shard.stop - shard.start,
+                )
+            return {
+                "matrix": [
+                    [wire.answer_to_json(a) for a in row] for row in matrix
+                ]
+            }
+        query = wire.structure_from_json(payload["query"])
+        if job.kind == "decide":
+            decision = session.decide_boundedness(
+                query, probe_depth=int(payload.get("probe_depth", 3))
+            )
+            return wire.decision_to_json(decision)
+        if job.kind == "probe":
+            result = session.probe_boundedness(
+                OneCQ.from_structure(query),
+                int(payload.get("probe_depth", 3)),
+            )
+            return wire.probe_to_json(result)
+        # evaluate
+        ev = session.evaluate(
+            query,
+            wire.structure_from_json(payload["data"]),
+            payload.get("semiring", "bool"),
+            backend=payload.get("backend"),
+        )
+        return wire.evaluation_to_json(ev)
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def metrics(self) -> dict:
+        with self._lock:
+            return {
+                "queued": len(self._queue),
+                "running": len(self._running),
+                "total": len(self._jobs),
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "recovered": self.recovered,
+                "queue_depth": self.config.service_queue_depth,
+                "tenant_jobs": self.config.service_tenant_jobs,
+                "threads": self.config.service_threads,
+            }
+
+    # -- durability ----------------------------------------------------
+
+    def _persist(self, job: Job, with_payload: bool = False) -> None:
+        """Durably commit the job record.
+
+        The (possibly large) request payload is written once, at
+        submission, under a ``<id>/payload`` sibling row; later state
+        transitions rewrite only the slim record, so a screen job's
+        lifecycle does not push its request body through the store's
+        WAL three times while the engine is checkpointing shards into
+        the same file.
+        """
+        if self.store is None:
+            return
+        record = job.snapshot()
+        payload = record.pop("payload")
+        rows = [(job.id, record)]
+        if with_payload:
+            rows.append((f"{job.id}/payload", {"payload": payload}))
+        self.store.write_rows(JOB_NS, rows)
+
+    def recover(self) -> int:
+        """Replay the ``job:v1`` namespace after a restart.
+
+        Settled jobs come back as served-from-record :class:`Job`
+        objects (a screen job's final record synthesizes one full-span
+        event so late SSE watchers still stream its answers).
+        In-flight jobs — queued or running at the crash — are
+        re-enqueued under their original ids; the engine's shard
+        checkpoints make the re-run a replay, not a recompute.
+        Returns the number of jobs re-enqueued.
+        """
+        if self.store is None:
+            return 0
+        resumed = 0
+        rows = self.store.job_list()
+        for job_id, record in sorted(
+            rows.items(), key=lambda kv: kv[1].get("created", 0.0)
+        ):
+            if "/" in job_id:
+                continue  # a payload sibling row, not a job record
+            kind = record.get("kind")
+            status = record.get("status")
+            payload = record.get("payload")  # pre-split inline layout
+            if payload is None:
+                payload = rows.get(f"{job_id}/payload", {}).get("payload")
+            if kind not in JOB_KINDS or not isinstance(payload, dict):
+                continue
+            with self._lock:
+                known = job_id in self._jobs
+            if known:
+                continue
+            if status in (_DONE, _FAILED):
+                job = Job(job_id, record.get("tenant", "default"), kind, payload)
+                job.created = record.get("created", job.created)
+                job.started = record.get("started")
+                job.finished = record.get("finished")
+                job.result = record.get("result")
+                job.error = record.get("error")
+                job.status = status
+                job.progress_done = record.get("progress", {}).get(
+                    "done", job.progress_total
+                )
+                if (
+                    kind == "screen"
+                    and status == _DONE
+                    and isinstance(job.result, dict)
+                ):
+                    matrix = job.result.get("matrix") or []
+                    if matrix and matrix[0]:
+                        job.events.append(
+                            {
+                                "start": 0,
+                                "stop": len(matrix[0]),
+                                "answers": matrix,
+                            }
+                        )
+                with self._lock:
+                    self._jobs[job_id] = job
+            else:
+                try:
+                    self.submit(
+                        kind,
+                        payload,
+                        tenant=record.get("tenant", "default"),
+                        job_id=job_id,
+                    )
+                    resumed += 1
+                except (wire.WireError, AdmissionError):
+                    continue
+        self.recovered = resumed
+        return resumed
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)

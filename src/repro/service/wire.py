@@ -1,0 +1,238 @@
+"""Wire JSON codecs for the job service.
+
+One vocabulary shared by the HTTP server, the client, and the CLI:
+
+* structures travel as ``{"nodes": [...], "unary": [[label, node],
+  ...], "binary": [[pred, src, dst], ...]}`` — the JSON twin of the
+  pool runtime's ``to_wire`` triple;
+* tri-state answers travel as plain JSON booleans when known and as
+  ``{"unknown": reason}`` otherwise, so UNKNOWN is never coerced to
+  a boolean anywhere on the wire;
+* the resolved :class:`~repro.core.config.EngineConfig` serializes
+  through one function, :func:`config_to_json`, used by both
+  ``GET /v1/config`` and ``repro config --json``.
+
+Node identity: JSON keys atoms by value, so structures built from
+strings/ints round-trip exactly; exotic composite nodes (tuples,
+frozensets) are rendered through ``repr`` and arrive as strings —
+fine for screening/deciding, which never read node names back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as _dc_fields
+from typing import Any
+
+from ..core.config import EngineConfig
+from ..core.errors import Answer, EngineError
+from ..core.semiring import Evaluation
+from ..core.store import resolve_store_path
+from ..core.structure import BinaryFact, Structure, UnaryFact
+
+__all__ = [
+    "WireError",
+    "answer_from_json",
+    "answer_to_json",
+    "check_structure_json",
+    "config_to_json",
+    "decision_to_json",
+    "evaluation_to_json",
+    "probe_to_json",
+    "shard_to_json",
+    "structure_from_json",
+    "structure_to_json",
+]
+
+
+class WireError(EngineError):
+    """A wire payload that does not decode to a valid request."""
+
+
+_ATOMIC = (str, int, float, bool, type(None))
+
+
+def _node_json(node) -> Any:
+    """JSON rendering of one node: atoms by value, the rest by repr."""
+    if isinstance(node, _ATOMIC):
+        return node
+    return repr(node)
+
+
+def structure_to_json(structure: Structure) -> dict:
+    """The ``(nodes, unary, binary)`` JSON triple for ``structure``.
+
+    Facts are emitted in sorted order so equal structures serialize
+    identically (digest-friendly for the bench's resume comparison).
+    """
+    nodes = sorted((_node_json(n) for n in structure.nodes), key=str)
+    unary = sorted(
+        [f.label, _node_json(f.node)] for f in structure.unary_facts
+    )
+    binary = sorted(
+        [f.pred, _node_json(f.src), _node_json(f.dst)]
+        for f in structure.binary_facts
+    )
+    return {"nodes": nodes, "unary": unary, "binary": binary}
+
+
+def check_structure_json(obj: Any) -> None:
+    """Shape-check a structure triple without building the structure.
+
+    Admission control runs this instead of :func:`structure_from_json`
+    so a large submission costs one pass of type checks, not a full
+    index build that :meth:`JobManager._execute` would repeat anyway.
+    Anything this accepts is guaranteed to decode.
+    """
+    if not isinstance(obj, dict):
+        raise WireError("structure must be a JSON object")
+    nodes = obj.get("nodes", ())
+    unary = obj.get("unary", ())
+    binary = obj.get("binary", ())
+    for field, value in (("nodes", nodes), ("unary", unary),
+                         ("binary", binary)):
+        if not isinstance(value, (list, tuple)):
+            raise WireError(f"structure field {field!r} must be an array")
+    for node in nodes:
+        if not isinstance(node, _ATOMIC):
+            raise WireError(f"non-atomic node: {node!r}")
+    for fact in unary:
+        if (
+            not isinstance(fact, (list, tuple))
+            or len(fact) != 2
+            or not isinstance(fact[1], _ATOMIC)
+        ):
+            raise WireError(f"malformed unary fact: {fact!r}")
+    for fact in binary:
+        if (
+            not isinstance(fact, (list, tuple))
+            or len(fact) != 3
+            or not isinstance(fact[1], _ATOMIC)
+            or not isinstance(fact[2], _ATOMIC)
+        ):
+            raise WireError(f"malformed binary fact: {fact!r}")
+    if not (nodes or unary or binary):
+        raise WireError("structure has no nodes")
+
+
+def structure_from_json(obj: Any) -> Structure:
+    """Decode a ``(nodes, unary, binary)`` JSON triple."""
+    if not isinstance(obj, dict):
+        raise WireError("structure must be a JSON object")
+    try:
+        nodes = set(obj.get("nodes", ()))
+        unary = {
+            UnaryFact(str(label), node)
+            for label, node in obj.get("unary", ())
+        }
+        binary = {
+            BinaryFact(str(pred), src, dst)
+            for pred, src, dst in obj.get("binary", ())
+        }
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"malformed structure payload: {exc}") from None
+    nodes |= {f.node for f in unary}
+    nodes |= {f.src for f in binary} | {f.dst for f in binary}
+    if not nodes:
+        raise WireError("structure has no nodes")
+    return Structure(nodes, unary, binary)
+
+
+def answer_to_json(value) -> Any:
+    """A tri-state answer as wire JSON: bool, or ``{"unknown": reason}``."""
+    if isinstance(value, Answer):
+        if value.known:
+            return bool(value.value)
+        return {"unknown": value.reason or "unknown"}
+    if isinstance(value, bool):
+        return value
+    if value is None:
+        return {"unknown": "unknown"}
+    raise WireError(f"not a tri-state answer: {value!r}")
+
+
+def answer_from_json(obj: Any):
+    """Decode :func:`answer_to_json` output: bool, or UNKNOWN Answer."""
+    if isinstance(obj, bool):
+        return obj
+    if isinstance(obj, dict) and "unknown" in obj:
+        return Answer.unknown(str(obj["unknown"]))
+    raise WireError(f"not a wire answer: {obj!r}")
+
+
+def _json_value(value) -> Any:
+    """A semiring carrier as JSON, by value when possible, else repr.
+
+    Exotic carriers (the why-semiring's sets of fact sets) are not
+    JSON-shaped; their repr is still useful to a client and keeps the
+    wire total.
+    """
+    if isinstance(value, _ATOMIC):
+        return value
+    return repr(value)
+
+
+def evaluation_to_json(ev: Evaluation) -> dict:
+    return {
+        "value": None if ev.value is None else _json_value(ev.value),
+        "semiring": ev.semiring,
+        "backend": ev.backend,
+        "witness": None
+        if ev.witness is None
+        else {str(_node_json(k)): _node_json(v) for k, v in ev.witness.items()},
+        "reason": ev.reason,
+        "answer": answer_to_json(ev.answer),
+    }
+
+
+def probe_to_json(result) -> dict:
+    return {
+        "verdict": result.verdict.value,
+        "depth": result.depth,
+        "probe_depth": result.probe_depth,
+        "cactuses_examined": result.cactuses_examined,
+        "uncovered": list(result.uncovered),
+        "reason": result.reason,
+        "answer": answer_to_json(result.answer),
+    }
+
+
+def decision_to_json(decision) -> dict:
+    return {
+        "bounded": decision.bounded,
+        "method": decision.method.value,
+        "exact": decision.exact,
+        "describe": decision.describe(),
+        "probe": None
+        if decision.probe is None
+        else probe_to_json(decision.probe),
+    }
+
+
+def shard_to_json(shard) -> dict:
+    """A :class:`~repro.core.runtime.ScreenShard` as an SSE data frame."""
+    return {
+        "start": shard.start,
+        "stop": shard.stop,
+        "answers": [
+            [answer_to_json(a) for a in row] for row in shard.answers
+        ],
+    }
+
+
+def config_to_json(config: EngineConfig) -> dict:
+    """The resolved config as JSON — the one serializer behind both
+    ``GET /v1/config`` and ``repro config --json``."""
+    out: dict[str, Any] = {}
+    for f in _dc_fields(config):
+        value = getattr(config, f.name)
+        if f.name == "fault_plan":
+            value = [list(item) for item in value] if value else []
+        elif hasattr(value, "__fspath__"):
+            value = str(value)
+        elif not isinstance(value, _ATOMIC):
+            value = repr(value)
+        out[f.name] = value
+    out["effective_workers"] = config.effective_workers()
+    path = resolve_store_path(config.cache_dir)
+    out["cache_path"] = None if path is None else str(path)
+    return out

@@ -244,6 +244,49 @@ class Session:
         """Configuration and liveness of this session's shard executor."""
         return self.pool.info()
 
+    def metrics(self) -> dict:
+        """Every engine counter of this session as one plain-data dict:
+        hom-cache hits/misses/occupancy, pool configuration/liveness/
+        failure bookkeeping, and (when a durable store is attached) the
+        store's lifetime traffic and occupancy.  JSON-serialisable by
+        construction — the payload behind the service tier's
+        ``GET /v1/metrics``."""
+        cache = self.hom.cache_info()
+        pool = self.pool.info()
+        out = {
+            "hom_cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "size": cache.size,
+                "maxsize": cache.maxsize,
+                "enabled": cache.enabled,
+            },
+            "pool": {
+                "workers": pool.workers,
+                "min_batch": pool.min_batch,
+                "running": pool.running,
+                "quarantined": pool.broken,
+                "failures": pool.failures,
+                "last_fallback": pool.last_fallback,
+            },
+            "store": None,
+        }
+        if self.store is not None:
+            stats = self.store.stats()
+            out["store"] = {
+                "path": stats.path,
+                "enabled": stats.enabled,
+                "entries": stats.entries,
+                "bytes": stats.total_bytes,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "writes": stats.writes,
+                "corrupt_dropped": stats.corrupt_dropped,
+                "quarantined_files": stats.quarantined,
+                "namespaces": {ns: n for ns, n in stats.namespaces},
+            }
+        return out
+
     # -- the paper's end-to-end operations ------------------------------
 
     def certain_answer(
@@ -366,6 +409,7 @@ class Session:
         backend: str | None = None,
         workers: int | None = None,
         min_batch: int | None = None,
+        on_shard=None,
     ):
         """Screen a pool of Boolean CQs over one instance family.
 
@@ -376,6 +420,13 @@ class Session:
         covers a contiguous instance range and arrives as soon as its
         worker finishes, so a long screen surfaces answers early
         instead of blocking until the slowest shard.
+
+        ``on_shard(shard)`` (non-streaming only) is the shard-completion
+        hook: it fires with each settled
+        :class:`~repro.core.runtime.ScreenShard` while the full matrix
+        is still being assembled — progress reporting for callers (the
+        service tier's job manager) that want the matrix *and* early
+        visibility, without consuming a stream.
         """
         kwargs = dict(
             backend=backend,
@@ -384,10 +435,17 @@ class Session:
             session=self,
         )
         if stream:
+            if on_shard is not None:
+                raise ValueError(
+                    "on_shard= is for the non-streaming screen; a "
+                    "stream=True consumer already sees every shard"
+                )
             return _runtime.parallel_screen_stream(
                 queries, instances, **kwargs
             )
-        return _runtime.parallel_screen(queries, instances, **kwargs)
+        return _runtime.parallel_screen(
+            queries, instances, on_shard=on_shard, **kwargs
+        )
 
     def screen_zoo(self, instances: list[Structure], probe_depth: int = 3):
         """Bulk-classify the paper's query zoo and screen ``instances``

@@ -1,5 +1,8 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+import sqlite3
+
 import pytest
 
 from repro.__main__ import _parse_cq_file, main
@@ -70,3 +73,108 @@ class TestCommands:
     def test_invalid_backend_flag_exits(self):
         with pytest.raises(SystemExit):
             main(["--backend", "simd", "config"])
+
+
+class TestConfigJson:
+    def test_json_output_parses_and_is_complete(self, capsys):
+        assert main(["config", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        for key in (
+            "backend",
+            "workers",
+            "effective_workers",
+            "cache_path",
+            "service_host",
+            "service_port",
+            "service_queue_depth",
+        ):
+            assert key in data
+
+    def test_json_matches_the_service_serializer(self, capsys, tmp_path):
+        # satellite contract: the CLI and GET /v1/config share one
+        # serializer, so flags resolve into the same wire document
+        from repro.core.config import EngineConfig
+        from repro.service.wire import config_to_json
+
+        cd = str(tmp_path / "cache")
+        assert main(["--backend", "naive", "--cache-dir", cd,
+                     "config", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        want = config_to_json(
+            EngineConfig.from_env(backend="naive", cache_dir=cd)
+        )
+        assert data == want
+
+
+class TestEvalExitCodes:
+    def test_known_answer_exits_0(self, capsys):
+        assert main(["eval", "q2", "d1"]) == 0
+        assert "False" in capsys.readouterr().out
+
+    def test_governed_unknown_exits_3(self, monkeypatch, capsys):
+        # exit 3 is the UNKNOWN code, distinct from FALSE (0) and
+        # usage errors (2), so scripted callers can branch on it
+        monkeypatch.setenv("REPRO_HOM_FUEL", "1")
+        assert main(["eval", "q2", "d2"]) == 3
+        out = capsys.readouterr().out
+        assert "UNKNOWN" in out and "fuel" in out
+
+    def test_weights_misuse_still_exits_2(self, tmp_path, capsys):
+        weights = tmp_path / "w.txt"
+        weights.write_text("R(a, b) = 2\n")
+        assert main(
+            ["eval", "q2", "d1", "--semiring", "why",
+             "--weights", str(weights)]
+        ) == 2
+
+
+class TestCacheCommands:
+    def warm(self, cache_dir):
+        # any evaluated query writes hom rows through to the store
+        assert main(["--cache-dir", cache_dir, "eval", "q2", "d1"]) == 0
+
+    def test_cache_without_store_exits_2(self, capsys):
+        assert main(["--cache-dir", "", "cache", "stats"]) == 2
+        assert "no durable store" in capsys.readouterr().err
+
+    def test_stats_reports_occupancy(self, tmp_path, capsys):
+        cd = str(tmp_path / "cache")
+        self.warm(cd)
+        capsys.readouterr()
+        assert main(["--cache-dir", cd, "cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "enabled=True" in out
+        assert "repro_store.sqlite" in out
+        assert "entries=" in out
+
+    def test_clear_drops_every_entry(self, tmp_path, capsys):
+        cd = str(tmp_path / "cache")
+        self.warm(cd)
+        capsys.readouterr()
+        assert main(["--cache-dir", cd, "cache", "clear"]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["--cache-dir", cd, "cache", "stats"]) == 0
+        assert "entries=0" in capsys.readouterr().out
+
+    def test_verify_clean_store_exits_0(self, tmp_path, capsys):
+        cd = str(tmp_path / "cache")
+        self.warm(cd)
+        capsys.readouterr()
+        assert main(["--cache-dir", cd, "cache", "verify"]) == 0
+        assert "dropped 0 corrupt" in capsys.readouterr().out
+
+    def test_verify_drops_corrupt_rows_and_exits_1(self, tmp_path, capsys):
+        cd = str(tmp_path / "cache")
+        self.warm(cd)
+        # flip every row's checksum behind the store's back
+        db = str(tmp_path / "cache" / "repro_store.sqlite")
+        conn = sqlite3.connect(db)
+        with conn:
+            conn.execute("UPDATE kv SET crc = crc + 1")
+        conn.close()
+        capsys.readouterr()
+        assert main(["--cache-dir", cd, "cache", "verify"]) == 1
+        out = capsys.readouterr().out
+        assert "dropped" in out and "dropped 0 corrupt" not in out
+        # the sweep healed the store: a second verify is clean
+        assert main(["--cache-dir", cd, "cache", "verify"]) == 0

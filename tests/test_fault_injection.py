@@ -325,6 +325,27 @@ class TestFaultInjection:
         assert got == want
         assert info.last_fallback is not None
 
+    def test_kill_mid_stream_keeps_shards_contiguous(self):
+        # A worker SIGKILLed mid-stream must not tear the shard
+        # contract: the yielded shards still jointly cover
+        # range(len(FAMILY)) exactly once — no gap, no overlap, no
+        # re-yield of already-streamed indices — and reassembling them
+        # reproduces the serial oracle.
+        queries = [QUERY, path_structure(["T", "F"])]
+        want = serial_screen(queries, FAMILY)
+        with faulty_session((("kill", 0),)) as s:
+            shards = list(s.screen(queries, FAMILY, stream=True))
+            info = s.pool_info()
+        spans = sorted((sh.start, sh.stop) for sh in shards)
+        assert spans[0][0] == 0 and spans[-1][1] == len(FAMILY)
+        assert all(a[1] == b[0] for a, b in zip(spans, spans[1:]))
+        got = [[None] * len(FAMILY) for _ in queries]
+        for sh in shards:
+            for qi, row in enumerate(sh.answers):
+                got[qi][sh.start : sh.stop] = row
+        assert got == want
+        assert info.last_fallback is not None
+
     def test_kill_9_worker_with_store_stays_consistent(self, tmp_path):
         # A worker SIGKILLed while sharing the durable store must not
         # tear it: answers match the serial oracle and a full checksum

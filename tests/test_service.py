@@ -1,0 +1,460 @@
+"""The service tier: wire codecs, tenant registry, job manager, HTTP.
+
+Covers the four layers of :mod:`repro.service` bottom-up: JSON codecs
+round-trip (structures by fingerprint, answers with UNKNOWN never
+coerced), the session registry applies overlays and LRU-evicts with
+``close()``, the job manager runs every kind with admission control
+and durable records, and the asyncio HTTP front serves submit / get /
+SSE / health / config / metrics end-to-end — including a simulated
+restart that recovers jobs from the store.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.errors import Answer
+from repro.core.store import JOB_NS, DurableStore
+from repro.core.structure import path_structure
+from repro.service import (
+    AdmissionError,
+    JobManager,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    SessionRegistry,
+    wire,
+)
+from repro.service.jobs import Job, validate_payload
+from repro.workloads import instance_family
+from repro import zoo
+
+QUERY = path_structure(["T", "", "F"])
+FAMILY = instance_family(6, 8, 14, seed=3)
+
+
+def sjson(structure):
+    return wire.structure_to_json(structure)
+
+
+def screen_payload(instances=FAMILY, queries=(QUERY,)):
+    return {
+        "queries": [sjson(q) for q in queries],
+        "instances": [sjson(i) for i in instances],
+    }
+
+
+def base_config(**overrides):
+    defaults = dict(workers=0, service_port=0)
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Wire codecs
+# ----------------------------------------------------------------------
+
+
+class TestWire:
+    def test_structure_round_trip_preserves_fingerprint(self):
+        for s in (QUERY, zoo.q5(), FAMILY[0]):
+            back = wire.structure_from_json(sjson(s))
+            assert back.fingerprint == s.fingerprint
+
+    def test_structure_json_is_deterministic(self):
+        assert json.dumps(sjson(QUERY)) == json.dumps(sjson(QUERY))
+
+    def test_structure_from_json_rejects_garbage(self):
+        for bad in (None, [], {"nodes": []}, {"unary": [["F"]]}):
+            with pytest.raises(wire.WireError):
+                wire.structure_from_json(bad)
+
+    def test_answer_round_trip(self):
+        for a in (True, False, Answer.TRUE, Answer.FALSE):
+            encoded = wire.answer_to_json(a)
+            assert isinstance(encoded, bool)
+            assert wire.answer_from_json(encoded) == bool(a)
+        encoded = wire.answer_to_json(Answer.unknown("fuel"))
+        assert encoded == {"unknown": "fuel"}
+        back = wire.answer_from_json(encoded)
+        assert isinstance(back, Answer) and not back.known
+        assert back.reason == "fuel"
+
+    def test_answer_to_json_rejects_non_answers(self):
+        with pytest.raises(wire.WireError):
+            wire.answer_to_json("yes")
+
+    def test_config_to_json_is_json_and_complete(self):
+        config = base_config(cache_dir="/tmp/x")
+        data = json.loads(json.dumps(wire.config_to_json(config)))
+        assert data["workers"] == 0
+        assert data["service_port"] == 0
+        assert data["effective_workers"] == 0
+        assert data["cache_path"].endswith("repro_store.sqlite")
+        # every config field is present
+        from dataclasses import fields
+
+        for f in fields(config):
+            assert f.name in data
+
+
+# ----------------------------------------------------------------------
+# Session registry
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_sessions_are_cached_per_tenant(self):
+        with SessionRegistry(base_config()) as reg:
+            assert reg.get("a") is reg.get("a")
+            assert reg.get("a") is not reg.get("b")
+
+    def test_overlay_resolves_and_validates(self):
+        with SessionRegistry(base_config()) as reg:
+            reg.set_overlay("t", hom_fuel=7)
+            assert reg.get("t").config.hom_fuel == 7
+            assert reg.get("other").config.hom_fuel is None
+            with pytest.raises(TypeError):
+                reg.set_overlay("t", not_a_knob=1)
+            with pytest.raises(ValueError):
+                reg.set_overlay("t", backend="simd")
+
+    def test_lru_evicts_and_closes(self):
+        with SessionRegistry(base_config(), capacity=2) as reg:
+            a = reg.get("a")
+            reg.get("b")
+            reg.get("a")  # refresh a; b is now LRU
+            reg.get("c")  # evicts b
+            assert reg.tenants() == ["a", "c"]
+            assert reg.evictions == 1
+            assert reg.get("a") is a
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SessionRegistry(base_config(), capacity=0)
+
+    def test_metrics_shape(self):
+        with SessionRegistry(base_config()) as reg:
+            reg.get("a")
+            m = reg.metrics()
+            assert m["live"] == 1 and "a" in m["tenants"]
+            assert "hom_cache" in m["tenants"]["a"]
+
+
+# ----------------------------------------------------------------------
+# Job manager
+# ----------------------------------------------------------------------
+
+
+class TestJobManager:
+    def manager(self, config=None, store=None):
+        registry = SessionRegistry(config or base_config())
+        return JobManager(registry, store=store)
+
+    def test_validate_payload_rejects_bad_requests(self):
+        with pytest.raises(wire.WireError):
+            validate_payload("frobnicate", {})
+        with pytest.raises(wire.WireError):
+            validate_payload("decide", {})
+        with pytest.raises(wire.WireError):
+            validate_payload("evaluate", {"query": sjson(QUERY)})
+        with pytest.raises(wire.WireError):
+            validate_payload("screen", {"queries": [], "instances": []})
+
+    def test_decide_evaluate_probe_screen_lifecycle(self):
+        mgr = self.manager()
+        try:
+            jobs = {
+                "decide": mgr.submit(
+                    "decide", {"query": sjson(zoo.q5()), "probe_depth": 2}
+                ),
+                "evaluate": mgr.submit(
+                    "evaluate",
+                    {
+                        "query": sjson(QUERY),
+                        "data": sjson(FAMILY[0]),
+                        "semiring": "count",
+                    },
+                ),
+                "probe": mgr.submit(
+                    "probe", {"query": sjson(zoo.q4()), "probe_depth": 2}
+                ),
+                "screen": mgr.submit("screen", screen_payload()),
+            }
+            for kind, job in jobs.items():
+                assert job.wait(60), kind
+                assert job.status == "done", (kind, job.error)
+            assert jobs["decide"].result["bounded"] is True
+            assert jobs["evaluate"].result["value"] == 1
+            assert jobs["probe"].result["verdict"]
+            matrix = jobs["screen"].result["matrix"]
+            assert len(matrix) == 1 and len(matrix[0]) == len(FAMILY)
+            assert all(isinstance(a, bool) for a in matrix[0])
+            # screen emitted completion-ordered shard events that
+            # jointly cover the family exactly once
+            spans = sorted(
+                (e["start"], e["stop"]) for e in jobs["screen"].events
+            )
+            assert spans[0][0] == 0
+            assert spans[-1][1] == len(FAMILY)
+            assert all(a[1] == b[0] for a, b in zip(spans, spans[1:]))
+        finally:
+            mgr.close()
+
+    def test_failed_job_isolates_error(self):
+        mgr = self.manager()
+        try:
+            # q1 has two solitary F nodes: OneCQ.from_structure raises
+            job = mgr.submit("probe", {"query": sjson(zoo.q1())})
+            assert job.wait(30)
+            assert job.status == "failed"
+            assert "ValueError" in job.error
+            assert mgr.metrics()["failed"] == 1
+        finally:
+            mgr.close()
+
+    def test_tenant_cap_queues_not_rejects(self):
+        mgr = self.manager(
+            base_config(service_tenant_jobs=1, service_threads=4)
+        )
+        gate = threading.Event()
+        mgr._execute = lambda job: (gate.wait(10), {})[1]
+        try:
+            j1 = mgr.submit("decide", {"query": sjson(QUERY)})
+            j2 = mgr.submit("decide", {"query": sjson(QUERY)})
+            deadline = time.monotonic() + 5
+            while j1.status != "running" and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert j1.status == "running"
+            assert j2.status == "queued"  # capped, not rejected
+            gate.set()
+            assert j1.wait(10) and j2.wait(10)
+            assert j1.status == j2.status == "done"
+        finally:
+            gate.set()
+            mgr.close()
+
+    def test_backlog_overflow_rejects_with_admission_error(self):
+        mgr = self.manager(
+            base_config(service_queue_depth=1, service_threads=1)
+        )
+        gate = threading.Event()
+        mgr._execute = lambda job: (gate.wait(10), {})[1]
+        try:
+            mgr.submit("decide", {"query": sjson(QUERY)})
+            with pytest.raises(AdmissionError):
+                mgr.submit("decide", {"query": sjson(QUERY)})
+            assert mgr.metrics()["rejected"] == 1
+        finally:
+            gate.set()
+            mgr.close()
+
+    def test_governed_unknown_preserved(self):
+        mgr = self.manager(base_config(hom_fuel=1))
+        try:
+            job = mgr.submit(
+                "evaluate",
+                {"query": sjson(zoo.q2()), "data": sjson(zoo.d2())},
+            )
+            assert job.wait(30)
+            assert job.status == "done"
+            assert job.result["value"] is None
+            assert job.result["answer"] == {"unknown": "fuel"}
+        finally:
+            mgr.close()
+
+    def test_records_persist_and_recover(self, tmp_path):
+        config = base_config(cache_dir=str(tmp_path))
+        store = DurableStore.open(tmp_path, config.cache_bytes)
+        mgr = self.manager(config, store=store)
+        try:
+            job = mgr.submit("screen", screen_payload())
+            assert job.wait(60) and job.status == "done"
+            record = store.job_get(job.id)
+            assert record["status"] == "done"
+            matrix = record["result"]["matrix"]
+        finally:
+            mgr.close()
+        # a fresh manager over the same store serves the settled job
+        # and re-enqueues an in-flight one under its original id
+        crashed = Job("deadcafe0001", "default", "screen", screen_payload())
+        store.job_put(crashed.id, crashed.snapshot())
+        mgr2 = self.manager(config, store=store)
+        try:
+            assert mgr2.recover() == 1
+            settled = mgr2.get(job.id)
+            assert settled is not None and settled.status == "done"
+            assert settled.result["matrix"] == matrix
+            resumed = mgr2.get("deadcafe0001")
+            assert resumed.wait(60) and resumed.status == "done"
+            assert resumed.result["matrix"] == matrix
+        finally:
+            mgr2.close()
+            store.close()
+
+
+# ----------------------------------------------------------------------
+# Session.screen shard hook (the runtime plumbing the service rides)
+# ----------------------------------------------------------------------
+
+
+class TestScreenShardHook:
+    def test_on_shard_fires_and_covers(self):
+        from repro.session import Session
+
+        spans = []
+        with Session(base_config()) as s:
+            want = s.screen([QUERY], FAMILY)
+            got = s.screen(
+                [QUERY],
+                FAMILY,
+                on_shard=lambda sh: spans.append((sh.start, sh.stop)),
+            )
+        assert got == want
+        spans.sort()
+        assert spans[0][0] == 0 and spans[-1][1] == len(FAMILY)
+        assert all(a[1] == b[0] for a, b in zip(spans, spans[1:]))
+
+    def test_on_shard_incompatible_with_stream(self):
+        from repro.session import Session
+
+        with Session(base_config()) as s:
+            with pytest.raises(ValueError):
+                s.screen([QUERY], FAMILY, stream=True, on_shard=print)
+
+
+# ----------------------------------------------------------------------
+# HTTP front
+# ----------------------------------------------------------------------
+
+
+def collect_watch(client, job_id):
+    shards, final = [], None
+    for event, data in client.watch(job_id):
+        if event == "shard":
+            shards.append(data)
+        else:
+            final = data
+    return shards, final
+
+
+class TestServiceHTTP:
+    def test_end_to_end(self, tmp_path):
+        config = base_config(cache_dir=str(tmp_path))
+        with ServiceServer(config) as server:
+            client = ServiceClient(server.host, server.port)
+
+            health = client.healthz()
+            assert health["status"] == "ok"
+
+            served = client.config()
+            assert served == wire.config_to_json(config)
+
+            record = client.submit("screen", screen_payload())
+            assert record["status"] in ("queued", "running", "done")
+            assert "payload" not in record
+
+            shards, final = collect_watch(client, record["id"])
+            assert final["status"] == "done"
+            spans = sorted((s["start"], s["stop"]) for s in shards)
+            assert spans[0][0] == 0 and spans[-1][1] == len(FAMILY)
+            assert all(a[1] == b[0] for a, b in zip(spans, spans[1:]))
+
+            got = client.job(record["id"])
+            assert got["status"] == "done"
+            assert got["progress"] == {
+                "done": len(FAMILY),
+                "total": len(FAMILY),
+            }
+
+            metrics = client.metrics()
+            assert metrics["service"]["completed"] == 1
+            assert metrics["registry"]["live"] == 1
+
+    def test_error_statuses(self, tmp_path):
+        with ServiceServer(base_config(cache_dir=str(tmp_path))) as server:
+            client = ServiceClient(server.host, server.port)
+            with pytest.raises(ServiceError) as exc:
+                client.job("nope")
+            assert exc.value.status == 404
+            with pytest.raises(ServiceError) as exc:
+                client.submit("frobnicate", {})
+            assert exc.value.status == 400
+            with pytest.raises(ServiceError) as exc:
+                client.submit("decide", {})
+            assert exc.value.status == 400
+            with pytest.raises(ServiceError) as exc:
+                client._request("GET", "/nope")
+            assert exc.value.status == 404
+
+    def test_backlog_overflow_is_429(self, tmp_path):
+        config = base_config(
+            cache_dir=str(tmp_path), service_queue_depth=0
+        )
+        with ServiceServer(config) as server:
+            client = ServiceClient(server.host, server.port)
+            with pytest.raises(ServiceError) as exc:
+                client.submit("decide", {"query": sjson(QUERY)})
+            assert exc.value.status == 429
+
+    def test_unknown_survives_the_wire(self, tmp_path):
+        config = base_config(cache_dir=str(tmp_path), hom_fuel=1)
+        with ServiceServer(config) as server:
+            client = ServiceClient(server.host, server.port)
+            record = client.submit(
+                "evaluate",
+                {"query": sjson(zoo.q2()), "data": sjson(zoo.d2())},
+            )
+            final = client.wait(record["id"])
+            assert final["status"] == "done"
+            assert final["result"]["answer"] == {"unknown": "fuel"}
+            decoded = wire.answer_from_json(final["result"]["answer"])
+            assert isinstance(decoded, Answer) and not decoded.known
+
+    def test_restart_recovers_jobs_from_store(self, tmp_path):
+        config = base_config(cache_dir=str(tmp_path))
+        payload = screen_payload()
+        with ServiceServer(config) as first:
+            client = ServiceClient(first.host, first.port)
+            record = client.submit("screen", payload)
+            done = client.wait(record["id"])
+            matrix = done["result"]["matrix"]
+        # simulate a crash with an in-flight job left in the store
+        store = DurableStore.open(tmp_path, config.cache_bytes)
+        crashed = Job("deadcafe0002", "default", "screen", payload)
+        store.job_put(crashed.id, crashed.snapshot())
+        store.close()
+        with ServiceServer(config) as second:
+            client = ServiceClient(second.host, second.port)
+            # the settled job is served from its record, SSE included
+            served = client.job(record["id"])
+            assert served["status"] == "done"
+            assert served["result"]["matrix"] == matrix
+            shards, final = collect_watch(client, record["id"])
+            assert final["status"] == "done" and shards
+            # the in-flight job re-ran (from checkpoints) to the same
+            # matrix under its original id
+            resumed = client.wait("deadcafe0002")
+            assert resumed["status"] == "done"
+            assert resumed["result"]["matrix"] == matrix
+            assert client.metrics()["service"]["recovered"] == 1
+
+
+class TestJobNamespaceHelpers:
+    def test_job_roundtrip_and_delete(self, tmp_path):
+        store = DurableStore.open(tmp_path, 1 << 20)
+        assert store.job_get("j1") is None
+        store.job_put("j1", {"status": "queued"})
+        store.job_put("j2", {"status": "done"})
+        assert store.job_get("j1") == {"status": "queued"}
+        assert set(store.job_list()) == {"j1", "j2"}
+        store.job_delete("j1")
+        store.job_delete("j1")  # idempotent
+        assert store.job_get("j1") is None
+        assert set(store.job_list()) == {"j2"}
+        # job rows live in their own namespace
+        assert JOB_NS in dict(store.stats().namespaces)
+        store.close()
