@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint fuzz bench-homengine bench-cactus bench-batch bench-decomp bench-semiring bench-store bench-service bench check ci
+.PHONY: test lint fuzz bench-homengine bench-cactus bench-batch bench-decomp bench-semiring bench-store bench-service bench-chaos bench check ci
 
 ## tier-1 test suite (the gate every PR must keep green)
 test:
@@ -100,6 +100,11 @@ bench-store:
 bench-service:
 	$(PYTHON) scripts/bench_service.py
 
+## the job service under injected faults (worker/server kills, drain,
+## bit-flips, cancel storms, poison jobs); writes BENCH_chaos.json
+bench-chaos:
+	$(PYTHON) scripts/bench_chaos.py
+
 ## all experiment benchmarks, default engine configuration
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -113,6 +118,7 @@ check: test
 	$(PYTHON) scripts/bench_semiring.py --check
 	$(PYTHON) scripts/bench_store.py --check
 	$(PYTHON) scripts/bench_service.py --check
+	$(PYTHON) scripts/bench_chaos.py --check
 
 ## everything the CI workflow runs (tests, lint, fuzz smoke, perf gates)
 ci: test lint fuzz
@@ -123,3 +129,4 @@ ci: test lint fuzz
 	$(PYTHON) scripts/bench_semiring.py --check --output /tmp/BENCH_semiring.json
 	$(PYTHON) scripts/bench_store.py --check --output /tmp/BENCH_store.json
 	$(PYTHON) scripts/bench_service.py --check --output /tmp/BENCH_service.json
+	$(PYTHON) scripts/bench_chaos.py --check --output /tmp/BENCH_chaos.json

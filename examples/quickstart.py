@@ -390,11 +390,12 @@ def main() -> None:
         structure_to_json,
     )
 
-    def serve(state_dir):
+    def serve(state_dir, env_extra=None):
         """One `python -m repro serve` subprocess on a free port."""
         env = dict(os.environ)
         src = str(Path(repro.__file__).resolve().parents[1])
         env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env.update(env_extra or {})
         proc = subprocess.Popen(
             [sys.executable, "-m", "repro", "--cache-dir", state_dir,
              "serve", "--port", "0"],
@@ -415,7 +416,11 @@ def main() -> None:
                 for row in oracle.screen(screen_queries, big_family)]
 
     with tempfile.TemporaryDirectory() as state_dir:
-        proc, client = serve(state_dir)
+        # A short lease TTL so the killed server's job ownership lapses
+        # quickly; the restarted server adopts the orphan at the next
+        # heartbeat after expiry.
+        lease = {"REPRO_SERVICE_LEASE_TTL_MS": "2000"}
+        proc, client = serve(state_dir, env_extra=lease)
         try:
             job_id = client.submit("screen", payload)["id"]
             streamed = 0
@@ -433,10 +438,11 @@ def main() -> None:
         # A fresh server over the same state directory recovers the
         # in-flight job from its durable record and re-runs it — the
         # checkpointed shards replay from disk instead of recomputing.
-        proc, client = serve(state_dir)
+        proc, client = serve(state_dir, env_extra=lease)
         try:
             final = client.wait(job_id, timeout=120)
-            resumed = client.metrics()["service"]["recovered"]
+            stats = client.metrics()["service"]
+            resumed = stats["recovered"] + stats["adopted"]
             print(f"restarted server resumed {resumed} job(s): "
                   f"status {final['status']}, matrix identical to a "
                   f"direct Session.screen: "
@@ -444,6 +450,58 @@ def main() -> None:
         finally:
             proc.terminate()
             proc.wait()
+
+    # ------------------------------------------------------------------
+    # 13. Supervision: cancel, bounded retry, quarantine, drain.
+    #
+    #    Jobs are supervised.  Transient failures (a killed pool
+    #    worker, a corrupted checkpoint row) are retried with
+    #    exponential backoff and quarantined FAILED after
+    #    `--retry-max` attempts; a running job can be cancelled
+    #    cooperatively — the engine's Budget machinery checks the flag
+    #    between shards and at search checkpoints — and its SSE stream
+    #    ends in `event: cancelled`; SIGTERM drains gracefully:
+    #    admission answers 503 + Retry-After while running jobs
+    #    settle, queued jobs persist for the next process.  Knobs:
+    #    serve --retry-max/--drain-ms/--lease-ttl-ms, or the matching
+    #    REPRO_SERVICE_RETRY_MAX / REPRO_SERVICE_DRAIN_MS /
+    #    REPRO_SERVICE_LEASE_TTL_MS environment variables.
+    # ------------------------------------------------------------------
+    print()
+    with tempfile.TemporaryDirectory() as state_dir:
+        # An injected fault (the engine's fault plan, here driven over
+        # the environment) makes the first execution die like a real
+        # worker crash; the supervisor retries and the job still lands.
+        proc, client = serve(state_dir, env_extra={
+            "REPRO_FAULT_PLAN": "jobfail:0",
+            "REPRO_SERVICE_RETRY_BACKOFF_MS": "10",
+        })
+        try:
+            hurt = client.wait(client.submit("decide", {
+                "query": structure_to_json(zoo.q5()),
+            })["id"], timeout=120)
+            print(f"injected first-attempt crash: status "
+                  f"{hurt['status']!r} after {hurt['attempts']} attempts")
+
+            # Cooperative cancellation, observed over the live SSE
+            # stream: cancel after the first shard and the stream's
+            # terminal frame is `event: cancelled` (the shards already
+            # checkpointed stay on disk for a later resubmit).
+            job_id = client.submit("screen", payload)["id"]
+            last = None
+            for event, _data in client.watch(job_id, timeout=120):
+                last = event
+                if event == "shard":
+                    client.cancel(job_id)
+            record = client.job(job_id)
+            print(f"cancelled mid-screen: terminal SSE event {last!r}, "
+                  f"status {record['status']!r} after "
+                  f"{record['events']} checkpointed shard(s)")
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(30)
+        print(f"SIGTERM drain: server exited {rc} (running jobs "
+              f"settled, queued jobs persisted for the next process)")
 
 
 if __name__ == "__main__":

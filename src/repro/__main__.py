@@ -25,14 +25,17 @@ Commands
 ``serve``
     Run the multi-tenant job service (:mod:`repro.service`) until
     interrupted; ``--host`` / ``--port`` / ``--tenants`` / ``--threads``
-    / ``--queue-depth`` / ``--tenant-jobs`` override the
-    ``REPRO_SERVICE_*`` environment.
-``jobs submit|get|watch``
+    / ``--queue-depth`` / ``--tenant-jobs`` / ``--retry-max`` /
+    ``--drain-ms`` / ``--lease-ttl-ms`` override the
+    ``REPRO_SERVICE_*`` environment.  SIGTERM drains gracefully
+    (admission 503s, running jobs checkpoint, then exit).
+``jobs submit|get|watch|cancel``
     Client for a running service: ``submit`` posts a
     decide/evaluate/probe/screen job built from zoo names, CQ files or
     a generated ``--family``; ``get`` prints the job record; ``watch``
-    streams the SSE shard feed.  Exit status 1 when the job failed,
-    3 when its tri-state outcome is UNKNOWN.
+    streams the SSE shard feed; ``cancel`` requests cooperative
+    cancellation.  Exit status 1 when the job failed, 3 when its
+    tri-state outcome is UNKNOWN, 4 when it was cancelled.
 ``cache stats|clear|verify``
     Operate on the durable store (``REPRO_CACHE_DIR`` /
     ``--cache-dir``): ``stats`` prints entry counts, bytes, lifetime
@@ -142,6 +145,9 @@ def _config_from_args(args: argparse.Namespace) -> EngineConfig:
         ("threads", "service_threads"),
         ("queue_depth", "service_queue_depth"),
         ("tenant_jobs", "service_tenant_jobs"),
+        ("retry_max", "service_retry_max"),
+        ("drain_ms", "service_drain_ms"),
+        ("lease_ttl_ms", "service_lease_ttl_ms"),
     ):
         value = getattr(args, flag, None)
         if value is not None:
@@ -323,7 +329,10 @@ def _submit_payload(args: argparse.Namespace) -> dict:
 
 def _job_exit_code(record: dict) -> int:
     """0 settled-known, 1 failed, 3 any tri-state UNKNOWN in the result
-    (the same code ``repro eval`` uses for a governed UNKNOWN)."""
+    (the same code ``repro eval`` uses for a governed UNKNOWN), 4
+    cancelled."""
+    if record.get("status") == "cancelled":
+        return 4
     if record.get("status") != "done":
         return 1
     result = record.get("result") or {}
@@ -348,7 +357,7 @@ def _watch_job(client, job_id: str) -> int:
                 f"shard [{data['start']},{data['stop']}) "
                 f"{json.dumps(data['answers'])}"
             )
-        elif event == "done":
+        elif event in ("done", "cancelled"):
             final = data or {}
     status = final.get("status", "unknown")
     print(f"job {job_id}: {status}")
@@ -373,6 +382,10 @@ def _cmd_jobs(config: EngineConfig, args: argparse.Namespace) -> int:
             return 0
         if args.jobs_command == "get":
             print(json.dumps(client.job(args.job_id), indent=2))
+            return 0
+        if args.jobs_command == "cancel":
+            record = client.cancel(args.job_id)
+            print(f"job {record['id']}: {record['status']}")
             return 0
         return _watch_job(client, args.job_id)
     except ServiceError as exc:
@@ -472,6 +485,18 @@ def main(argv: list[str] | None = None) -> int:
         "--tenant-jobs", type=int, default=None,
         help="per-tenant running-job cap (REPRO_SERVICE_TENANT_JOBS)",
     )
+    serve.add_argument(
+        "--retry-max", type=int, default=None,
+        help="job attempts before quarantine (REPRO_SERVICE_RETRY_MAX)",
+    )
+    serve.add_argument(
+        "--drain-ms", type=int, default=None,
+        help="SIGTERM graceful-drain deadline (REPRO_SERVICE_DRAIN_MS)",
+    )
+    serve.add_argument(
+        "--lease-ttl-ms", type=int, default=None,
+        help="job ownership lease TTL (REPRO_SERVICE_LEASE_TTL_MS)",
+    )
 
     jobs = commands.add_parser(
         "jobs", help="submit to / query a running job service"
@@ -520,6 +545,10 @@ def main(argv: list[str] | None = None) -> int:
         "watch", help="stream a job's SSE shard feed"
     )
     watch.add_argument("job_id")
+    cancel = jobs_commands.add_parser(
+        "cancel", help="request cooperative cancellation of a job"
+    )
+    cancel.add_argument("job_id")
 
     cache = commands.add_parser(
         "cache", help="inspect or maintain the durable store"

@@ -101,6 +101,34 @@ Environment variables
     Per-tenant concurrency cap (default 2): a tenant with that many
     jobs running has further jobs *queued* (not rejected) until one
     finishes.
+``REPRO_SERVICE_RETRY_MAX``
+    How many execution attempts a job gets before the manager
+    quarantines it to a terminal FAILED state (default 3).  Transient
+    failures — a pool worker crash, a best-effort store hiccup —
+    re-enqueue the job with exponential backoff until this cap; a
+    poison job that fails every attempt settles as
+    ``FAILED(quarantined after N attempts)`` instead of re-queueing
+    forever.
+``REPRO_SERVICE_RETRY_BACKOFF_MS``
+    Base of the retry backoff (default 100): attempt ``k`` waits
+    ``backoff * 2^(k-1)`` milliseconds, jittered, capped at 30 s.
+``REPRO_SERVICE_LEASE_TTL_MS``
+    TTL of the ownership lease a running job holds in the durable
+    store's ``lease:v1`` namespace (default 10000).  A heartbeat
+    renews it at TTL/3 while the executor thread makes progress;
+    ``recover()`` only takes over jobs whose lease has expired, so a
+    record that says "running" under a live lease is left to its
+    owner, and a stuck thread is detected by its lease lapsing.
+``REPRO_SERVICE_DRAIN_MS``
+    Graceful-drain deadline (default 10000): on SIGTERM the server
+    stops admission (503 + ``Retry-After``), lets running jobs
+    checkpoint and settle for up to this long, persists whatever is
+    still in flight as re-queueable, then exits.
+``REPRO_FAULT_PLAN``
+    Test-only fault injection, ``mode:ordinal[,mode:ordinal...]``
+    (e.g. ``kill:0,jobfail:2``) — the environment form of
+    ``EngineConfig.fault_plan`` so chaos harnesses can arm faults in a
+    spawned ``repro serve`` process.  Malformed entries are ignored.
 """
 
 from __future__ import annotations
@@ -119,6 +147,10 @@ _FALSY = ("0", "off", "false", "no")
 #: Accepted values for ``EngineConfig.durability`` (see
 #: :mod:`repro.core.store` for the contract each implies).
 DURABILITY_CHOICES = ("best-effort", "strict")
+
+#: Accepted fault-injection modes (``EngineConfig.fault_plan``):
+#: worker-process faults plus the service tier's ``jobfail``.
+FAULT_MODES = ("crash", "hang", "corrupt", "kill", "jobfail")
 
 # Calibration of the auto heuristic, from the committed BENCH_batch.json
 # backend duel: the ``matrix`` backend's boolean-semiring matvecs win
@@ -200,6 +232,25 @@ def _env_int(env: dict, name: str, default: int) -> int:
         return default
 
 
+def _env_fault_plan(env: dict, name: str, default: tuple) -> tuple:
+    """Parse ``mode:ordinal,mode:ordinal`` into a fault plan; entries
+    that fail to parse (or name an unknown mode) are dropped rather
+    than crashing the server they were meant to test."""
+    raw = env.get(name)
+    if raw is None:
+        return default
+    plan = []
+    for part in raw.split(","):
+        mode, _, when = part.strip().partition(":")
+        try:
+            ordinal = int(when)
+        except ValueError:
+            continue
+        if mode in FAULT_MODES and ordinal >= 0:
+            plan.append((mode, ordinal))
+    return tuple(plan)
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Frozen description of one engine instance's tunables.
@@ -256,11 +307,21 @@ class EngineConfig:
     service_threads: int = 4
     service_queue_depth: int = 64
     service_tenant_jobs: int = 2
-    # Test-only fault injection: ((mode, worker_task_ordinal), ...)
-    # with mode in {"crash", "hang", "corrupt", "kill"}.  Consulted
-    # only inside pool worker processes (runtime._worker_session);
-    # empty in production.  "kill" is SIGKILL (uncatchable, unlike
-    # "crash"'s os._exit), for proving checkpoint durability.
+    # Service supervision (PR 10): bounded retry + poison quarantine,
+    # lease-based job ownership, graceful drain.  See the matching
+    # REPRO_* entries in the module docstring.
+    service_retry_max: int = 3
+    service_retry_backoff_ms: int = 100
+    service_lease_ttl_ms: int = 10000
+    service_drain_ms: int = 10000
+    # Test-only fault injection: ((mode, ordinal), ...) with mode in
+    # {"crash", "hang", "corrupt", "kill", "jobfail"}.  The first four
+    # fire inside pool worker processes (runtime._worker_session) at
+    # the ordinal-th chunk task; "jobfail" fires inside the service's
+    # JobManager at the ordinal-th job execution (a deterministic
+    # transient WorkerFailure, for exercising the retry/quarantine
+    # ladder).  Empty in production.  "kill" is SIGKILL (uncatchable,
+    # unlike "crash"'s os._exit), for proving checkpoint durability.
     fault_plan: tuple = ()
 
     def __post_init__(self) -> None:
@@ -280,6 +341,8 @@ class EngineConfig:
             "cache_bytes",
             "service_port",
             "service_queue_depth",
+            "service_retry_backoff_ms",
+            "service_drain_ms",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
@@ -287,6 +350,8 @@ class EngineConfig:
             "service_tenants",
             "service_threads",
             "service_tenant_jobs",
+            "service_retry_max",
+            "service_lease_ttl_ms",
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
@@ -306,7 +371,7 @@ class EngineConfig:
                 raise ValueError(f"{name} must be positive (or None)")
         for entry in self.fault_plan:
             mode, when = entry  # ValueError on malformed entries
-            if mode not in ("crash", "hang", "corrupt", "kill") or when < 0:
+            if mode not in FAULT_MODES or when < 0:
                 raise ValueError(f"bad fault_plan entry {entry!r}")
 
     @property
@@ -402,6 +467,25 @@ class EngineConfig:
             ),
             service_tenant_jobs=_env_int(
                 env, "REPRO_SERVICE_TENANT_JOBS", defaults.service_tenant_jobs
+            ),
+            service_retry_max=_env_int(
+                env, "REPRO_SERVICE_RETRY_MAX", defaults.service_retry_max
+            ),
+            service_retry_backoff_ms=_env_int(
+                env,
+                "REPRO_SERVICE_RETRY_BACKOFF_MS",
+                defaults.service_retry_backoff_ms,
+            ),
+            service_lease_ttl_ms=_env_int(
+                env,
+                "REPRO_SERVICE_LEASE_TTL_MS",
+                defaults.service_lease_ttl_ms,
+            ),
+            service_drain_ms=_env_int(
+                env, "REPRO_SERVICE_DRAIN_MS", defaults.service_drain_ms
+            ),
+            fault_plan=_env_fault_plan(
+                env, "REPRO_FAULT_PLAN", defaults.fault_plan
             ),
         )
         values.update(overrides)

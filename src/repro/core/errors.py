@@ -71,6 +71,8 @@ __all__ = [
     "DeadlineExceeded",
     "EngineError",
     "FuelExhausted",
+    "JobCancelled",
+    "LeaseExpired",
     "ResourceExhausted",
     "StoreCorruption",
     "UnknownSemiring",
@@ -145,6 +147,27 @@ class UnknownSemiring(EngineError):
     """A ``semiring=`` argument named no registered instance (see
     :func:`repro.core.semiring.resolve_semiring` /
     :func:`~repro.core.semiring.register_semiring`)."""
+
+
+class JobCancelled(EngineError):
+    """A service job was cancelled cooperatively.
+
+    Raised from :meth:`Budget.charge` / :meth:`Budget.checkpoint` when
+    the budget's ``cancel`` hook reports a pending cancellation, and by
+    the job manager's between-shard checks.  Deliberately *not* a
+    :class:`ResourceExhausted`: governed surfaces convert exhaustion
+    into ``Answer.unknown`` partial results, but a cancellation must
+    propagate all the way out so the job settles in the terminal
+    ``CANCELLED`` state instead of completing with UNKNOWN answers.
+    """
+
+
+class LeaseExpired(EngineError):
+    """A job's ownership lease lapsed (see ``lease:v1`` in
+    :mod:`repro.core.store`): the holder stopped heartbeating — a
+    crashed process or a stuck executor thread — so another manager may
+    take the job over.  Raised when an operation is attempted under a
+    lease the caller no longer holds."""
 
 
 class StoreCorruption(EngineError):
@@ -263,10 +286,13 @@ class Budget:
     coverage checks alike.
     """
 
-    __slots__ = ("deadline", "fuel", "_countdown")
+    __slots__ = ("deadline", "fuel", "cancel", "_countdown")
 
     def __init__(
-        self, deadline_ms: int | None = None, fuel: int | None = None
+        self,
+        deadline_ms: int | None = None,
+        fuel: int | None = None,
+        cancel=None,
     ):
         self.deadline = (
             None
@@ -274,6 +300,12 @@ class Budget:
             else time.monotonic() + deadline_ms / 1000.0
         )
         self.fuel = fuel
+        # Cooperative cancellation: a zero-arg callable polled at the
+        # same cadence as the deadline (every checkpoint, every
+        # ``_DEADLINE_CHECK_EVERY``-th charge).  Truthy => the operation
+        # raises JobCancelled at its next cooperative point.  Parent
+        # process only — budgets never ship to pool workers.
+        self.cancel = cancel
         self._countdown = _DEADLINE_CHECK_EVERY
 
     @classmethod
@@ -295,19 +327,26 @@ class Budget:
             self.fuel -= amount
             if self.fuel < 0:
                 raise FuelExhausted("hom_fuel search-step budget exhausted")
-        if self.deadline is not None:
+        if self.deadline is not None or self.cancel is not None:
             self._countdown -= 1
             if self._countdown <= 0:
                 self._countdown = _DEADLINE_CHECK_EVERY
-                if time.monotonic() >= self.deadline:
+                if (
+                    self.deadline is not None
+                    and time.monotonic() >= self.deadline
+                ):
                     raise DeadlineExceeded("deadline_ms exceeded")
+                if self.cancel is not None and self.cancel():
+                    raise JobCancelled("operation cancelled mid-search")
 
     def checkpoint(self) -> None:
-        """Immediate deadline check, for loop heads whose iterations
-        are few but individually expensive (cactus materialisation,
-        one coverage check, one batch item)."""
+        """Immediate deadline + cancellation check, for loop heads
+        whose iterations are few but individually expensive (cactus
+        materialisation, one coverage check, one batch item)."""
         if self.deadline is not None and time.monotonic() >= self.deadline:
             raise DeadlineExceeded("deadline_ms exceeded")
+        if self.cancel is not None and self.cancel():
+            raise JobCancelled("operation cancelled at checkpoint")
 
     def remaining_fuel(self) -> int | None:
         return self.fuel

@@ -61,6 +61,7 @@ import os
 import pickle
 import sqlite3
 import threading
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -69,6 +70,7 @@ from .errors import StoreCorruption
 
 __all__ = [
     "JOB_NS",
+    "LEASE_NS",
     "MISS",
     "DurableStore",
     "StoreStats",
@@ -91,6 +93,13 @@ STORE_FILENAME = "repro_store.sqlite"
 #: schema: a record layout change bumps this tag, orphaning (not
 #: corrupting) records written by older services.
 JOB_NS = "job:v1"
+
+#: Namespace of job ownership leases (:mod:`repro.service.jobs`).
+#: A running job's manager holds ``job_id -> {"owner", "expires"}``
+#: here, heartbeat-renewed; ``recover()`` only adopts a job whose
+#: lease is absent or expired, so "crashed mid-run" and "still running
+#: under another manager" are distinguishable after a restart.
+LEASE_NS = "lease:v1"
 
 # Buffered puts are flushed every this many entries (and on close /
 # checkpoint / stats).  WAL commits are cheap, but one transaction per
@@ -640,6 +649,90 @@ class DurableStore:
                 )
         except _STORE_FAILURES as exc:
             self._failed(exc)
+
+    # -- job leases (ownership rows, see :data:`LEASE_NS`) ---------------
+
+    def lease_acquire(
+        self, job_id: str, owner: str, ttl_s: float, now: float | None = None
+    ) -> bool:
+        """Claim the lease on ``job_id`` for ``owner``; True iff taken.
+
+        A lease held by a *different* owner and not yet expired refuses
+        the claim; an absent, expired, or same-owner lease is
+        (re)written with a fresh expiry.  Atomic with respect to other
+        managers sharing this store object; cross-process claims are
+        serialised by the job manager's recover-before-serve ordering.
+        With no disk tier attached the claim trivially succeeds —
+        leases are an ownership signal, not a correctness requirement.
+        """
+        if not self.enabled:
+            return True
+        now = time.time() if now is None else now
+        current = self.lease_get(job_id)
+        if (
+            current is not None
+            and current.get("owner") != owner
+            and current.get("expires", 0.0) > now
+        ):
+            return False
+        self.write_rows(
+            LEASE_NS, [(job_id, {"owner": owner, "expires": now + ttl_s})]
+        )
+        return True
+
+    def lease_renew(
+        self, job_id: str, owner: str, ttl_s: float, now: float | None = None
+    ) -> bool:
+        """Push the expiry of a lease ``owner`` still holds; False when
+        the lease is gone or was taken over (the heartbeat's cue to
+        stop claiming the job)."""
+        if not self.enabled:
+            return True
+        now = time.time() if now is None else now
+        current = self.lease_get(job_id)
+        if current is None or current.get("owner") != owner:
+            return False
+        self.write_rows(
+            LEASE_NS, [(job_id, {"owner": owner, "expires": now + ttl_s})]
+        )
+        return True
+
+    def lease_release(self, job_id: str, owner: str | None = None) -> None:
+        """Drop a lease (a no-op when absent).  With ``owner`` given,
+        only that owner's lease is dropped — a manager releasing a job
+        it lost to takeover must not clobber the new owner's lease."""
+        if not self.enabled:
+            return
+        if owner is not None:
+            current = self.lease_get(job_id)
+            if current is not None and current.get("owner") != owner:
+                return
+        self._lease_delete(job_id)
+
+    @_locked
+    def _lease_delete(self, job_id: str) -> None:
+        try:
+            key_blob = self._encode_key(job_id)
+            with self._conn:
+                self._conn.execute(
+                    "DELETE FROM kv WHERE ns = ? AND key = ?",
+                    (LEASE_NS, key_blob),
+                )
+        except _STORE_FAILURES as exc:
+            self._failed(exc)
+
+    def lease_get(self, job_id: str) -> dict | None:
+        """The stored lease row of one job, or ``None``."""
+        value = self.get(LEASE_NS, job_id)
+        return None if value is MISS or not isinstance(value, dict) else value
+
+    def lease_list(self) -> dict[str, dict]:
+        """Every stored ``job_id -> lease`` row (corrupt rows dropped)."""
+        return {
+            key: value
+            for key, value in self.load_ns(LEASE_NS).items()
+            if isinstance(key, str) and isinstance(value, dict)
+        }
 
     # -- maintenance (the CLI surface) ----------------------------------
 

@@ -6,6 +6,16 @@ both go through it.  :meth:`ServiceClient.watch` parses the SSE stream
 incrementally and yields ``(event, data)`` pairs, so shard answers
 surface as they settle instead of after the job completes.
 
+Resilience: transient connection failures — refused while the server
+restarts, reset mid-response — are retried with capped exponential
+backoff (``retries`` / ``retry_backoff``), and ``watch`` reconnects
+its SSE stream from the last seen cursor (the server replays events
+past ``?cursor=N``), so a server restart mid-stream neither drops nor
+duplicates shards.  Note that a submit retry after a *reset* (rather
+than a refusal) can double-submit if the first request was admitted
+before the connection died; submissions are cheap records, so the
+service tier favours at-least-once admission over silent loss.
+
 Tri-state discipline: answers stay in wire form (``true`` / ``false``
 / ``{"unknown": reason}``); :func:`~repro.service.wire.answer_from_json`
 decodes them when a caller wants :class:`~repro.core.errors.Answer`
@@ -23,6 +33,20 @@ from ..core.errors import EngineError
 
 __all__ = ["ServiceClient", "ServiceError"]
 
+#: Connection-level failures worth a retry: the server is restarting
+#: (refused), died mid-response (reset / no status line), or the OS
+#: tore the socket down.  HTTP-level errors (4xx/5xx) are *not* here —
+#: they are answers, not transport faults.
+_RETRYABLE = (
+    ConnectionError,
+    http.client.BadStatusLine,  # includes RemoteDisconnected
+)
+
+#: Terminal job statuses: exactly one of these ends every job.
+TERMINAL_STATUSES = ("done", "failed", "cancelled")
+
+_BACKOFF_CAP_S = 1.0
+
 
 class ServiceError(EngineError):
     """A non-2xx service response, carrying the HTTP ``status``."""
@@ -37,13 +61,36 @@ class ServiceClient:
     ``Connection: close``), so a client object is freely shareable."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = 30.0,
+        retries: int = 4,
+        retry_backoff: float = 0.05,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+
+    def _backoff(self, attempt: int) -> None:
+        time.sleep(min(self.retry_backoff * (2**attempt), _BACKOFF_CAP_S))
 
     def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except _RETRYABLE:
+                if attempt >= self.retries:
+                    raise
+                self._backoff(attempt)
+                attempt += 1
+
+    def _request_once(
         self, method: str, path: str, payload: dict | None = None
     ) -> dict:
         conn = http.client.HTTPConnection(
@@ -88,7 +135,8 @@ class ServiceClient:
         self, kind: str, payload: dict, tenant: str = "default"
     ) -> dict:
         """Submit a job; returns the 202 job record (no payload echo).
-        Raises :class:`ServiceError` with ``status=429`` on backlog."""
+        Raises :class:`ServiceError` with ``status=429`` on backlog,
+        ``status=503`` while the server drains."""
         return self._request(
             "POST",
             "/v1/jobs",
@@ -98,15 +146,21 @@ class ServiceClient:
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/jobs/{job_id}")
 
+    def cancel(self, job_id: str) -> dict:
+        """Request cooperative cancellation; returns the job record
+        (already-terminal jobs come back unchanged — cancel never
+        un-settles anything)."""
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
     def wait(
         self, job_id: str, timeout: float = 300.0, poll: float = 0.05
     ) -> dict:
-        """Poll every ``poll`` seconds until the job settles; returns
-        the final record."""
+        """Poll every ``poll`` seconds until the job settles (done,
+        failed, or cancelled); returns the final record."""
         deadline = time.monotonic() + timeout
         while True:
             record = self.job(job_id)
-            if record.get("status") in ("done", "failed"):
+            if record.get("status") in TERMINAL_STATUSES:
                 return record
             if time.monotonic() >= deadline:
                 raise ServiceError(
@@ -121,13 +175,53 @@ class ServiceClient:
         """Stream the job's SSE feed as ``(event, data)`` pairs.
 
         Yields ``("shard", {...})`` per settled shard and finally
-        ``("done", record)``; the connection closes after ``done``.
+        ``("done", record)`` — or ``("cancelled", record)`` for a
+        cancelled job; the connection closes after the terminal frame.
+        A dropped connection (server restart mid-stream) reconnects
+        from the last seen cursor, so shards are neither dropped nor
+        replayed to the consumer.
         """
+        deadline = time.monotonic() + timeout
+        cursor = 0
+        attempt = 0
+        while True:
+            try:
+                remaining = max(1.0, deadline - time.monotonic())
+                for event, data in self._watch_once(
+                    job_id, cursor, remaining
+                ):
+                    if event == "shard":
+                        cursor += 1
+                        attempt = 0  # progress: reset the backoff ladder
+                    yield event, data
+                    if event in ("done", "cancelled"):
+                        return
+                # Stream ended without a terminal frame: the server
+                # went away cleanly mid-watch.  Reconnect below.
+            except _RETRYABLE:
+                pass
+            if time.monotonic() >= deadline or attempt >= self.retries:
+                raise ServiceError(
+                    504,
+                    f"watch of {job_id} lost its stream at cursor "
+                    f"{cursor} and could not reconnect",
+                )
+            self._backoff(attempt)
+            attempt += 1
+
+    def _watch_once(
+        self, job_id: str, cursor: int, timeout: float
+    ) -> Iterator[tuple[str, Any]]:
+        # The socket timeout spans the whole watch window: the server
+        # is legitimately silent between shards, so a short per-read
+        # timeout would sever healthy streams.
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=timeout
         )
         try:
-            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            conn.request(
+                "GET", f"/v1/jobs/{job_id}/events?cursor={cursor}"
+            )
             response = conn.getresponse()
             if response.status >= 400:
                 raw = response.read()
@@ -146,7 +240,7 @@ class ServiceClient:
                 elif not line and event is not None:
                     payload = json.loads("\n".join(data_lines) or "null")
                     yield event, payload
-                    if event == "done":
+                    if event in ("done", "cancelled"):
                         return
                     event, data_lines = None, []
         finally:

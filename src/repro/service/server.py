@@ -11,28 +11,41 @@ only read job state.
 Routes
 ------
 
-========================  ====================================================
-``POST /v1/jobs``         submit ``{"kind", "tenant"?, "payload"}`` → 202
-                          job record; 400 bad payload; 429 backlog full
-``GET /v1/jobs``          id → status summary of every known job
-``GET /v1/jobs/<id>``     full job record (404 unknown)
-``GET /v1/jobs/<id>/events``  SSE: ``event: shard`` frames straight off
-                          ``Session.screen(stream=True)``, then one
-                          ``event: done`` with the final record
-``GET /healthz``          liveness + backlog counters
-``GET /v1/config``        resolved ``EngineConfig``
-                          (:func:`~repro.service.wire.config_to_json`)
-``GET /v1/metrics``       hom-cache / pool / store / job counters
-========================  ====================================================
+==============================  ==============================================
+``POST /v1/jobs``               submit ``{"kind", "tenant"?, "payload"}`` →
+                                202 job record; 400 bad payload; 429 backlog
+                                full; 503 + ``Retry-After`` while draining
+``POST /v1/jobs/<id>/cancel``   request cooperative cancellation → 200 the
+                                (possibly already terminal) record
+``GET /v1/jobs``                id → status summary of every known job
+``GET /v1/jobs/<id>``           full job record (404 unknown)
+``GET /v1/jobs/<id>/events``    SSE: ``event: shard`` frames straight off
+                                ``Session.screen(stream=True)``, then one
+                                ``event: done`` (or ``event: cancelled``)
+                                with the final record; ``?cursor=N`` resumes
+                                after the first N events (client reconnect)
+``GET /healthz``                liveness + backlog counters + drain flag
+``GET /v1/config``              resolved ``EngineConfig``
+                                (:func:`~repro.service.wire.config_to_json`)
+``GET /v1/metrics``             hom-cache / pool / store / job counters
+==============================  ==============================================
+
+Graceful drain: ``run()`` (the ``repro serve`` entry) installs a
+SIGTERM handler that stops admission (503s with ``Retry-After``),
+keeps serving reads and SSE while running jobs checkpoint and settle
+— up to ``service_drain_ms`` — then exits; whatever is still in
+flight is persisted re-queueable by ``JobManager.close``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import sys
 import threading
 import time
+from urllib.parse import parse_qs
 
 from ..core.config import EngineConfig
 from ..core.store import DurableStore
@@ -47,10 +60,7 @@ __all__ = ["ServiceServer", "run"]
 _SSE_WAIT_S = 5.0
 _MAX_BODY = 64 * 1024 * 1024
 
-
-def _public(record: dict) -> dict:
-    """A job record without its (possibly large) request payload."""
-    return {k: v for k, v in record.items() if k != "payload"}
+_public = wire.public_record
 
 
 class ServiceServer:
@@ -151,8 +161,8 @@ class ServiceServer:
             request = await self._read_request(reader)
             if request is None:
                 return
-            method, path, body = request
-            await self._route(writer, method, path, body)
+            method, path, query, body = request
+            await self._route(writer, method, path, query, body)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except Exception as exc:  # last-resort 500; keep serving
@@ -188,8 +198,12 @@ class ServiceServer:
         if length < 0 or length > _MAX_BODY:
             return None
         body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
-        return method.upper(), path, body
+        path, _, raw_query = target.partition("?")
+        query = {
+            name: values[-1]
+            for name, values in parse_qs(raw_query).items()
+        }
+        return method.upper(), path, query, body
 
     async def _respond(
         self,
@@ -197,6 +211,7 @@ class ServiceServer:
         status: int,
         payload: dict,
         reason: str | None = None,
+        headers: dict[str, str] | None = None,
     ) -> None:
         body = json.dumps(payload).encode()
         reason = reason or {
@@ -207,12 +222,17 @@ class ServiceServer:
             405: "Method Not Allowed",
             429: "Too Many Requests",
             500: "Internal Server Error",
+            503: "Service Unavailable",
         }.get(status, "OK")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         writer.write(
             (
                 f"HTTP/1.1 {status} {reason}\r\n"
                 "Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
+                f"{extra}"
                 "Connection: close\r\n\r\n"
             ).encode()
         )
@@ -222,10 +242,26 @@ class ServiceServer:
     # -- routing -------------------------------------------------------
 
     async def _route(
-        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        query: dict,
+        body: bytes,
     ) -> None:
-        if method == "POST" and path == "/v1/jobs":
-            return await self._post_job(writer, body)
+        if method == "POST":
+            if path == "/v1/jobs":
+                return await self._post_job(writer, body)
+            if path.startswith("/v1/jobs/") and path.endswith("/cancel"):
+                job_id = path[len("/v1/jobs/") : -len("/cancel")]
+                job = self.manager.cancel(job_id)
+                if job is None:
+                    return await self._respond(
+                        writer, 404, {"error": f"no such job {job_id!r}"}
+                    )
+                return await self._respond(
+                    writer, 200, _public(job.snapshot())
+                )
         if method == "GET":
             if path == "/healthz":
                 return await self._respond(writer, 200, self._healthz())
@@ -249,7 +285,13 @@ class ServiceServer:
             if path.startswith("/v1/jobs/"):
                 rest = path[len("/v1/jobs/") :]
                 if rest.endswith("/events"):
-                    return await self._sse(writer, rest[: -len("/events")])
+                    try:
+                        cursor = max(0, int(query.get("cursor", 0)))
+                    except ValueError:
+                        cursor = 0
+                    return await self._sse(
+                        writer, rest[: -len("/events")], cursor
+                    )
                 job = self.manager.get(rest)
                 if job is None:
                     return await self._respond(
@@ -282,16 +324,22 @@ class ServiceServer:
         except wire.WireError as exc:
             return await self._respond(writer, 400, {"error": str(exc)})
         except AdmissionError as exc:
-            return await self._respond(writer, 429, {"error": str(exc)})
+            headers = None
+            if exc.retry_after is not None:
+                headers = {"Retry-After": str(int(exc.retry_after) + 1)}
+            return await self._respond(
+                writer, exc.status, {"error": str(exc)}, headers=headers
+            )
         await self._respond(writer, 202, _public(job.snapshot()))
 
     def _healthz(self) -> dict:
         jobs = self.manager.metrics()
         return {
-            "status": "ok",
+            "status": "draining" if self.manager.draining else "ok",
             "uptime_s": round(time.monotonic() - self.started, 3),
             "queued": jobs["queued"],
             "running": jobs["running"],
+            "draining": self.manager.draining,
         }
 
     def _metrics(self) -> dict:
@@ -303,7 +351,9 @@ class ServiceServer:
 
     # -- SSE -----------------------------------------------------------
 
-    async def _sse(self, writer: asyncio.StreamWriter, job_id: str) -> None:
+    async def _sse(
+        self, writer: asyncio.StreamWriter, job_id: str, cursor: int = 0
+    ) -> None:
         job = self.manager.get(job_id)
         if job is None:
             return await self._respond(
@@ -317,7 +367,6 @@ class ServiceServer:
         )
         await writer.drain()
         loop = asyncio.get_running_loop()
-        cursor = 0
         while True:
             # Push, not poll: park a (sleeping) executor thread on the
             # job's condition variable until a shard settles.  Waking
@@ -336,8 +385,11 @@ class ServiceServer:
             if events:
                 await writer.drain()
             if done:
+                final = (
+                    b"cancelled" if job.status == "cancelled" else b"done"
+                )
                 writer.write(
-                    b"event: done\ndata: "
+                    b"event: " + final + b"\ndata: "
                     + json.dumps(_public(job.snapshot())).encode()
                     + b"\n\n"
                 )
@@ -347,17 +399,53 @@ class ServiceServer:
 
 def run(config: EngineConfig | None = None, print_fn=print) -> None:
     """Blocking entry point for ``repro serve``: bind, announce, serve
-    until interrupted."""
+    until interrupted.
+
+    SIGTERM triggers a graceful drain: admission stops immediately
+    (503 + ``Retry-After``) while reads and SSE keep serving, running
+    jobs get up to ``service_drain_ms`` to checkpoint and settle, then
+    the process exits (anything still in flight is persisted
+    re-queueable).  SIGINT / kill -9 take the abrupt path — which the
+    durable records and ``recover()`` are built to survive.
+    """
     server = ServiceServer(config)
 
     async def _main() -> None:
         await server.start()
+        loop = asyncio.get_running_loop()
+        drain_requested = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, drain_requested.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # non-unix / nested loop: no graceful drain, only ^C
         print_fn(
             f"repro service listening on "
             f"http://{server.host}:{server.port}"
         )
         sys.stdout.flush()
-        await server.serve_forever()
+        serving = asyncio.ensure_future(server.serve_forever())
+        waiting = asyncio.ensure_future(drain_requested.wait())
+        done, _pending = await asyncio.wait(
+            {serving, waiting}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if waiting in done:
+            drain_s = server.config.service_drain_ms / 1000.0
+            print_fn(
+                f"repro service draining (deadline {drain_s:.1f}s) ..."
+            )
+            sys.stdout.flush()
+            server.manager.begin_drain()
+            # The drain wait blocks on job conditions — keep it off the
+            # event loop so 503s and SSE stay responsive throughout.
+            clean = await loop.run_in_executor(
+                None, server.manager.drain, drain_s
+            )
+            print_fn(
+                "repro service drained"
+                + ("" if clean else " (jobs persisted re-queueable)")
+            )
+        serving.cancel()
+        waiting.cancel()
 
     try:
         asyncio.run(_main())

@@ -38,6 +38,7 @@ __all__ = [
     "decision_to_json",
     "evaluation_to_json",
     "probe_to_json",
+    "public_record",
     "shard_to_json",
     "structure_from_json",
     "structure_to_json",
@@ -46,6 +47,14 @@ __all__ = [
 
 class WireError(EngineError):
     """A wire payload that does not decode to a valid request."""
+
+
+def public_record(record: dict) -> dict:
+    """A job record as it crosses the wire: everything except the
+    (possibly large) request payload.  Shared by the HTTP responses,
+    the SSE terminal frames, and the CLI's record printing, so the
+    public shape is defined exactly once."""
+    return {k: v for k, v in record.items() if k != "payload"}
 
 
 _ATOMIC = (str, int, float, bool, type(None))

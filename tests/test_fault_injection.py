@@ -310,8 +310,19 @@ class TestFaultInjection:
         with pytest.raises(ValueError):
             EngineConfig(fault_plan=(("crash", -1),))
         # "kill" (uncatchable SIGKILL, unlike "crash"'s os._exit) is a
-        # valid mode.
+        # valid mode, and "jobfail" is the service tier's fault.
         assert EngineConfig(fault_plan=(("kill", 0),)).fault_plan
+        assert EngineConfig(fault_plan=(("jobfail", 2),)).fault_plan
+
+    def test_fault_plan_from_env(self):
+        # The chaos bench drives a live server through REPRO_FAULT_PLAN;
+        # malformed entries are dropped, not fatal — crashing the server
+        # they were meant to test would defeat the point.
+        config = EngineConfig.from_env(
+            {"REPRO_FAULT_PLAN": "jobfail:0, kill:2,bogus,crash:x,hang:-1"}
+        )
+        assert config.fault_plan == (("jobfail", 0), ("kill", 2))
+        assert EngineConfig.from_env({}).fault_plan == ()
 
     def test_kill_9_worker_recovers_identically(self):
         # SIGKILL is uncatchable: the worker dies without unwinding,

@@ -16,8 +16,14 @@ import time
 import pytest
 
 from repro.core.config import EngineConfig
-from repro.core.errors import Answer
-from repro.core.store import JOB_NS, DurableStore
+from repro.core.errors import (
+    Answer,
+    Budget,
+    JobCancelled,
+    ResourceExhausted,
+    WorkerFailure,
+)
+from repro.core.store import JOB_NS, LEASE_NS, DurableStore
 from repro.core.structure import path_structure
 from repro.service import (
     AdmissionError,
@@ -441,6 +447,597 @@ class TestServiceHTTP:
             assert resumed["status"] == "done"
             assert resumed["result"]["matrix"] == matrix
             assert client.metrics()["service"]["recovered"] == 1
+
+
+# ----------------------------------------------------------------------
+# Supervision: cancellation, bounded retry, leases, drain
+# ----------------------------------------------------------------------
+
+
+def make_manager(config=None, store=None):
+    registry = SessionRegistry(config or base_config())
+    return JobManager(registry, store=store)
+
+
+def wait_status(job, status, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while job.status != status and time.monotonic() < deadline:
+        time.sleep(0.005)
+    return job.status == status
+
+
+class TestBudgetCancelHook:
+    def test_checkpoint_raises_job_cancelled(self):
+        flag = threading.Event()
+        b = Budget(cancel=flag.is_set)
+        b.checkpoint()  # not yet flagged
+        flag.set()
+        with pytest.raises(JobCancelled):
+            b.checkpoint()
+
+    def test_charge_polls_the_hook_periodically(self):
+        flag = threading.Event()
+        flag.set()
+        b = Budget(cancel=flag.is_set)
+        with pytest.raises(JobCancelled):
+            for _ in range(5000):  # > the periodic check interval
+                b.charge()
+
+    def test_job_cancelled_is_not_resource_exhaustion(self):
+        # Governed surfaces turn ResourceExhausted into UNKNOWN partial
+        # answers; a cancellation must escape that net entirely.
+        assert not issubclass(JobCancelled, ResourceExhausted)
+
+
+class TestCancellation:
+    def test_cancel_queued_job_settles_immediately(self):
+        mgr = make_manager(
+            base_config(service_tenant_jobs=1, service_threads=4)
+        )
+        gate = threading.Event()
+        mgr._execute = lambda job: (gate.wait(10), {})[1]
+        try:
+            j1 = mgr.submit("decide", {"query": sjson(QUERY)})
+            j2 = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert wait_status(j1, "running")
+            assert j2.status == "queued"
+            got = mgr.cancel(j2.id)
+            assert got is j2 and j2.status == "cancelled"
+            assert j2.error == "cancelled before start"
+            # idempotent: cancelling a settled job changes nothing
+            assert mgr.cancel(j2.id).status == "cancelled"
+            gate.set()
+            assert j1.wait(10) and j1.status == "done"
+            assert mgr.metrics()["cancelled"] == 1
+        finally:
+            gate.set()
+            mgr.close()
+
+    def test_cancel_unknown_job_returns_none(self):
+        mgr = make_manager()
+        try:
+            assert mgr.cancel("nope") is None
+        finally:
+            mgr.close()
+
+    def test_cancel_between_shards_keeps_checkpoints(self, tmp_path):
+        config = base_config(cache_dir=str(tmp_path))
+        store = DurableStore.open(tmp_path, config.cache_bytes)
+        mgr = make_manager(config, store=store)
+        try:
+            session = mgr.registry.get("default")
+            real_screen = session.screen
+            holder: dict = {}
+            ready = threading.Event()
+
+            def cancel_after_first(queries, instances, **kw):
+                for shard in real_screen(queries, instances, **kw):
+                    yield shard
+                    assert ready.wait(10)
+                    mgr.cancel(holder["id"])
+
+            session.screen = cancel_after_first
+            job = mgr.submit("screen", screen_payload())
+            holder["id"] = job.id
+            ready.set()
+            assert job.wait(30)
+            assert job.status == "cancelled"
+            assert "cancelled between shards" in job.error
+            # the settled shard streamed; nothing after the cancel did
+            assert len(job.events) == 1
+            assert job.progress_done < job.progress_total
+            record = store.job_get(job.id)
+            assert record["status"] == "cancelled"
+            # the settled span is checkpointed: a resubmission replays
+            # it from disk and completes to the full matrix
+            session.screen = real_screen
+            redo = mgr.submit("screen", screen_payload())
+            assert redo.wait(60) and redo.status == "done"
+            assert len(redo.result["matrix"][0]) == len(FAMILY)
+        finally:
+            mgr.close()
+            store.close()
+
+
+class TestRetryQuarantine:
+    def retry_config(self, **overrides):
+        return base_config(
+            service_retry_max=3, service_retry_backoff_ms=1, **overrides
+        )
+
+    def test_transient_failure_retries_then_succeeds(self):
+        mgr = make_manager(self.retry_config())
+        calls = []
+
+        def flaky(job):
+            calls.append(job.id)
+            if len(calls) == 1:
+                raise WorkerFailure("worker lost mid-shard")
+            return {"ok": True}
+
+        mgr._execute = flaky
+        try:
+            job = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert job.wait(30)
+            assert job.status == "done" and job.result == {"ok": True}
+            assert job.attempts == 2
+            assert mgr.metrics()["retried"] == 1
+            assert mgr.metrics()["quarantined"] == 0
+        finally:
+            mgr.close()
+
+    def test_poison_job_quarantined_after_max_attempts(self):
+        mgr = make_manager(self.retry_config())
+
+        def poison(job):
+            raise WorkerFailure("boom")
+
+        mgr._execute = poison
+        try:
+            job = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert job.wait(30)
+            assert job.status == "failed"
+            assert job.attempts == 3
+            assert job.error.startswith("quarantined after 3 attempts")
+            m = mgr.metrics()
+            assert m["quarantined"] == 1 and m["retried"] == 2
+        finally:
+            mgr.close()
+
+    def test_jobfail_fault_plan_drives_real_quarantine(self):
+        # The service-tier fault mode: the ordinal-th _execute call
+        # raises WorkerFailure, so a plan covering every retry of the
+        # first job quarantines it while a later job runs clean.
+        mgr = make_manager(
+            self.retry_config(
+                fault_plan=(("jobfail", 0), ("jobfail", 1), ("jobfail", 2))
+            )
+        )
+        try:
+            poison = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert poison.wait(30)
+            assert poison.status == "failed" and poison.attempts == 3
+            assert "injected job fault" in poison.error
+            clean = mgr.submit("decide", {"query": sjson(zoo.q5())})
+            assert clean.wait(30) and clean.status == "done"
+        finally:
+            mgr.close()
+
+    def test_deterministic_error_fails_on_first_attempt(self):
+        mgr = make_manager(self.retry_config())
+
+        def buggy(job):
+            raise ValueError("this will never work")
+
+        mgr._execute = buggy
+        try:
+            job = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert job.wait(30)
+            assert job.status == "failed" and job.attempts == 1
+            assert mgr.metrics()["retried"] == 0
+        finally:
+            mgr.close()
+
+    def test_backoff_is_exponential_capped_and_jittered(self):
+        mgr = make_manager(
+            base_config(service_retry_backoff_ms=1000)
+        )
+        try:
+            for attempts, nominal in ((1, 1.0), (2, 2.0), (3, 4.0)):
+                delay = mgr._backoff_s(attempts)
+                assert nominal * 0.5 <= delay < nominal
+            assert mgr._backoff_s(50) <= 30.0  # capped, whatever 2^49 says
+        finally:
+            mgr.close()
+
+
+class TestLeases:
+    def test_running_job_holds_lease_until_settled(self, tmp_path):
+        config = base_config(cache_dir=str(tmp_path))
+        store = DurableStore.open(tmp_path, config.cache_bytes)
+        mgr = make_manager(config, store=store)
+        gate = threading.Event()
+        mgr._execute = lambda job: (gate.wait(10), {})[1]
+        try:
+            job = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert wait_status(job, "running")
+            lease = store.lease_get(job.id)
+            assert lease is not None and lease["owner"] == mgr.owner
+            assert lease["expires"] > time.time()
+            gate.set()
+            assert job.wait(10) and job.status == "done"
+            deadline = time.monotonic() + 5
+            while store.lease_get(job.id) and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert store.lease_get(job.id) is None
+        finally:
+            gate.set()
+            mgr.close()
+            store.close()
+
+    def test_recover_registers_foreign_lease_read_only(self, tmp_path):
+        config = base_config(cache_dir=str(tmp_path))
+        store = DurableStore.open(tmp_path, config.cache_bytes)
+        running = Job("deadcafe0010", "default", "decide",
+                      {"query": sjson(QUERY)})
+        running.status = "running"
+        store.job_put(running.id, running.snapshot())
+        store.lease_acquire(running.id, "sibling-abc", ttl_s=60.0)
+        mgr = make_manager(config, store=store)
+        try:
+            assert mgr.recover() == 0
+            # visible, but not executing here: a live sibling owns it
+            ghost = mgr.get(running.id)
+            assert ghost is not None and ghost.status == "running"
+            m = mgr.metrics()
+            assert m["lease_skips"] == 1 and m["running"] == 0
+            lease = store.lease_get(running.id)
+            assert lease["owner"] == "sibling-abc"  # untouched
+        finally:
+            mgr.close()
+            store.close()
+
+    def test_orphaned_foreign_lease_adopted_after_expiry(self, tmp_path):
+        config = base_config(
+            cache_dir=str(tmp_path), service_lease_ttl_ms=50
+        )
+        store = DurableStore.open(tmp_path, config.cache_bytes)
+        orphan = Job("deadcafe0014", "default", "decide",
+                     {"query": sjson(zoo.q5()), "probe_depth": 2})
+        orphan.status = "running"
+        store.job_put(orphan.id, orphan.snapshot())
+        # an owner that just died: its lease is live now but will
+        # never be renewed again
+        store.lease_acquire(orphan.id, "dying-sibling", ttl_s=0.3)
+        mgr = make_manager(config, store=store)
+        try:
+            assert mgr.recover() == 0
+            job = mgr.get(orphan.id)
+            assert job is not None and job.status == "running"
+            # once the lease lapses the heartbeat sweep adopts the job
+            # (the same Job object, so waiters see it settle)
+            assert job.wait(30) and job.status == "done"
+            assert mgr.metrics()["adopted"] == 1
+        finally:
+            mgr.close()
+            store.close()
+
+    def test_recover_adopts_job_with_expired_lease(self, tmp_path):
+        config = base_config(cache_dir=str(tmp_path))
+        store = DurableStore.open(tmp_path, config.cache_bytes)
+        orphan = Job("deadcafe0011", "default", "decide",
+                     {"query": sjson(zoo.q5()), "probe_depth": 2})
+        orphan.status = "running"
+        store.job_put(orphan.id, orphan.snapshot())
+        # an owner that crashed: its lease expired long ago
+        store.lease_acquire(
+            orphan.id, "dead-owner", ttl_s=1.0, now=time.time() - 60
+        )
+        mgr = make_manager(config, store=store)
+        try:
+            assert mgr.recover() == 1
+            adopted = mgr.get(orphan.id)
+            assert adopted is not None
+            assert adopted.wait(30) and adopted.status == "done"
+        finally:
+            mgr.close()
+            store.close()
+
+    def test_recover_quarantines_persisted_attempt_count(self, tmp_path):
+        config = base_config(
+            cache_dir=str(tmp_path), service_retry_max=3
+        )
+        store = DurableStore.open(tmp_path, config.cache_bytes)
+        poison = Job("deadcafe0012", "default", "decide",
+                     {"query": sjson(QUERY)})
+        poison.status = "running"
+        poison.attempts = 3  # crashed the service three times already
+        store.job_put(poison.id, poison.snapshot())
+        mgr = make_manager(config, store=store)
+        try:
+            assert mgr.recover() == 0
+            job = mgr.get(poison.id)
+            assert job is not None and job.status == "failed"
+            assert job.error.startswith("quarantined after 3 attempts")
+            assert mgr.metrics()["quarantined"] == 1
+            assert store.job_get(poison.id)["status"] == "failed"
+        finally:
+            mgr.close()
+            store.close()
+
+    def test_stalled_executor_lease_lapses(self, tmp_path):
+        # A thread that stops beating must become observable: the
+        # heartbeat refuses to renew it, so its lease expires on disk.
+        config = base_config(
+            cache_dir=str(tmp_path), service_lease_ttl_ms=50
+        )
+        store = DurableStore.open(tmp_path, config.cache_bytes)
+        mgr = make_manager(config, store=store)
+        gate = threading.Event()
+        mgr._execute = lambda job: (gate.wait(30), {})[1]  # never beats
+        try:
+            job = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert wait_status(job, "running")
+            # stall threshold is 6 TTLs = 0.3s; past it the lease lapses
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                lease = store.lease_get(job.id)
+                if lease is not None and lease["expires"] < time.time():
+                    break
+                time.sleep(0.05)
+            lease = store.lease_get(job.id)
+            assert lease is not None and lease["expires"] < time.time()
+        finally:
+            gate.set()
+            mgr.close()
+            store.close()
+
+    def test_lease_store_helpers(self, tmp_path):
+        store = DurableStore.open(tmp_path, 1 << 20)
+        assert store.lease_acquire("j", "a", ttl_s=60)
+        assert not store.lease_acquire("j", "b", ttl_s=60)  # held by a
+        assert store.lease_acquire("j", "a", ttl_s=60)  # reentrant
+        assert store.lease_renew("j", "a", ttl_s=60)
+        assert not store.lease_renew("j", "b", ttl_s=60)
+        store.lease_release("j", "b")  # wrong owner: must not clobber
+        assert store.lease_get("j")["owner"] == "a"
+        store.lease_release("j", "a")
+        assert store.lease_get("j") is None
+        assert not store.lease_renew("j", "a", ttl_s=60)  # gone
+        # an expired lease is free for the taking
+        assert store.lease_acquire("k", "a", ttl_s=1, now=time.time() - 60)
+        assert store.lease_acquire("k", "b", ttl_s=60)
+        assert store.lease_list()["k"]["owner"] == "b"
+        assert LEASE_NS in dict(store.stats().namespaces)
+        store.close()
+
+
+class TestDrainAndShed:
+    def test_drain_stops_admission_with_503(self):
+        mgr = make_manager(base_config(service_drain_ms=5000))
+        gate = threading.Event()
+        mgr._execute = lambda job: (gate.wait(10), {})[1]
+        try:
+            running = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert wait_status(running, "running")
+            mgr.begin_drain()
+            with pytest.raises(AdmissionError) as exc:
+                mgr.submit("decide", {"query": sjson(QUERY)})
+            assert exc.value.status == 503
+            assert exc.value.retry_after is not None
+            assert mgr.metrics()["draining"] is True
+            gate.set()
+            assert mgr.drain(5.0) is True
+            assert running.status == "done"
+        finally:
+            gate.set()
+            mgr.close()
+
+    def test_drain_deadline_reports_stuck_jobs(self):
+        mgr = make_manager()
+        gate = threading.Event()
+        mgr._execute = lambda job: (gate.wait(10), {})[1]
+        try:
+            job = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert wait_status(job, "running")
+            assert mgr.drain(0.2) is False  # still running at deadline
+        finally:
+            gate.set()
+            mgr.close()
+
+    def test_close_records_running_jobs_interrupted(self, tmp_path):
+        config = base_config(cache_dir=str(tmp_path))
+        store = DurableStore.open(tmp_path, config.cache_bytes)
+        mgr = make_manager(config, store=store)
+        gate = threading.Event()
+        mgr._execute = lambda job: (gate.wait(5), {})[1]
+        try:
+            job = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert wait_status(job, "running")
+        finally:
+            mgr.close()
+        record = store.job_get(job.id)
+        assert record["status"] == "interrupted"
+        assert store.lease_get(job.id) is None  # released for the heir
+        gate.set()
+        time.sleep(0.1)  # let the worker thread unwind
+        store.close()
+
+    def test_recover_requeues_interrupted_record(self, tmp_path):
+        config = base_config(cache_dir=str(tmp_path))
+        store = DurableStore.open(tmp_path, config.cache_bytes)
+        lost = Job("deadcafe0013", "default", "decide",
+                   {"query": sjson(zoo.q5()), "probe_depth": 2})
+        lost.attempts = 1
+        record = lost.snapshot()
+        record["status"] = "interrupted"
+        store.job_put(lost.id, record)
+        mgr = make_manager(config, store=store)
+        try:
+            assert mgr.recover() == 1
+            job = mgr.get(lost.id)
+            assert job.wait(30) and job.status == "done"
+            assert job.attempts == 2  # the persisted attempt counted
+        finally:
+            mgr.close()
+            store.close()
+
+    def test_backlog_full_sheds_queued_longest(self):
+        mgr = make_manager(
+            base_config(
+                service_queue_depth=2,
+                service_tenant_jobs=1,
+                service_threads=2,
+            )
+        )
+        gate = threading.Event()
+        mgr._execute = lambda job: (gate.wait(10), {})[1]
+        try:
+            j1 = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert wait_status(j1, "running")
+            j2 = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert j2.status == "queued"
+            j3 = mgr.submit("decide", {"query": sjson(QUERY)})
+            # j2 waited longest; it was shed to make room for j3
+            assert j2.status == "failed"
+            assert j2.error == "shed: backlog full"
+            assert mgr.metrics()["shed"] == 1
+            gate.set()
+            assert j1.wait(10) and j3.wait(10)
+            assert j1.status == j3.status == "done"
+        finally:
+            gate.set()
+            mgr.close()
+
+
+# ----------------------------------------------------------------------
+# Supervision over HTTP: cancel route, SSE cursor, drain 503, client
+# ----------------------------------------------------------------------
+
+
+class TestSupervisionHTTP:
+    def test_cancel_route_and_cancelled_sse_frame(self, tmp_path):
+        config = base_config(
+            cache_dir=str(tmp_path), service_tenant_jobs=1
+        )
+        with ServiceServer(config) as server:
+            client = ServiceClient(server.host, server.port)
+            gate = threading.Event()
+            server.manager._execute = lambda job: (gate.wait(10), {})[1]
+            try:
+                first = client.submit("decide", {"query": sjson(QUERY)})
+                queued = client.submit("decide", {"query": sjson(QUERY)})
+                record = client.cancel(queued["id"])
+                assert record["status"] == "cancelled"
+                events = list(client.watch(queued["id"]))
+                assert events[-1][0] == "cancelled"
+                assert events[-1][1]["status"] == "cancelled"
+                got = client.job(queued["id"])
+                assert got["status"] == "cancelled"
+                assert got["error"] == "cancelled before start"
+                with pytest.raises(ServiceError) as exc:
+                    client.cancel("nope")
+                assert exc.value.status == 404
+            finally:
+                gate.set()
+            assert client.wait(first["id"])["status"] == "done"
+
+    def test_sse_cursor_skips_replayed_events(self, tmp_path):
+        with ServiceServer(base_config(cache_dir=str(tmp_path))) as server:
+            client = ServiceClient(server.host, server.port)
+            record = client.submit("screen", screen_payload())
+            shards, final = collect_watch(client, record["id"])
+            assert final["status"] == "done" and len(shards) >= 2
+            # re-watch from a mid-stream cursor: only the suffix replays
+            tail = list(
+                client._watch_once(record["id"], len(shards) - 1, 30.0)
+            )
+            tail_shards = [d for e, d in tail if e == "shard"]
+            assert tail_shards == shards[-1:]
+            assert tail[-1][0] == "done"
+
+    def test_draining_server_sends_503_with_retry_after(self, tmp_path):
+        import http.client as hc
+
+        with ServiceServer(base_config(cache_dir=str(tmp_path))) as server:
+            server.manager.begin_drain()
+            client = ServiceClient(server.host, server.port)
+            with pytest.raises(ServiceError) as exc:
+                client.submit("decide", {"query": sjson(QUERY)})
+            assert exc.value.status == 503
+            assert client.healthz()["status"] == "draining"
+            conn = hc.HTTPConnection(server.host, server.port, timeout=10)
+            try:
+                conn.request(
+                    "POST", "/v1/jobs",
+                    body=json.dumps(
+                        {"kind": "decide",
+                         "payload": {"query": sjson(QUERY)}}
+                    ),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                response.read()
+                assert response.status == 503
+                assert int(response.getheader("Retry-After")) >= 1
+            finally:
+                conn.close()
+
+
+class TestClientResilience:
+    def test_request_retries_transient_connection_errors(self):
+        client = ServiceClient(retries=3, retry_backoff=0.001)
+        calls = []
+
+        def flaky(method, path, payload=None):
+            calls.append(path)
+            if len(calls) < 3:
+                raise ConnectionRefusedError("server restarting")
+            return {"ok": True}
+
+        client._request_once = flaky
+        assert client._request("GET", "/healthz") == {"ok": True}
+        assert len(calls) == 3
+
+    def test_request_gives_up_after_retry_budget(self):
+        client = ServiceClient(retries=2, retry_backoff=0.001)
+
+        def down(method, path, payload=None):
+            raise ConnectionRefusedError("still down")
+
+        client._request_once = down
+        with pytest.raises(ConnectionRefusedError):
+            client._request("GET", "/healthz")
+
+    def test_watch_reconnects_from_last_cursor(self):
+        client = ServiceClient(retries=3, retry_backoff=0.001)
+        cursors = []
+
+        def torn_stream(job_id, cursor, timeout):
+            cursors.append(cursor)
+            if len(cursors) == 1:
+                yield "shard", {"start": 0, "stop": 1}
+                raise ConnectionResetError("server restarted mid-stream")
+            assert cursor == 1  # resumed exactly past the seen shard
+            yield "shard", {"start": 1, "stop": 2}
+            yield "done", {"status": "done"}
+
+        client._watch_once = torn_stream
+        events = list(client.watch("j", timeout=10.0))
+        assert [e for e, _ in events] == ["shard", "shard", "done"]
+        assert cursors == [0, 1]
+
+    def test_watch_gives_up_without_progress(self):
+        client = ServiceClient(retries=1, retry_backoff=0.001)
+
+        def dead(job_id, cursor, timeout):
+            raise ConnectionRefusedError("gone")
+            yield  # pragma: no cover
+
+        client._watch_once = dead
+        with pytest.raises(ServiceError) as exc:
+            list(client.watch("j", timeout=10.0))
+        assert exc.value.status == 504
 
 
 class TestJobNamespaceHelpers:
