@@ -54,7 +54,10 @@ operation-wide budget on ``session.active_budget`` at a top-level
 operation (a d-sirup evaluation, a boundedness probe, a batch sweep),
 and :func:`call_budget` hands every nested engine call that shared
 budget — or a fresh transient one built from the session config when no
-scope is active.  Ungoverned configs (``deadline_ms``, ``hom_fuel`` and
+scope is active.  The slot is *per-thread* (a thread-local on the
+session), so concurrent top-level operations on one session — the
+service tier runs same-tenant jobs on parallel executor threads — each
+govern their own deadline, fuel, and cancel hook.  Ungoverned configs (``deadline_ms``, ``hom_fuel`` and
 ``cactus_max_nodes`` all unset) resolve to ``budget = None`` everywhere,
 so governance costs nothing until it is switched on.
 """

@@ -659,26 +659,18 @@ class DurableStore:
 
         A lease held by a *different* owner and not yet expired refuses
         the claim; an absent, expired, or same-owner lease is
-        (re)written with a fresh expiry.  Atomic with respect to other
-        managers sharing this store object; cross-process claims are
-        serialised by the job manager's recover-before-serve ordering.
-        With no disk tier attached the claim trivially succeeds —
-        leases are an ownership signal, not a correctness requirement.
+        (re)written with a fresh expiry.  The read-decide-write runs as
+        one compare-and-swap (:meth:`_lease_cas`), so two managers —
+        sibling threads sharing this store object or separate processes
+        sharing the file — can never both observe an expired lease and
+        both claim it.  With no disk tier attached the claim trivially
+        succeeds — leases are an ownership signal, not a correctness
+        requirement.
         """
         if not self.enabled:
             return True
         now = time.time() if now is None else now
-        current = self.lease_get(job_id)
-        if (
-            current is not None
-            and current.get("owner") != owner
-            and current.get("expires", 0.0) > now
-        ):
-            return False
-        self.write_rows(
-            LEASE_NS, [(job_id, {"owner": owner, "expires": now + ttl_s})]
-        )
-        return True
+        return self._lease_cas(job_id, owner, ttl_s, now, require_owner=False)
 
     def lease_renew(
         self, job_id: str, owner: str, ttl_s: float, now: float | None = None
@@ -689,35 +681,118 @@ class DurableStore:
         if not self.enabled:
             return True
         now = time.time() if now is None else now
-        current = self.lease_get(job_id)
-        if current is None or current.get("owner") != owner:
-            return False
-        self.write_rows(
-            LEASE_NS, [(job_id, {"owner": owner, "expires": now + ttl_s})]
-        )
-        return True
-
-    def lease_release(self, job_id: str, owner: str | None = None) -> None:
-        """Drop a lease (a no-op when absent).  With ``owner`` given,
-        only that owner's lease is dropped — a manager releasing a job
-        it lost to takeover must not clobber the new owner's lease."""
-        if not self.enabled:
-            return
-        if owner is not None:
-            current = self.lease_get(job_id)
-            if current is not None and current.get("owner") != owner:
-                return
-        self._lease_delete(job_id)
+        return self._lease_cas(job_id, owner, ttl_s, now, require_owner=True)
 
     @_locked
-    def _lease_delete(self, job_id: str) -> None:
+    def _lease_cas(
+        self,
+        job_id: str,
+        owner: str,
+        ttl_s: float,
+        now: float,
+        require_owner: bool,
+    ) -> bool:
+        """One atomic check-and-write on a lease row.
+
+        ``BEGIN IMMEDIATE`` takes sqlite's write lock before the read,
+        so a concurrent process's CAS serialises here instead of racing
+        the SELECT; the instance lock covers sibling threads.  With
+        ``require_owner`` the write only lands when ``owner`` already
+        holds the row (renew discipline); otherwise an absent, expired,
+        corrupt, or same-owner row is claimable.
+        """
         try:
             key_blob = self._encode_key(job_id)
-            with self._conn:
+            blob, crc = self._encode_value(
+                {"owner": owner, "expires": now + ttl_s}
+            )
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT value, crc FROM kv WHERE ns = ? AND key = ?",
+                    (LEASE_NS, key_blob),
+                ).fetchone()
+                current = self._decode_lease_row(row)
+                if require_owner:
+                    allowed = (
+                        current is not None and current.get("owner") == owner
+                    )
+                else:
+                    allowed = (
+                        current is None
+                        or current.get("owner") == owner
+                        or current.get("expires", 0.0) <= now
+                    )
+                if not allowed:
+                    self._conn.execute("ROLLBACK")
+                    return False
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO kv (ns, key, value, crc, nbytes)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (LEASE_NS, key_blob, blob, crc, len(key_blob) + len(blob)),
+                )
+                self._conn.execute("COMMIT")
+                self._writes += 1
+                return True
+            except BaseException:
+                self._lease_rollback()
+                raise
+        except _STORE_FAILURES as exc:
+            self._failed(exc)
+            # A degraded-to-memory store grants advisorily (matching
+            # the no-disk-tier policy); a store that recovered refuses
+            # this round — refusing a claim is always the safe answer.
+            return not self.enabled
+
+    @staticmethod
+    def _decode_lease_row(row) -> "dict | None":
+        """Decode one raw lease row; corrupt or mistyped rows read as
+        absent (the CAS overwrites them) — never deleted mid-CAS, which
+        would commit the surrounding explicit transaction early."""
+        if row is None or zlib.crc32(row[0]) != row[1]:
+            return None
+        try:
+            value = pickle.loads(row[0])
+        except Exception:  # noqa: BLE001 - any unpickling failure is a miss
+            return None
+        return value if isinstance(value, dict) else None
+
+    def _lease_rollback(self) -> None:
+        try:
+            if self._conn is not None and self._conn.in_transaction:
+                self._conn.execute("ROLLBACK")
+        except sqlite3.Error:
+            pass
+
+    @_locked
+    def lease_release(self, job_id: str, owner: str | None = None) -> None:
+        """Drop a lease (a no-op when absent).  With ``owner`` given,
+        only that owner's lease is dropped — atomically, so a manager
+        releasing a job it lost to takeover can never clobber a lease
+        the new owner wrote between the check and the delete."""
+        if not self.enabled:
+            return
+        try:
+            key_blob = self._encode_key(job_id)
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                if owner is not None:
+                    row = self._conn.execute(
+                        "SELECT value, crc FROM kv WHERE ns = ? AND key = ?",
+                        (LEASE_NS, key_blob),
+                    ).fetchone()
+                    current = self._decode_lease_row(row)
+                    if current is not None and current.get("owner") != owner:
+                        self._conn.execute("ROLLBACK")
+                        return
                 self._conn.execute(
                     "DELETE FROM kv WHERE ns = ? AND key = ?",
                     (LEASE_NS, key_blob),
                 )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._lease_rollback()
+                raise
         except _STORE_FAILURES as exc:
             self._failed(exc)
 

@@ -230,6 +230,20 @@ class Job:
             self.last_beat = time.time()
             self._cond.notify_all()
 
+    def reset_stream(self) -> None:
+        """Drop buffered events and progress before a retry run.
+
+        The re-run replays settled spans from the engine's checkpoints
+        and re-emits them as fresh events, so clearing keeps live SSE
+        watchers' cursors aligned with the new stream: they receive no
+        duplicate shard frames and ``progress_done`` can never exceed
+        ``progress_total``.
+        """
+        with self._cond:
+            self.events.clear()
+            self.progress_done = 0
+            self._cond.notify_all()
+
     def _transition(self, status: str) -> None:
         with self._cond:
             self.status = status
@@ -287,10 +301,12 @@ def _job_scope(session, job: Job):
     Merges the session's configured deadline/fuel with the job's
     cooperative cancel flag, so a kernel's ``charge``/``checkpoint``
     calls raise :class:`JobCancelled` mid-probe — and every poll beats
-    the job's liveness clock for the lease heartbeat.  When another
-    operation already holds the session's budget slot (a concurrent
-    governed job of the same tenant), fall back to the manager's
-    coarse checks rather than hijacking that budget.
+    the job's liveness clock for the lease heartbeat.  The session's
+    budget slot is thread-local, so a concurrent same-tenant job on a
+    sibling executor thread installs its *own* budget: cancelling this
+    job never cancels (or drains the fuel of) another.  The guard below
+    only fires for a nested scope on this same thread, which keeps the
+    outer budget rather than replacing it mid-operation.
     """
     if session.active_budget is not None:
         yield
@@ -409,9 +425,17 @@ class JobManager:
                     # Load-shed the job that has waited longest: its
                     # submitter has had the least service and is the
                     # likeliest to have given up, and freshness beats
-                    # fairness once the backlog is saturated.
-                    shed_job = self._jobs[self._queue.popleft()]
-                    self.shed += 1
+                    # fairness once the backlog is saturated.  Settle
+                    # it here, inside the lock, mirroring cancel(): a
+                    # concurrent cancel cannot slip between the pop and
+                    # the transition and have its terminal CANCELLED
+                    # overwritten by FAILED.
+                    candidate = self._jobs[self._queue.popleft()]
+                    if not candidate.settled:
+                        candidate.error = "shed: backlog full"
+                        candidate._transition(_FAILED)
+                        self.shed += 1
+                        shed_job = candidate
                 else:
                     self.rejected += 1
                     raise AdmissionError(
@@ -424,8 +448,6 @@ class JobManager:
             self._jobs[job.id] = job
             self._queue.append(job.id)
         if shed_job is not None:
-            shed_job.error = "shed: backlog full"
-            shed_job._transition(_FAILED)
             self._persist(shed_job)
         self._persist(job, with_payload=True)
         self._dispatch()
@@ -490,11 +512,29 @@ class JobManager:
     # -- execution -----------------------------------------------------
 
     def _run(self, job: Job) -> None:
+        if self.store is not None and not self.store.lease_acquire(
+            job.id, self.owner, self._lease_ttl_s
+        ):
+            # Lost the claim: another manager holds a live lease on
+            # this job id, so executing here would double-run it.
+            # Park it as a foreign placeholder instead — the heartbeat
+            # sweep adopts it the moment the owner's lease lapses (or
+            # absorbs the owner's terminal record).
+            job._transition(_RUNNING)
+            with self._lock:
+                self._running.discard(job.id)
+                left = self._tenant_running.get(job.tenant, 0) - 1
+                if left > 0:
+                    self._tenant_running[job.tenant] = left
+                else:
+                    self._tenant_running.pop(job.tenant, None)
+                self._foreign[job.id] = job
+                self.lease_skips += 1
+            self._dispatch()
+            return
         job.attempts += 1
         job.last_beat = time.time()
         job._transition(_RUNNING)
-        if self.store is not None:
-            self.store.lease_acquire(job.id, self.owner, self._lease_ttl_s)
         self._persist(job)
         requeue_delay: float | None = None
         try:
@@ -515,6 +555,11 @@ class JobManager:
                     f"{self.config.service_retry_max} failed "
                     f"({type(exc).__name__}: {exc}); retrying"
                 )
+                # The retry re-emits the settled prefix from its
+                # checkpoints; keeping this attempt's events would
+                # stream every shard twice and overrun the progress
+                # total.
+                job.reset_stream()
                 job._transition(_QUEUED)
             else:
                 job.error = (
@@ -697,25 +742,43 @@ class JobManager:
         live sibling.  A crashed owner stops renewing, so the lease
         expires within one TTL; this sweep (each heartbeat tick) then
         takes the job over — or quarantines it if its persisted attempt
-        count is already spent."""
+        count is already spent.  Takeover is one atomic lease CAS
+        (claim-iff-expired), so two sibling managers sweeping the same
+        store can never both adopt one job; and an owner that settled
+        the job before releasing its lease has its terminal record
+        absorbed rather than re-executed."""
         with self._lock:
             pending = list(self._foreign.items())
         for job_id, job in pending:
-            lease = self.store.lease_get(job_id)
-            if (
-                lease is not None
-                and lease.get("owner") != self.owner
-                and lease.get("expires", 0.0) > time.time()
+            if not self.store.lease_acquire(
+                job_id, self.owner, self._lease_ttl_s
             ):
-                continue  # genuinely still running elsewhere
+                continue  # live lease: genuinely still running elsewhere
             with self._lock:
                 if self._closing or self._draining:
-                    return  # leave the record for the next process
+                    # Leave the record for the next process.
+                    self.store.lease_release(job_id, self.owner)
+                    return
                 if self._foreign.pop(job_id, None) is None:
+                    self.store.lease_release(job_id, self.owner)
                     continue
-            if lease is not None:
-                self.store.lease_release(job_id)
-            if job.attempts >= self.config.service_retry_max:
+            record = self.store.job_get(job_id) or {}
+            status = record.get("status")
+            if status in _TERMINAL:
+                # The previous owner finished the job between our last
+                # sweep and this claim: adopt its terminal record.
+                with job._cond:
+                    job.result = record.get("result", job.result)
+                    job.error = record.get("error", job.error)
+                    job.attempts = int(
+                        record.get("attempts", job.attempts) or 0
+                    )
+                    job.progress_done = record.get("progress", {}).get(
+                        "done", job.progress_done
+                    )
+                job._transition(status)
+                self.store.lease_release(job_id, self.owner)
+            elif job.attempts >= self.config.service_retry_max:
                 job.error = (
                     f"quarantined after {job.attempts} attempts: "
                     "crashed or interrupted in every prior run"
@@ -725,7 +788,11 @@ class JobManager:
                     self.quarantined += 1
                     self.failed += 1
                     self._persist(job)
+                self.store.lease_release(job_id, self.owner)
             else:
+                # Keep the claimed lease: _run re-acquires it under the
+                # same owner, closing the window where a sibling could
+                # grab the job between requeue and execution.
                 job._transition(_QUEUED)
                 with self._lock:
                     self.adopted += 1
@@ -862,12 +929,10 @@ class JobManager:
                     self._jobs[job_id] = job
                 continue
             # In flight at the crash (queued / running / interrupted).
+            claimed = False
             if status == _RUNNING:
-                lease = self.store.lease_get(job_id)
-                if (
-                    lease is not None
-                    and lease.get("owner") != self.owner
-                    and lease.get("expires", 0.0) > now
+                if not self.store.lease_acquire(
+                    job_id, self.owner, self._lease_ttl_s, now
                 ):
                     # Still running elsewhere: a live (or just-died,
                     # lease not yet lapsed) owner holds it.  Adopting
@@ -890,9 +955,10 @@ class JobManager:
                         self._foreign[job_id] = job
                         self.lease_skips += 1
                     continue
-                if lease is not None:
-                    # Orphaned: the owner stopped beating.  Take over.
-                    self.store.lease_release(job_id)
+                # Orphaned (owner stopped beating) and now claimed in
+                # one atomic CAS — a sibling recovering concurrently
+                # saw the claim refused and registered it read-only.
+                claimed = True
             if attempts >= self.config.service_retry_max:
                 job = Job(job_id, record.get("tenant", "default"), kind, payload)
                 job.created = record.get("created", job.created)
@@ -908,8 +974,13 @@ class JobManager:
                     self.quarantined += 1
                     self.failed += 1
                 self._persist(job)
+                if claimed:
+                    self.store.lease_release(job_id, self.owner)
                 continue
             try:
+                # A claimed lease is kept through the requeue: _run
+                # re-acquires it under the same owner, so no sibling
+                # can slip in between adoption and execution.
                 self.submit(
                     kind,
                     payload,
@@ -919,6 +990,8 @@ class JobManager:
                 )
                 resumed += 1
             except (wire.WireError, AdmissionError):
+                if claimed:
+                    self.store.lease_release(job_id, self.owner)
                 continue
         self.recovered = resumed
         return resumed

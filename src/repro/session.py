@@ -35,6 +35,7 @@ constructs a session keeps working unchanged.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from typing import Iterable, Sequence
 
@@ -94,10 +95,28 @@ class Session:
         if self.store is not None:
             self.hom.attach_store(self.store)
             _decomp.set_plan_store(self.store)
-        # The operation-wide budget installed by governed_scope() while
-        # a top-level governed operation is running; None otherwise.
-        self.active_budget = None
+        # The operation-wide budget installed by governed_scope() (or
+        # the service tier's per-job scope) while a top-level governed
+        # operation runs on the *current thread*; None otherwise.  The
+        # slot is thread-local: concurrent operations on one session —
+        # e.g. two same-tenant service jobs on executor threads — each
+        # govern their own budget, so one job's cancel hook, deadline
+        # or fuel can never leak into a sibling's kernels.
+        self._budget_slot = threading.local()
         self._closed = False
+
+    @property
+    def active_budget(self):
+        """The budget governing the current thread's in-flight
+        operation (None when ungoverned).  Per-thread by design — see
+        ``__init__``; read and written by
+        :func:`~repro.core.errors.governed_scope` /
+        :func:`~repro.core.errors.call_budget`."""
+        return getattr(self._budget_slot, "budget", None)
+
+    @active_budget.setter
+    def active_budget(self, budget) -> None:
+        self._budget_slot.budget = budget
 
     def __repr__(self) -> str:
         return (

@@ -488,6 +488,37 @@ class TestBudgetCancelHook:
         # answers; a cancellation must escape that net entirely.
         assert not issubclass(JobCancelled, ResourceExhausted)
 
+    def test_active_budget_is_thread_local(self):
+        # The session's budget slot is per-thread: two concurrent
+        # operations each install and see their own budget, never the
+        # sibling's (whose cancel hook belongs to a different job).
+        from repro.session import Session
+
+        session = Session(base_config())
+        barrier = threading.Barrier(2, timeout=10)
+        own_budget_seen = []
+
+        def operation():
+            assert session.active_budget is None
+            budget = Budget(cancel=lambda: False)
+            session.active_budget = budget
+            barrier.wait()  # both threads now hold an installed budget
+            own_budget_seen.append(session.active_budget is budget)
+            session.active_budget = None
+
+        try:
+            threads = [
+                threading.Thread(target=operation) for _ in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(10)
+            assert own_budget_seen == [True, True]
+            assert session.active_budget is None
+        finally:
+            session.close()
+
 
 class TestCancellation:
     def test_cancel_queued_job_settles_immediately(self):
@@ -518,6 +549,49 @@ class TestCancellation:
         try:
             assert mgr.cancel("nope") is None
         finally:
+            mgr.close()
+
+    def test_cancel_does_not_leak_into_sibling_job(self):
+        # Regression: with the budget slot shared session-wide, a
+        # concurrent same-tenant job picked up the cancelled job's
+        # budget and settled CANCELLED itself.  The slot is thread-local
+        # now, so the sibling installs its own budget and survives.
+        from repro.service.jobs import _job_scope
+
+        mgr = make_manager(base_config(service_tenant_jobs=2))
+        victim_running = threading.Event()
+        victim_release = threading.Event()
+
+        def fake_execute(job):
+            session = mgr.registry.get(job.tenant)
+            with _job_scope(session, job):
+                budget = session.active_budget
+                assert budget is not None, "scope must install a budget"
+                if job.payload.get("who") == "victim":
+                    victim_running.set()
+                    victim_release.wait(15)
+                    budget.checkpoint()  # raises JobCancelled here
+                    return {"survived": True}
+                # the victim is running *and flagged* right now; this
+                # job's own budget must not observe that cancel
+                budget.checkpoint()
+                return {"ok": True}
+
+        mgr._execute = fake_execute
+        try:
+            victim = mgr.submit(
+                "decide", {"query": sjson(QUERY), "who": "victim"}
+            )
+            assert victim_running.wait(10)
+            mgr.cancel(victim.id)
+            sibling = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert sibling.wait(15) and sibling.status == "done"
+            assert sibling.result == {"ok": True}
+            victim_release.set()
+            assert victim.wait(15) and victim.status == "cancelled"
+            assert mgr.metrics()["cancelled"] == 1
+        finally:
+            victim_release.set()
             mgr.close()
 
     def test_cancel_between_shards_keeps_checkpoints(self, tmp_path):
@@ -623,6 +697,39 @@ class TestRetryQuarantine:
         finally:
             mgr.close()
 
+    def test_retry_resets_stale_events_and_progress(self):
+        # A screen job that streamed shards before a transient failure
+        # must not keep them across the retry: the re-run replays the
+        # settled prefix from its checkpoints and re-emits it, so stale
+        # events would stream every shard twice and push progress past
+        # total.
+        mgr = make_manager(self.retry_config())
+        attempts = []
+
+        def flaky_screen(job):
+            attempts.append(job.id)
+            half = job.progress_total // 2
+            job.add_event({"start": 0, "stop": half}, advance=half)
+            if len(attempts) == 1:
+                raise WorkerFailure("worker lost mid-screen")
+            job.add_event(
+                {"start": half, "stop": job.progress_total},
+                advance=job.progress_total - half,
+            )
+            return {"matrix": [[]]}
+
+        mgr._execute = flaky_screen
+        try:
+            job = mgr.submit("screen", screen_payload())
+            assert job.wait(30) and job.status == "done"
+            assert job.attempts == 2
+            assert job.progress_done == job.progress_total
+            half = job.progress_total // 2
+            spans = [(e["start"], e["stop"]) for e in job.events]
+            assert spans == [(0, half), (half, job.progress_total)]
+        finally:
+            mgr.close()
+
     def test_deterministic_error_fails_on_first_attempt(self):
         mgr = make_manager(self.retry_config())
 
@@ -718,6 +825,69 @@ class TestLeases:
             # (the same Job object, so waiters see it settle)
             assert job.wait(30) and job.status == "done"
             assert mgr.metrics()["adopted"] == 1
+        finally:
+            mgr.close()
+            store.close()
+
+    def test_run_defers_to_live_foreign_lease(self, tmp_path):
+        # _run must honour a refused lease claim: the job parks as a
+        # foreign placeholder instead of double-executing, then the
+        # heartbeat sweep adopts and runs it once the sibling's lease
+        # lapses unrenewed.
+        config = base_config(
+            cache_dir=str(tmp_path), service_lease_ttl_ms=50
+        )
+        store = DurableStore.open(tmp_path, config.cache_bytes)
+        mgr = make_manager(config, store=store)
+        try:
+            store.lease_acquire("deadcafe0042", "live-sibling", ttl_s=0.8)
+            job = mgr.submit(
+                "decide",
+                {"query": sjson(zoo.q5()), "probe_depth": 2},
+                job_id="deadcafe0042",
+            )
+            deadline = time.monotonic() + 5
+            while (
+                mgr.metrics()["lease_skips"] == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+            m = mgr.metrics()
+            assert m["lease_skips"] == 1 and m["running"] == 0
+            # the sibling dies (never renews): the sweep takes over
+            assert job.wait(30) and job.status == "done"
+            assert mgr.metrics()["adopted"] == 1
+        finally:
+            mgr.close()
+            store.close()
+
+    def test_adoption_absorbs_foreign_terminal_record(self, tmp_path):
+        # An owner that settles the job before releasing its lease must
+        # have its terminal record absorbed, never re-executed.
+        config = base_config(
+            cache_dir=str(tmp_path), service_lease_ttl_ms=50
+        )
+        store = DurableStore.open(tmp_path, config.cache_bytes)
+        foreign = Job("deadcafe0099", "default", "decide",
+                      {"query": sjson(QUERY)})
+        foreign.status = "running"
+        store.job_put(foreign.id, foreign.snapshot())
+        store.lease_acquire(foreign.id, "sibling-abc", ttl_s=60.0)
+        mgr = make_manager(config, store=store)
+        try:
+            assert mgr.recover() == 0
+            ghost = mgr.get(foreign.id)
+            assert ghost is not None and ghost.status == "running"
+            # the sibling finishes: terminal record landed, lease gone
+            record = foreign.snapshot()
+            record["status"] = "done"
+            record["result"] = {"ok": True}
+            store.job_put(foreign.id, record)
+            store.lease_release(foreign.id, "sibling-abc")
+            assert ghost.wait(10) and ghost.status == "done"
+            assert ghost.result == {"ok": True}
+            assert mgr.metrics()["adopted"] == 0
+            assert store.lease_get(foreign.id) is None
         finally:
             mgr.close()
             store.close()
@@ -905,6 +1075,37 @@ class TestDrainAndShed:
             gate.set()
             assert j1.wait(10) and j3.wait(10)
             assert j1.status == j3.status == "done"
+        finally:
+            gate.set()
+            mgr.close()
+
+    def test_shed_skips_already_settled_candidate(self):
+        # Regression: the shed transition used to happen outside the
+        # manager lock, so a cancel racing the popleft could have its
+        # terminal CANCELLED overwritten by FAILED (a double settle).
+        mgr = make_manager(
+            base_config(
+                service_queue_depth=2,
+                service_tenant_jobs=1,
+                service_threads=2,
+            )
+        )
+        gate = threading.Event()
+        mgr._execute = lambda job: (gate.wait(10), {})[1]
+        try:
+            running = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert wait_status(running, "running")
+            queued = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert queued.status == "queued"
+            # simulate the race window: the candidate settles while
+            # still sitting in the queue
+            queued._transition("cancelled")
+            overflow = mgr.submit("decide", {"query": sjson(QUERY)})
+            assert queued.status == "cancelled"  # never flipped to failed
+            assert mgr.metrics()["shed"] == 0
+            gate.set()
+            assert running.wait(10) and overflow.wait(10)
+            assert running.status == overflow.status == "done"
         finally:
             gate.set()
             mgr.close()
